@@ -1,0 +1,78 @@
+// Ablation: how should the constructive filter be realized?
+//   ideal        — the exact per-subcarrier rotation (not implementable),
+//   split        — the paper's 4-tap digital pre-filter + analog rotator,
+//   analog-only  — one frequency-flat rotation for the whole band,
+//   digital-only — the same tap budget without the analog stage.
+// Reports the approximation error and the end-to-end throughput cost.
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "eval/schemes.hpp"
+#include "relay/digital_prefilter.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Ablation — CNF filter realization (Sec. 3.4 design choices)");
+
+  TestbedConfig tb;
+  tb.antennas = 1;  // SISO isolates the filter question
+  const auto freqs = tb.ofdm.used_subcarrier_freqs();
+
+  // Filter-approximation error across many links.
+  std::vector<double> err_split, err_analog, err_digital;
+  std::vector<double> tput_ideal, tput_split, tput_analog;
+  int seed = 0;
+  for (const auto& plan : channel::FloorPlan::evaluation_set()) {
+    const auto placement = make_placement(plan);
+    for (int c = 0; c < 15; ++c) {
+      Rng rng(static_cast<unsigned>(3000 + seed++));
+      const auto client = random_client_location(plan, rng);
+      const auto link = build_link(placement, client, tb, rng);
+      CVec h_sd(56), h_sr(56), h_rd(56);
+      for (std::size_t i = 0; i < 56; ++i) {
+        h_sd[i] = link.h_sd[i](0, 0);
+        h_sr[i] = link.h_sr[i](0, 0);
+        h_rd[i] = link.h_rd[i](0, 0);
+      }
+      const CVec ideal = relay::cnf_siso_ideal(h_sd, h_sr, h_rd);
+      err_split.push_back(relay::design_cnf_split(ideal, freqs).error_db);
+      err_analog.push_back(relay::design_analog_only(ideal, freqs).error_db);
+      err_digital.push_back(relay::design_digital_only(ideal, freqs).error_db);
+
+      // Throughput with each realization.
+      relay::DesignOptions ideal_opts;
+      ideal_opts.use_realized_split = false;
+      relay::DesignOptions split_opts;
+      split_opts.f_grid_hz = freqs;
+      tput_ideal.push_back(
+          relayed_rate(link, relay::design_ff_relay(link, ideal_opts)).throughput_mbps);
+      tput_split.push_back(
+          relayed_rate(link, relay::design_ff_relay(link, split_opts)).throughput_mbps);
+      // Analog-only realization: flatten the filter to its band mean.
+      auto d = relay::design_ff_relay(link, ideal_opts);
+      const auto analog = relay::design_analog_only(ideal, freqs);
+      for (std::size_t i = 0; i < 56; ++i) {
+        const Complex f = analog.realized[i];
+        d.h_eff[i] = linalg::Matrix{
+            {h_sd[i] + h_rd[i] * f * amplitude_from_db(d.amp.gain_db) * h_sr[i]}};
+      }
+      tput_analog.push_back(relayed_rate(link, d).throughput_mbps);
+    }
+  }
+
+  Table t({"realization", "median approx error (dB)", "median FF tput (Mbps)"});
+  t.row({"ideal rotation", "-inf", Table::num(median(tput_ideal), 1)});
+  t.row({"digital+analog split (paper)", Table::num(median(err_split), 1),
+         Table::num(median(tput_split), 1)});
+  t.row({"analog only", Table::num(median(err_analog), 1),
+         Table::num(median(tput_analog), 1)});
+  t.row({"digital only (same taps)", Table::num(median(err_digital), 1), "-"});
+  t.print();
+
+  std::printf(
+      "\nTakeaways: the split tracks the ideal rotation closely; a single\n"
+      "frequency-flat analog rotation cannot follow frequency-selective\n"
+      "channels; the digital-only fit matches the split numerically in\n"
+      "baseband but gives up the analog stage's quantization-free fine\n"
+      "rotation and its RF-domain insertion point (Sec. 3.4).\n");
+  return 0;
+}

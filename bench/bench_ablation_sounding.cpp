@@ -1,0 +1,39 @@
+// Ablation: the sounding cadence (Sec. 4.2 fixes it at 50 ms).
+//
+// The constructive filter is only as good as the relay's channel knowledge;
+// with drifting channels, slower sounding means staler filters and smaller
+// gains — while sounding too fast burns airtime for nothing. The sweep runs
+// the full packet-level network at several cadences and drift speeds.
+#include "bench_common.hpp"
+#include "net/network.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Ablation — sounding cadence vs channel drift (Sec. 4.2's 50 ms)");
+
+  Table t({"coherence time (s)", "sounding (ms)", "DL gain", "UL gain",
+           "relay assisted (%)"});
+  for (const double coherence : {0.5, 0.15, 0.05}) {
+    for (const double interval_ms : {10.0, 50.0, 200.0, 500.0}) {
+      net::NetworkConfig cfg;
+      cfg.n_clients = 4;
+      cfg.duration_s = 1.5;
+      cfg.packet_interval_s = 2e-3;
+      cfg.coherence_time_s = coherence;
+      cfg.sounding_interval_s = interval_ms * 1e-3;
+      cfg.seed = 99;
+      const auto r = net::run_network(cfg);
+      const double assisted =
+          100.0 * static_cast<double>(r.relay_forwards) /
+          static_cast<double>(std::max<std::size_t>(r.relay_forwards + r.relay_silences, 1));
+      t.row({Table::num(coherence, 2), Table::num(interval_ms, 0),
+             Table::num(r.total_dl_gain(), 2), Table::num(r.total_ul_gain(), 2),
+             Table::num(assisted, 0)});
+    }
+  }
+  t.print();
+  std::printf("\nReading: at pedestrian-speed drift (Tc ~0.5 s) the paper's 50 ms cadence\n"
+              "is comfortably fast; under fast drift, slow sounding leaves the relay\n"
+              "with stale filters (lower gains) or silent (stale-book packets).\n");
+  return 0;
+}

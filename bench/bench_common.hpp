@@ -1,0 +1,67 @@
+// Shared setup for the per-figure bench binaries. Every binary regenerates
+// one table/figure of the paper's evaluation (Sec. 5/6) and prints the
+// series the paper plots; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+
+namespace ffbench {
+
+using namespace ff;
+using namespace ff::eval;
+
+/// Default full-evaluation run (2x2 MIMO, all four floor plans), shared by
+/// Figs. 12/13/15/17. Deterministic.
+inline std::vector<LocationResult> standard_run(std::size_t clients_per_plan = 50,
+                                                bool with_af = false,
+                                                double cancellation_db = 110.0) {
+  ExperimentConfig cfg;
+  cfg.clients_per_plan = clients_per_plan;
+  cfg.seed = 20140817;  // SIGCOMM'14 started August 17
+  cfg.evaluate_af = with_af;
+  cfg.testbed.cancellation_db = cancellation_db;
+  return run_experiment(cfg);
+}
+
+/// Relative gains vs the half-duplex-mesh baseline (the paper's metric:
+/// locations where even the HD mesh gets nothing have undefined gain and
+/// are excluded, as in Sec. 5).
+inline std::vector<double> gains_vs_hd(const std::vector<LocationResult>& results,
+                                       double SchemeResult::*scheme) {
+  std::vector<double> out;
+  for (const auto& r : results)
+    if (r.schemes.hd_mesh_mbps > 0.0) out.push_back(r.schemes.*scheme / r.schemes.hd_mesh_mbps);
+  return out;
+}
+
+/// Print a CDF as a fixed-quantile table (one row per 5% step).
+inline void print_cdf_table(const std::string& series_name, std::vector<double> values,
+                            const std::string& unit) {
+  Table t({"CDF", series_name + " (" + unit + ")"});
+  for (int p = 5; p <= 100; p += 5)
+    t.row({Table::num(p / 100.0, 2), Table::num(percentile(values, p), 2)});
+  t.print();
+}
+
+/// Print several series side by side at fixed quantiles.
+inline void print_cdf_columns(const std::vector<std::string>& names,
+                              const std::vector<std::vector<double>>& series,
+                              int step_percent = 5) {
+  std::vector<std::string> headers{"CDF"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  Table t(headers);
+  for (int p = step_percent; p <= 100; p += step_percent) {
+    std::vector<std::string> row{Table::num(p / 100.0, 2)};
+    for (const auto& s : series) row.push_back(Table::num(percentile(s, p), 2));
+    t.row(row);
+  }
+  t.print();
+}
+
+}  // namespace ffbench

@@ -1,0 +1,69 @@
+// Figure 1: SNR heatmap of the home with the AP alone and with AP + FF
+// relay. Paper: most of the home sits at 10-15 dB (edge 0-6 dB) with the AP
+// alone; the relay lifts the majority of the coverage area.
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "eval/heatmap.hpp"
+#include "eval/schemes.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Fig. 1 — SNR heatmap of the home (AP only vs AP + FF relay)");
+
+  TestbedConfig tb;
+  tb.antennas = 1;  // Fig. 1 maps link-budget SNR, not MIMO effective SNR
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = make_placement(plan);
+  const auto opts = default_design_options(tb);
+
+  // Deterministic per-cell channels: seed from the grid index.
+  const auto snr_pair = [&](double x, double y) {
+    Rng rng(static_cast<std::uint64_t>(x * 977.0) * 65537u +
+            static_cast<std::uint64_t>(y * 977.0));
+    const auto link = build_link(placement, {x, y}, tb, rng);
+    const auto direct = ap_only_rate(link);
+    const auto ff = relay::design_ff_relay(link, opts);
+    const auto ff_rate = relayed_rate(link, ff);
+    return std::pair<double, double>{direct.effective_snr_db, ff_rate.effective_snr_db};
+  };
+
+  HeatmapConfig hm;
+  hm.step_m = 0.75;
+  hm.min_value = 0.0;
+  hm.max_value = 30.0;
+
+  std::printf("\nAP only (effective SNR, dB):\n%s",
+              render_heatmap(plan, [&](double x, double y) { return snr_pair(x, y).first; },
+                             hm)
+                  .c_str());
+  std::printf("\nAP + FF relay:\n%s",
+              render_heatmap(plan, [&](double x, double y) { return snr_pair(x, y).second; },
+                             hm)
+                  .c_str());
+
+  // Zone statistics like the paper quotes.
+  double near_acc = 0, mid_acc = 0, edge_acc = 0, ff_mid_acc = 0;
+  int near_n = 0, mid_n = 0, edge_n = 0;
+  for (const auto& p : grid_locations(plan, 0.75)) {
+    const double d = channel::distance(placement.ap, p);
+    const auto [ap_snr, ff_snr] = snr_pair(p.x, p.y);
+    if (d < 2.5) {
+      near_acc += ap_snr;
+      ++near_n;
+    } else if (d < 6.0) {
+      mid_acc += ap_snr;
+      ff_mid_acc += ff_snr;
+      ++mid_n;
+    } else {
+      edge_acc += ap_snr;
+      ++edge_n;
+    }
+  }
+  std::printf("\nZone means (paper in brackets):\n");
+  std::printf("  near AP      : %.1f dB\n", near_acc / std::max(near_n, 1));
+  std::printf("  mid home (AP): %.1f dB   [10-15 dB]\n", mid_acc / std::max(mid_n, 1));
+  std::printf("  mid home (FF): %.1f dB   [relay lifts the middle of the home]\n",
+              ff_mid_acc / std::max(mid_n, 1));
+  std::printf("  edge     (AP): %.1f dB   [0-6 dB]\n", edge_acc / std::max(edge_n, 1));
+  return 0;
+}

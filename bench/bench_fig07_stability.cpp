@@ -1,0 +1,35 @@
+// Figure 7: amplification beyond the achieved isolation creates an unstable
+// positive feedback loop. Sweep A - C and report the loop's growth in the
+// time-domain simulation.
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "dsp/noise.hpp"
+#include "fullduplex/si_channel.hpp"
+#include "fullduplex/stability.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Fig. 7 — positive-feedback stability: loop growth vs (A - C)");
+
+  constexpr double kFs = 20e6;
+  Rng rng(11);
+
+  // Residual loop filter with a known isolation C: a single delayed tap.
+  const double isolation_db = 60.0;
+  CVec residual_fir(3, Complex{});
+  residual_fir[2] = Complex{amplitude_from_db(-isolation_db), 0.0};
+  const double measured_c = fd::loop_isolation_db(residual_fir, kFs, 20e6);
+
+  const CVec input = dsp::awgn(rng, 6000, 1.0);
+
+  Table t({"A - C (dB)", "loop growth (dB)", "state"});
+  for (const double margin : {-20.0, -10.0, -6.0, -3.0, -1.0, 1.0, 3.0, 6.0, 10.0}) {
+    const auto r = fd::simulate_relay_loop(input, residual_fir, measured_c + margin, 2);
+    t.row({Table::num(margin, 0), Table::num(std::min(r.growth_db(), 400.0), 1),
+           r.diverged ? "DIVERGED" : (r.growth_db() > 10.0 ? "ringing" : "stable")});
+  }
+  t.print();
+  std::printf("\nPaper: A >= C leaves residual that is re-amplified every loop —\n"
+              "\"an unstable positive feedback loop\". A < C is clean.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 15 (a/b/c): throughput gains split by the AP-only link's state.
+// Paper: low-SNR/low-rank locations gain ~4x (SNR + rank together);
+// medium-SNR/low-rank (pinhole) locations gain ~1.7x (rank restoration);
+// high-SNR/high-rank locations gain only ~15%.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Fig. 15 — gains by baseline link category (vs AP + HD mesh)");
+
+  const auto results = standard_run();
+
+  const LinkCategory cats[] = {LinkCategory::kLowSnrLowRank,
+                               LinkCategory::kMediumSnrLowRank,
+                               LinkCategory::kHighSnrHighRank};
+  const char* paper[] = {"[~4x]", "[~1.7x]", "[~1.15x]"};
+
+  std::vector<std::vector<double>> series;
+  std::vector<std::string> names;
+  for (const auto cat : cats) {
+    std::vector<double> g;
+    for (const auto& r : results)
+      if (r.category == cat && r.schemes.hd_mesh_mbps > 0.0)
+        g.push_back(r.schemes.ff_mbps / r.schemes.hd_mesh_mbps);
+    series.push_back(std::move(g));
+    names.push_back(to_string(cat));
+  }
+
+  Table t({"category", "n", "median gain", "p25", "p75", "paper"});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].empty()) continue;
+    t.row({names[i], std::to_string(series[i].size()),
+           Table::num(median(series[i]), 2), Table::num(percentile(series[i], 25), 2),
+           Table::num(percentile(series[i], 75), 2), paper[i]});
+  }
+  t.print();
+
+  std::printf("\nPer-category CDFs:\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].size() < 5) continue;
+    std::printf("\n(%c) %s\n", static_cast<char>('a' + i), names[i].c_str());
+    print_cdf_table("FF gain vs HD", series[i], "x");
+  }
+  return 0;
+}

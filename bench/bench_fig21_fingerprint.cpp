@@ -1,0 +1,94 @@
+// Figure 21: false-positive and false-negative rates of the uplink sender-
+// identification fingerprinting (Sec. 6.1), for the aggressive and passive
+// thresholds. Paper: 4 clients x 100 locations x >= 1000 packets; the
+// aggressive setting achieves essentially zero false positives at ~5% false
+// negatives; the passive setting trades the other way.
+#include "bench_common.hpp"
+#include "channel/propagation.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "ident/stf_fingerprint.hpp"
+#include "phy/preamble.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Fig. 21 — uplink channel-fingerprint identification (aggressive vs passive)");
+
+  const phy::OfdmParams params;
+  const double kFs = params.sample_rate_hz;
+  const auto plan = channel::FloorPlan::paper_home();
+  const channel::IndoorPropagation model(plan);
+  // Relay near a corner: client distances then span the whole plan, which
+  // spreads the bulk-delay component of the fingerprints apart.
+  const channel::Point relay_pos{0.8, 0.7};
+
+  constexpr int kClients = 4;
+  constexpr int kLocations = 100;
+  constexpr int kPacketsPerClient = 40;  // per location; 16k packets total
+
+  struct Rates {
+    std::vector<double> fn, fp;  // per-location percentages
+  };
+  Rates aggressive, passive;
+
+  const CVec stf = phy::stf_time(params);
+
+  for (int loc = 0; loc < kLocations; ++loc) {
+    Rng rng(static_cast<unsigned>(1000 + loc));
+    // Place the 4 clients for this trial and build their uplink channels.
+    std::vector<channel::MultipathChannel> chans;
+    for (int c = 0; c < kClients; ++c)
+      chans.push_back(model.siso_link(random_client_location(plan, rng), relay_pos, rng));
+
+    for (const bool use_aggressive : {true, false}) {
+      ident::StfFingerprinter fp(params, use_aggressive ? ident::aggressive_config()
+                                                        : ident::passive_config());
+      // Enrollment per client (identity known, e.g. poll replies); the relay
+      // keeps refining its estimate over many packets, modelled as one
+      // high-effective-SNR measurement.
+      for (int c = 0; c < kClients; ++c) {
+        CVec rx = chans[static_cast<std::size_t>(c)].apply(stf, kFs);
+        const double p = dsp::mean_power(rx);
+        dsp::add_awgn(rng, rx, p * power_from_db(-38.0));
+        fp.enroll_from_stf(static_cast<std::uint32_t>(c + 1), rx);
+      }
+      int fn = 0, fpos = 0, total = 0;
+      for (int pkt = 0; pkt < kPacketsPerClient; ++pkt) {
+        for (int c = 0; c < kClients; ++c) {
+          CVec rx = chans[static_cast<std::size_t>(c)].apply(stf, kFs);
+          const double p = dsp::mean_power(rx);
+          // Per-packet SNR jitter + random carrier phase (oscillator drift).
+          dsp::add_awgn(rng, rx, p * power_from_db(-rng.uniform(20.0, 30.0)));
+          const Complex rot = rng.unit_phasor();
+          for (auto& s : rx) s *= rot;
+          const auto match = fp.identify(rx);
+          ++total;
+          if (!match)
+            ++fn;
+          else if (match->client != static_cast<std::uint32_t>(c + 1))
+            ++fpos;
+        }
+      }
+      auto& rates = use_aggressive ? aggressive : passive;
+      rates.fn.push_back(100.0 * fn / total);
+      rates.fp.push_back(100.0 * fpos / total);
+    }
+  }
+
+  Table t({"metric", "median %", "p90 %", "mean %", "paper"});
+  const auto add = [&](const char* name, std::vector<double> v, const char* paper_note) {
+    t.row({name, Table::num(median(v), 2), Table::num(percentile(v, 90), 2),
+           Table::num(mean(v), 2), paper_note});
+  };
+  add("false negative (aggressive)", aggressive.fn, "[~5%]");
+  add("false positive (aggressive)", aggressive.fp, "[~0%]");
+  add("false negative (passive)", passive.fn, "[lower than aggressive]");
+  add("false positive (passive)", passive.fp, "[higher than aggressive]");
+  t.print();
+
+  std::printf("\nCDF of per-location rates (percent):\n");
+  print_cdf_columns({"FN aggr", "FP aggr", "FN passive", "FP passive"},
+                    {aggressive.fn, aggressive.fp, passive.fn, passive.fp}, 10);
+  return 0;
+}

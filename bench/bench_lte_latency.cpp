@@ -1,0 +1,77 @@
+// Extension: the Fig. 16 latency sweep repeated at LTE numerology.
+//
+// The paper designs to WiFi's 100 ns budget and argues the techniques
+// "will work for LTE too since it has a longer CP" (4.69 us vs 400 ns).
+// This sweep shows the two regimes side by side: WiFi collapses and goes
+// below 1 within a few hundred ns; LTE stays ISI-free out to microseconds.
+#include "bench_common.hpp"
+#include "eval/timedomain.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("LTE extension — median gain vs relay latency (WiFi CP 400 ns vs LTE 4.69 us)");
+
+  const auto plan = channel::FloorPlan::two_wide_rooms();
+  const auto placement = make_placement(plan);
+
+  struct Numerology {
+    const char* name;
+    phy::OfdmParams params;
+  };
+  const Numerology numerologies[] = {{"WiFi 20 MHz", phy::OfdmParams::wifi20()},
+                                     {"LTE 5 MHz", phy::OfdmParams::lte5()}};
+
+  Table t({"extra buffering (ns)", "WiFi median gain", "LTE median gain"});
+  const double sweep_ns[] = {0.0, 200.0, 400.0, 800.0, 1600.0, 3200.0};
+  std::vector<std::vector<double>> medians(2);
+
+  for (int ni = 0; ni < 2; ++ni) {
+    const auto& num = numerologies[ni];
+    TestbedConfig tb;
+    tb.antennas = 1;
+    tb.ofdm = num.params;
+
+    // Fixed location set with baselines.
+    struct Loc {
+      TimeDomainLink link;
+      double baseline;
+    };
+    std::vector<Loc> locs;
+    for (int c = 0; c < 16; ++c) {
+      Rng rng(static_cast<unsigned>(600 + c));
+      const auto client = random_client_location(plan, rng);
+      Loc l;
+      l.link = build_td_link(placement, client, tb, rng);
+      if (ni == 1) l.link.source_cfo_hz *= 0.05;  // LTE-scale oscillators
+      TdRunOptions base;
+      base.params = num.params;
+      base.use_relay = false;
+      Rng rng2(static_cast<unsigned>(800 + c));
+      l.baseline = run_td_packet(l.link, base, rng2).throughput_mbps;
+      locs.push_back(std::move(l));
+    }
+
+    for (const double extra : sweep_ns) {
+      std::vector<double> gains;
+      int seed = 0;
+      for (const auto& l : locs) {
+        ++seed;
+        if (l.baseline <= 0.0) continue;
+        TdRunOptions o;
+        o.params = num.params;
+        o.pipeline = make_ff_pipeline(l.link, num.params, extra * 1e-9);
+        Rng rng(static_cast<unsigned>(17000 + seed + ni * 100));
+        gains.push_back(run_td_packet(l.link, o, rng).throughput_mbps / l.baseline);
+      }
+      medians[static_cast<std::size_t>(ni)].push_back(gains.empty() ? 0.0 : median(gains));
+    }
+  }
+
+  for (std::size_t i = 0; i < std::size(sweep_ns); ++i)
+    t.row({Table::num(sweep_ns[i], 0), Table::num(medians[0][i], 2),
+           Table::num(medians[1][i], 2)});
+  t.print();
+  std::printf("\nWiFi's relayed copy exits the 400 ns CP within this sweep (gain < 1);\n"
+              "LTE's 4.69 us CP keeps the relayed copy ISI-free throughout.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Google-benchmark micro kernels: throughput of the sample-level primitives
+// on the relay's critical path (how many Msps each stage sustains in this
+// software model).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "fullduplex/digital_canceller.hpp"
+#include "phy/fec.hpp"
+#include "phy/frame.hpp"
+#include "relay/cnf_design.hpp"
+#include "relay/pipeline.hpp"
+
+namespace {
+
+using namespace ff;
+
+void BM_Fft64(benchmark::State& state) {
+  const dsp::FftPlan plan(64);
+  Rng rng(1);
+  CVec x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    plan.forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ForwardPipelinePush(benchmark::State& state) {
+  relay::PipelineConfig cfg;
+  cfg.cfo_hz = 30e3;
+  cfg.prefilter = CVec(4, Complex{0.5, 0.1});
+  cfg.gain_db = 80.0;
+  relay::ForwardPipeline pipe(cfg);
+  Rng rng(2);
+  const Complex s = rng.cgaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(pipe.push(s));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForwardPipelinePush);
+
+void BM_CausalCanceller120Taps(benchmark::State& state) {
+  Rng rng(3);
+  CVec taps(120);
+  for (auto& t : taps) t = rng.cgaussian(1e-6);
+  dsp::FirFilter fir(taps);
+  const Complex s = rng.cgaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(fir.push(s));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CausalCanceller120Taps);
+
+void BM_DigitalCancellerTraining(benchmark::State& state) {
+  Rng rng(4);
+  const std::size_t n = 8000;
+  CVec tx(n), rx(n);
+  for (auto& v : tx) v = rng.cgaussian();
+  for (std::size_t i = 0; i < n; ++i) rx[i] = Complex{0.01, 0.0} * tx[i];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::estimate_fir_ls_fast(tx, rx, 120));
+  }
+}
+BENCHMARK(BM_DigitalCancellerTraining);
+
+void BM_CnfSisoDesign(benchmark::State& state) {
+  Rng rng(5);
+  CVec h_sd(56), h_sr(56), h_rd(56);
+  for (std::size_t i = 0; i < 56; ++i) {
+    h_sd[i] = rng.cgaussian();
+    h_sr[i] = rng.cgaussian();
+    h_rd[i] = rng.cgaussian();
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(relay::cnf_siso_ideal(h_sd, h_sr, h_rd));
+}
+BENCHMARK(BM_CnfSisoDesign);
+
+void BM_CnfMimoDesignPerSubcarrier(benchmark::State& state) {
+  Rng rng(6);
+  linalg::Matrix h_sd(2, 2), h_sr(2, 2), h_rd(2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      h_sd(i, j) = rng.cgaussian();
+      h_sr(i, j) = rng.cgaussian();
+      h_rd(i, j) = rng.cgaussian();
+    }
+  std::vector<double> warm;
+  for (auto _ : state) {
+    const auto r = relay::cnf_mimo_design(h_sd, h_sr, h_rd, 1.0,
+                                          warm.empty() ? nullptr : &warm);
+    warm = r.params;
+    benchmark::DoNotOptimize(warm.data());
+  }
+}
+BENCHMARK(BM_CnfMimoDesignPerSubcarrier);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::uint8_t> msg(200);
+  for (auto& b : msg) b = rng.bernoulli(0.5) ? 1 : 0;
+  const auto coded = phy::convolutional_encode(msg, phy::CodeRate::R1_2);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -4.0 : 4.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(phy::viterbi_decode(llrs, phy::CodeRate::R1_2, msg.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(msg.size()));
+}
+BENCHMARK(BM_ViterbiDecode);
+
+void BM_PacketDecode(benchmark::State& state) {
+  const phy::OfdmParams params;
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(8);
+  std::vector<std::uint8_t> payload(400);
+  for (auto& b : payload) b = rng.bernoulli(0.5) ? 1 : 0;
+  const CVec pkt = tx.modulate(payload, {.mcs_index = 4});
+  for (auto _ : state) benchmark::DoNotOptimize(rx.receive(pkt));
+}
+BENCHMARK(BM_PacketDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Extension: the Fig. 15b rank-expansion mechanism on REAL decoded packets.
+//
+// For keyhole-degraded clients (behind the home's interior wall), send
+// 2-stream packets with and without the relay and report per-stream CRC and
+// SNR — the sample-level ground truth behind the frequency-domain Fig. 15b
+// numbers.
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "eval/mimo_timedomain.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("MIMO extension — 2-stream packets with/without FF (sample-level)");
+
+  TestbedConfig cfg;  // 2x2
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = make_placement(plan);
+  const phy::OfdmParams params;
+
+  Table t({"client", "sv2/sv1", "streams ok (AP)", "streams ok (FF)",
+           "stream SNRs AP (dB)", "stream SNRs FF (dB)"});
+
+  int ap_streams_total = 0, ff_streams_total = 0, rows = 0;
+  for (int seed = 0; seed < 24 && rows < 10; ++seed) {
+    Rng rng(static_cast<unsigned>(40 + seed));
+    const channel::Point client{rng.uniform(4.5, 8.5), rng.uniform(4.2, 6.2)};
+    auto link = build_mimo_td_link(placement, client, cfg, rng);
+
+    const auto sv = linalg::singular_values(link.sd.response(0.0));
+    const double ratio = sv[1] / std::max(sv[0], 1e-30);
+    const double snr1 = link.source_power_dbm + db_from_power(sv[0] * sv[0]) + 90.0;
+    if (snr1 < 10.0 || snr1 > 30.0) continue;
+    ++rows;
+
+    MimoTdOptions base;
+    base.use_relay = false;
+    base.mcs_index = 1;
+    Rng rng2(static_cast<unsigned>(140 + seed));
+    const auto ap = run_mimo_td_packet(link, base, rng2);
+
+    MimoTdOptions with;
+    with.mcs_index = 1;
+    with.bank = make_mimo_relay_bank(link, params);
+    Rng rng3(static_cast<unsigned>(240 + seed));
+    const auto ff = run_mimo_td_packet(link, with, rng3);
+
+    const auto count_ok = [](const MimoTdResult& r) {
+      int ok = 0;
+      for (const bool b : r.stream_crc_ok) ok += b;
+      return ok;
+    };
+    const auto snrs = [](const MimoTdResult& r) {
+      if (!r.decoded) return std::string("-");
+      std::string s;
+      for (const double v : r.stream_snr_db) s += Table::num(v, 1) + " ";
+      return s;
+    };
+    ap_streams_total += count_ok(ap);
+    ff_streams_total += count_ok(ff);
+    char pos[32];
+    std::snprintf(pos, sizeof pos, "(%.1f,%.1f)", client.x, client.y);
+    t.row({pos, Table::num(ratio, 3), std::to_string(count_ok(ap)) + "/2",
+           std::to_string(count_ok(ff)) + "/2", snrs(ap), snrs(ff)});
+  }
+  t.print();
+  std::printf("\nStream-decodes across all clients: AP only %d, with FF %d\n"
+              "(the relay's independent path is what carries the second stream\n"
+              "through the pinhole, Sec. 5.3).\n",
+              ap_streams_total, ff_streams_total);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Sec. 3.3 experimental result: total self-interference cancellation across
+// relay placements. Paper: "our design consistently achieves between
+// 108-110dB of cancellation", with analog contributing ~70 dB; 110 dB is
+// the physical ceiling (20 dBm TX over a -90 dBm noise floor).
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/noise.hpp"
+#include "fullduplex/si_channel.hpp"
+#include "fullduplex/stack.hpp"
+
+int main() {
+  using namespace ffbench;
+  print_banner("Sec. 3.3 — self-interference cancellation across placements");
+
+  constexpr double kFs = 20e6;
+  constexpr double kTx = 20.0;      // dBm
+  constexpr double kFloor = -90.0;  // dBm
+
+  Table t({"placement", "analog (dB)", "total (dB)", "residual (dBm)"});
+  std::vector<double> totals;
+
+  for (int placement = 1; placement <= 8; ++placement) {
+    Rng rng(static_cast<unsigned>(placement));
+    const auto si = fd::make_si_channel(rng);
+    const CVec si_fir = fd::si_loop_fir(si, kFs);
+
+    // Training record: relay forwards a delayed copy of a remote source and
+    // injects the Gaussian probe (the Sec. 3.3 tuning procedure).
+    const std::size_t n = 16000;
+    CVec source = dsp::awgn_dbm(rng, n, -70.0);
+    CVec tx(n, Complex{});
+    for (std::size_t i = 2; i < n; ++i) tx[i] = source[i - 2];
+    dsp::set_mean_power(tx, power_from_db(kTx));
+    const CVec probe = fd::inject_probe(rng, tx, 30.0);
+    const CVec si_sig = dsp::filter(si_fir, tx);
+    CVec rx(n);
+    const CVec thermal = dsp::awgn_dbm(rng, n, kFloor);
+    for (std::size_t i = 0; i < n; ++i) rx[i] = source[i] + si_sig[i] + thermal[i];
+
+    fd::CancellationStack stack;
+    stack.tune(tx, probe, rx);
+
+    // Measurement record: SI-only (the paper measures while the relay
+    // receives and re-transmits; residual is read under the noise floor).
+    Rng rng2(static_cast<unsigned>(placement + 50));
+    CVec src2 = dsp::awgn_dbm(rng2, n, -70.0);
+    CVec tx2(n, Complex{});
+    for (std::size_t i = 2; i < n; ++i) tx2[i] = src2[i - 2];
+    dsp::set_mean_power(tx2, power_from_db(kTx));
+    const CVec si2 = dsp::filter(si_fir, tx2);
+    CVec meas(n);
+    const CVec th2 = dsp::awgn_dbm(rng2, n, kFloor);
+    for (std::size_t i = 0; i < n; ++i) meas[i] = si2[i] + th2[i];
+
+    const CVec after_analog = stack.apply_analog_only(tx2, si2);
+    const CVec after_all = stack.apply(tx2, meas);
+    const double analog_db = kTx - dsp::mean_power_db(after_analog);
+    const double total_db = kTx - dsp::mean_power_db(after_all);
+    totals.push_back(total_db);
+    t.row({std::to_string(placement), Table::num(analog_db, 1), Table::num(total_db, 1),
+           Table::num(dsp::mean_power_db(after_all), 1)});
+  }
+  t.print();
+
+  std::printf("\nHeadline numbers (paper in brackets):\n");
+  std::printf("  total cancellation range: %.1f - %.1f dB   [108-110 dB, ceiling 110 dB]\n",
+              percentile(totals, 0), percentile(totals, 100));
+  return 0;
+}

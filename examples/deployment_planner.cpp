@@ -1,0 +1,118 @@
+// Relay deployment planner: search a floor plan for the relay position that
+// maximizes network-wide FF throughput.
+//
+// The paper's gains hinge on placement (Sec. 3.5's noise-aware rule caps
+// every relayed path at the AP->relay SNR minus 3 dB), so "where do I put
+// the relay?" is the first question a deployment faces. This tool grids the
+// plan, evaluates median and 10th-percentile client throughput for each
+// candidate position, and prints the ranked result with a heatmap.
+//
+//   ./examples/deployment_planner [plan]   (home | office | corridor | rooms)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "eval/experiment.hpp"
+#include "eval/heatmap.hpp"
+#include "eval/schemes.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+
+using namespace ff;
+using namespace ff::eval;
+
+int main(int argc, char** argv) {
+  channel::FloorPlan plan = channel::FloorPlan::paper_home();
+  if (argc > 1) {
+    const std::string name = argv[1];
+    if (name == "office") plan = channel::FloorPlan::open_office();
+    else if (name == "corridor") plan = channel::FloorPlan::l_corridor();
+    else if (name == "rooms") plan = channel::FloorPlan::two_wide_rooms();
+  }
+  std::printf("Planning relay placement in '%s' (%.0f x %.0f m)\n", plan.name().c_str(),
+              plan.width(), plan.height());
+
+  TestbedConfig tb;
+  const auto opts = default_design_options(tb);
+  Placement placement = make_placement(plan);
+
+  // Fixed client set to evaluate every candidate against.
+  std::vector<channel::Point> clients;
+  {
+    Rng rng(1);
+    for (int i = 0; i < 14; ++i) clients.push_back(random_client_location(plan, rng));
+  }
+
+  struct Candidate {
+    channel::Point pos;
+    double median_mbps = 0.0;
+    double p10_mbps = 0.0;
+  };
+  std::vector<Candidate> candidates;
+
+  const auto evaluate = [&](const channel::Point& relay_pos) {
+    placement.relay = relay_pos;
+    std::vector<double> tputs;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      Rng rng(1000 + 31 * c);  // per-client channel seed, relay-position independent
+      const auto link = build_link(placement, clients[c], tb, rng);
+      const auto design = relay::design_ff_relay(link, opts);
+      tputs.push_back(relayed_rate(link, design).throughput_mbps);
+    }
+    return Candidate{relay_pos, median(tputs), percentile(tputs, 10)};
+  };
+
+  for (const auto& pos : grid_locations(plan, std::max(plan.width(), plan.height()) / 8.0)) {
+    candidates.push_back(evaluate(pos));
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    return a.median_mbps + 0.5 * a.p10_mbps > b.median_mbps + 0.5 * b.p10_mbps;
+  });
+
+  Table t({"rank", "relay position", "median client (Mbps)", "10th pct (Mbps)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, candidates.size()); ++i) {
+    char pos[32];
+    std::snprintf(pos, sizeof pos, "(%.1f, %.1f)", candidates[i].pos.x, candidates[i].pos.y);
+    t.row({std::to_string(i + 1), pos, eval::Table::num(candidates[i].median_mbps, 1),
+           eval::Table::num(candidates[i].p10_mbps, 1)});
+  }
+  t.print();
+
+  // Reference points for comparison.
+  const auto ap_only = [&] {
+    std::vector<double> tputs;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      Rng rng(1000 + 31 * c);
+      const auto link = build_link(placement, clients[c], tb, rng);
+      tputs.push_back(ap_only_rate(link).throughput_mbps);
+    }
+    return median(tputs);
+  }();
+  std::printf("\nAP-only median for the same clients: %.1f Mbps\n", ap_only);
+  std::printf("Best placement median improvement   : %.2fx\n",
+              candidates.front().median_mbps / std::max(ap_only, 1e-9));
+
+  // Map of median throughput vs relay position (nearest evaluated candidate).
+  double worst = candidates.front().median_mbps;
+  for (const auto& c : candidates) worst = std::min(worst, c.median_mbps);
+  HeatmapConfig hm;
+  hm.step_m = std::max(plan.width(), plan.height()) / 16.0;
+  hm.min_value = worst;
+  hm.max_value = candidates.front().median_mbps + 1e-9;
+  const auto nearest = [&](double x, double y) {
+    double best_d = 1e300, value = 0.0;
+    for (const auto& c : candidates) {
+      const double d = channel::distance(c.pos, {x, y});
+      if (d < best_d) {
+        best_d = d;
+        value = c.median_mbps;
+      }
+    }
+    return value;
+  };
+  std::printf("\nMedian client throughput by relay position ('#' = best):\n%s",
+              render_heatmap(plan, nearest, hm).c_str());
+  return 0;
+}

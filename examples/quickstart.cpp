@@ -1,0 +1,74 @@
+// Quickstart: the FastForward idea in one page.
+//
+// Builds one source -> relay -> destination triple, designs the
+// construct-and-forward filter, and shows the per-subcarrier combining the
+// paper's Fig. 5 illustrates: without the filter the relayed path can fight
+// the direct one; with it, every subcarrier adds coherently and both the
+// SNR and the achievable bitrate jump.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "eval/experiment.hpp"
+#include "eval/schemes.hpp"
+#include "eval/testbed.hpp"
+#include "phy/mcs.hpp"
+#include "relay/design.hpp"
+
+using namespace ff;
+
+int main() {
+  // --- 1. A home, an AP in the corner, a relay nearby, a client far away.
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  const channel::Point client{8.2, 5.6};  // far bedroom corner
+
+  eval::TestbedConfig cfg;
+  cfg.antennas = 1;  // SISO keeps the numbers easy to read
+  Rng rng(42);
+  const relay::RelayLink link = eval::build_link(placement, client, cfg, rng);
+
+  // --- 2. What the client gets from the AP alone.
+  const phy::MimoRate direct = eval::ap_only_rate(link);
+  std::printf("AP only          : %5.1f Mbps  (effective SNR %5.1f dB)\n",
+              direct.throughput_mbps, direct.effective_snr_db);
+
+  // --- 3. Design the FF relay: constructive filter + noise-aware gain.
+  const relay::DesignOptions opts = eval::default_design_options(cfg);
+  const relay::RelayDesign ff = relay::design_ff_relay(link, opts);
+  std::printf("FF amplification : %5.1f dB   (stability limit %.0f, noise rule %.0f, "
+              "power %.0f)\n",
+              ff.amp.gain_db, ff.amp.stability_limit_db, ff.amp.noise_limit_db,
+              ff.amp.power_limit_db);
+  std::printf("CNF realization  : %5.1f dB approximation error "
+              "(4-tap pre-filter + analog rotator)\n", ff.split_error_db);
+
+  const phy::MimoRate with_ff = eval::relayed_rate(link, ff);
+  std::printf("AP + FF relay    : %5.1f Mbps  (effective SNR %5.1f dB)  -> %.1fx\n",
+              with_ff.throughput_mbps, with_ff.effective_snr_db,
+              with_ff.throughput_mbps / std::max(direct.throughput_mbps, 1e-9));
+
+  // --- 4. The Fig. 5 picture on one subcarrier: direct, relayed, combined.
+  const std::size_t sc = 28;
+  const Complex h_sd = link.h_sd[sc](0, 0);
+  const Complex h_sr = link.h_sr[sc](0, 0);
+  const Complex h_rd = link.h_rd[sc](0, 0);
+  const Complex f = ff.filter[sc](0, 0);
+  const double a = amplitude_from_db(ff.amp.gain_db);
+  const Complex relayed = h_rd * f * a * h_sr;
+  const Complex naive = h_rd * a * h_sr;  // no constructive filter
+
+  std::printf("\nSubcarrier %zu channel vectors (Fig. 5):\n", sc);
+  std::printf("  direct       h_sd          : %+.2e%+.2ej   |.|=%.2e  angle %6.1f deg\n",
+              h_sd.real(), h_sd.imag(), std::abs(h_sd), deg_from_rad(std::arg(h_sd)));
+  std::printf("  relayed      h_rd*F*A*h_sr : %+.2e%+.2ej   |.|=%.2e  angle %6.1f deg\n",
+              relayed.real(), relayed.imag(), std::abs(relayed),
+              deg_from_rad(std::arg(relayed)));
+  std::printf("  combined |direct+relayed|  : %.2e  (coherent sum %.2e)\n",
+              std::abs(h_sd + relayed), std::abs(h_sd) + std::abs(relayed));
+  std::printf("  without filter |direct+naive-relayed| would be %.2e\n",
+              std::abs(h_sd + naive));
+  return 0;
+}

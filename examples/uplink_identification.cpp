@@ -1,0 +1,77 @@
+// Uplink sender identification demo (Sec. 6 / Fig. 20).
+//
+// Four unmodified clients share a WiFi network. When one of them transmits,
+// the relay must pick the right constructive filter BEFORE the PHY header —
+// and clients cannot be changed to send signatures. The relay therefore
+// fingerprints the channel imprint the known STF carries, matching it
+// against the per-client database it maintains from poll replies.
+//
+//   ./examples/uplink_identification
+#include <cstdio>
+
+#include "channel/propagation.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "eval/testbed.hpp"
+#include "ident/stf_fingerprint.hpp"
+#include "phy/preamble.hpp"
+
+using namespace ff;
+
+int main() {
+  const phy::OfdmParams params;
+  const double fs = params.sample_rate_hz;
+  Rng rng(21);
+
+  const auto plan = channel::FloorPlan::paper_home();
+  const channel::IndoorPropagation model(plan);
+  const channel::Point relay_pos{0.8, 0.7};
+
+  // Four clients around the home.
+  const channel::Point spots[4] = {{3.2, 1.4}, {7.6, 2.2}, {2.4, 5.1}, {7.9, 5.6}};
+  std::vector<channel::MultipathChannel> uplinks;
+  for (const auto& p : spots) uplinks.push_back(model.siso_link(p, relay_pos, rng));
+
+  const CVec stf = phy::stf_time(params);
+  const auto receive_stf = [&](int c, double snr_db) {
+    CVec rx = uplinks[static_cast<std::size_t>(c)].apply(stf, fs);
+    const double p = dsp::mean_power(rx);
+    dsp::add_awgn(rng, rx, p * power_from_db(-snr_db));
+    const Complex rot = rng.unit_phasor();  // packet-to-packet carrier phase
+    for (auto& s : rx) s *= rot;
+    return rx;
+  };
+
+  // Enrollment: the relay learns each client's imprint from poll replies.
+  ident::StfFingerprinter fp(params);
+  for (int c = 0; c < 4; ++c) fp.enroll_from_stf(static_cast<std::uint32_t>(c + 1),
+                                                 receive_stf(c, 38.0));
+  std::printf("Enrolled %zu clients (14-tone STF channel imprints)\n\n", fp.known_clients());
+
+  // Live traffic: random clients transmit; the relay identifies each one.
+  std::printf("%-8s %-12s %-10s %-10s %s\n", "packet", "true sender", "identified",
+              "distance", "margin");
+  int correct = 0, abstain = 0, wrong = 0;
+  const int kPackets = 20;
+  for (int pkt = 0; pkt < kPackets; ++pkt) {
+    const int sender = static_cast<int>(rng.index(4));
+    const auto match = fp.identify(receive_stf(sender, rng.uniform(20.0, 30.0)));
+    if (!match) {
+      ++abstain;
+      std::printf("%-8d client %-5d %-10s %-10s %s\n", pkt, sender + 1, "-", "-",
+                  "(abstain: relay stays silent)");
+      continue;
+    }
+    const bool ok = match->client == static_cast<std::uint32_t>(sender + 1);
+    ok ? ++correct : ++wrong;
+    std::printf("%-8d client %-5d client %-3u %-10.4f %.4f%s\n", pkt, sender + 1,
+                match->client, match->distance, match->margin, ok ? "" : "   <-- WRONG");
+  }
+  std::printf("\n%d identified, %d abstained (harmless), %d wrong (harmful) of %d\n",
+              correct, abstain, wrong, kPackets);
+  std::printf("The aggressive threshold keeps 'wrong' at zero: a false positive would\n"
+              "apply another client's constructive filter and could LOWER its SNR.\n");
+  return 0;
+}

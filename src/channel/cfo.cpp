@@ -1,0 +1,36 @@
+#include "channel/cfo.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::channel {
+
+CfoRotator::CfoRotator(double cfo_hz, double sample_rate_hz, double initial_phase_rad)
+    : cfo_hz_(cfo_hz),
+      step_rad_(kTwoPi * cfo_hz / sample_rate_hz),
+      phase_(initial_phase_rad) {
+  FF_CHECK(sample_rate_hz > 0.0);
+}
+
+Complex CfoRotator::push(Complex x) {
+  const Complex rot{std::cos(phase_), std::sin(phase_)};
+  phase_ += step_rad_;
+  if (phase_ > kTwoPi) phase_ -= kTwoPi;
+  if (phase_ < -kTwoPi) phase_ += kTwoPi;
+  return x * rot;
+}
+
+CVec CfoRotator::process(CSpan x) {
+  CVec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
+  return out;
+}
+
+CVec apply_cfo(CSpan x, double cfo_hz, double sample_rate_hz, double initial_phase_rad) {
+  CfoRotator rot(cfo_hz, sample_rate_hz, initial_phase_rad);
+  return rot.process(x);
+}
+
+}  // namespace ff::channel

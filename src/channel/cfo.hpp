@@ -1,0 +1,41 @@
+// Carrier frequency offset application (oscillator mismatch between radios).
+//
+// Sec. 4.1: the relay must remove the source's CFO for its own processing but
+// restore it before retransmission, so the destination sees a single
+// consistent offset. These helpers rotate a sample stream by a frequency
+// offset with phase continuity across blocks.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ff::channel {
+
+/// Stateful CFO rotator: multiplies successive samples by e^{j 2 pi f n Ts},
+/// keeping phase across process() calls (a real oscillator doesn't reset).
+class CfoRotator {
+ public:
+  CfoRotator(double cfo_hz, double sample_rate_hz, double initial_phase_rad = 0.0);
+
+  double cfo_hz() const { return cfo_hz_; }
+
+  /// Rotate one sample.
+  Complex push(Complex x);
+
+  /// Rotate a block (stateful).
+  CVec process(CSpan x);
+
+  /// Current accumulated phase (radians).
+  double phase() const { return phase_; }
+
+  void reset(double initial_phase_rad = 0.0) { phase_ = initial_phase_rad; }
+
+ private:
+  double cfo_hz_;
+  double step_rad_;
+  double phase_;
+};
+
+/// One-shot: apply CFO `cfo_hz` to a block starting at phase 0.
+CVec apply_cfo(CSpan x, double cfo_hz, double sample_rate_hz, double initial_phase_rad = 0.0);
+
+}  // namespace ff::channel

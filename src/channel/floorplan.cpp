@@ -1,0 +1,155 @@
+#include "channel/floorplan.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "channel/pathloss.hpp"
+
+namespace ff::channel {
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+std::optional<Point> segment_intersection(const Point& p, const Point& q, const Point& a,
+                                          const Point& b) {
+  const double rx = q.x - p.x, ry = q.y - p.y;
+  const double sx = b.x - a.x, sy = b.y - a.y;
+  const double denom = rx * sy - ry * sx;
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel
+  const double qpx = a.x - p.x, qpy = a.y - p.y;
+  const double t = (qpx * sy - qpy * sx) / denom;  // along pq
+  const double u = (qpx * ry - qpy * rx) / denom;  // along ab
+  constexpr double eps = 1e-9;
+  if (t <= eps || t >= 1.0 - eps || u <= eps || u >= 1.0 - eps) return std::nullopt;
+  return Point{p.x + t * rx, p.y + t * ry};
+}
+
+Point mirror_across(const Point& p, const Wall& w) {
+  const double dx = w.b.x - w.a.x, dy = w.b.y - w.a.y;
+  const double len_sq = dx * dx + dy * dy;
+  FF_CHECK(len_sq > 1e-12);
+  const double t = ((p.x - w.a.x) * dx + (p.y - w.a.y) * dy) / len_sq;
+  const Point foot{w.a.x + t * dx, w.a.y + t * dy};
+  return Point{2.0 * foot.x - p.x, 2.0 * foot.y - p.y};
+}
+
+double FloorPlan::wall_loss_db(const Point& p, const Point& q) const {
+  double loss = 0.0;
+  for (const auto& w : walls_)
+    if (segment_intersection(p, q, w.a, w.b)) loss += w.loss_db;
+  return loss;
+}
+
+int FloorPlan::wall_crossings(const Point& p, const Point& q) const {
+  int n = 0;
+  for (const auto& w : walls_)
+    if (segment_intersection(p, q, w.a, w.b)) ++n;
+  return n;
+}
+
+std::vector<FloorPlan::Reflection> FloorPlan::first_order_reflections(const Point& tx,
+                                                                      const Point& rx) const {
+  std::vector<Reflection> out;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const Wall& w = walls_[i];
+    if (w.reflectivity <= 0.0) continue;
+    const Point image = mirror_across(tx, w);
+    const auto hit = segment_intersection(image, rx, w.a, w.b);
+    if (!hit) continue;
+    Reflection r;
+    r.path_length_m = distance(tx, *hit) + distance(*hit, rx);
+    r.reflectivity = w.reflectivity;
+    // Wall losses on both legs, excluding the reflecting wall itself.
+    double loss = 0.0;
+    for (std::size_t j = 0; j < walls_.size(); ++j) {
+      if (j == i) continue;
+      if (segment_intersection(tx, *hit, walls_[j].a, walls_[j].b)) loss += walls_[j].loss_db;
+      if (segment_intersection(*hit, rx, walls_[j].a, walls_[j].b)) loss += walls_[j].loss_db;
+    }
+    r.wall_loss_db = loss;
+    out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+
+void add_box(std::vector<Wall>& walls, double x0, double y0, double x1, double y1,
+             double loss, double refl) {
+  walls.push_back({{x0, y0}, {x1, y0}, loss, refl});
+  walls.push_back({{x1, y0}, {x1, y1}, loss, refl});
+  walls.push_back({{x1, y1}, {x0, y1}, loss, refl});
+  walls.push_back({{x0, y1}, {x0, y0}, loss, refl});
+}
+
+}  // namespace
+
+FloorPlan FloorPlan::paper_home() {
+  // 9 m wide x 6.5 m deep (~2000 sq ft footprint scaled to the Fig. 1 sketch).
+  // Living room spans the south side (AP at the south-west corner); two
+  // bedrooms across the north side; interior drywall with door gaps.
+  std::vector<Wall> walls;
+  add_box(walls, 0.0, 0.0, 9.0, 6.5, kBrickWallLossDb, 0.45);
+  // East-west interior wall separating living room from bedrooms, with a
+  // door gap between x = 4.2 and x = 5.2.
+  walls.push_back({{0.0, 3.4}, {4.2, 3.4}, kDrywallLossDb, 0.3});
+  walls.push_back({{5.2, 3.4}, {9.0, 3.4}, kDrywallLossDb, 0.3});
+  // North-south wall between the bedrooms, door gap at y in [3.4, 4.2].
+  walls.push_back({{4.7, 4.2}, {4.7, 6.5}, kDrywallLossDb, 0.3});
+  return FloorPlan("home", std::move(walls), 9.0, 6.5);
+}
+
+FloorPlan FloorPlan::open_office() {
+  std::vector<Wall> walls;
+  add_box(walls, 0.0, 0.0, 16.0, 11.0, kConcreteWallLossDb, 0.5);
+  // Two structural pillars modelled as small high-loss boxes.
+  add_box(walls, 6.0, 6.0, 6.6, 6.6, kConcreteWallLossDb, 0.4);
+  add_box(walls, 11.0, 7.0, 11.6, 7.6, kConcreteWallLossDb, 0.4);
+  // Cubicle partition rows (low loss each, but they stack up across the
+  // room and starve distant desks of both SNR and independent paths).
+  constexpr double kPartitionLossDb = 2.0;
+  walls.push_back({{2.0, 4.5}, {9.0, 4.5}, kPartitionLossDb, 0.15});
+  walls.push_back({{10.0, 4.5}, {14.5, 4.5}, kPartitionLossDb, 0.15});
+  walls.push_back({{2.0, 8.5}, {8.0, 8.5}, kPartitionLossDb, 0.15});
+  walls.push_back({{10.0, 8.5}, {14.5, 8.5}, kPartitionLossDb, 0.15});
+  walls.push_back({{9.0, 1.5}, {9.0, 5.5}, kPartitionLossDb, 0.15});
+  walls.push_back({{9.0, 7.0}, {9.0, 10.0}, kPartitionLossDb, 0.15});
+  return FloorPlan("open-office", std::move(walls), 16.0, 11.0);
+}
+
+FloorPlan FloorPlan::l_corridor() {
+  // A 2 m wide corridor running south then turning east, with rooms off it.
+  // Heavy interior walls make the corridor the only strong path: the RF
+  // pinhole of Sec. 1.
+  std::vector<Wall> walls;
+  add_box(walls, 0.0, 0.0, 14.0, 9.0, kBrickWallLossDb, 0.45);
+  // Corridor boundary walls: horizontal corridor y in [4,6] across the
+  // building, vertical leg x in [7,9] running north. Door gaps 1 m wide.
+  walls.push_back({{0.0, 4.0}, {3.0, 4.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{4.0, 4.0}, {10.5, 4.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{11.5, 4.0}, {14.0, 4.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{0.0, 6.0}, {7.0, 6.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{9.0, 6.0}, {14.0, 6.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{7.0, 6.0}, {7.0, 8.0}, kConcreteWallLossDb, 0.55});
+  walls.push_back({{9.0, 6.0}, {9.0, 9.0}, kConcreteWallLossDb, 0.55});
+  return FloorPlan("l-corridor", std::move(walls), 14.0, 9.0);
+}
+
+FloorPlan FloorPlan::two_wide_rooms() {
+  std::vector<Wall> walls;
+  add_box(walls, 0.0, 0.0, 15.0, 8.0, kBrickWallLossDb, 0.45);
+  // Heavy dividing wall with a single 1.2 m door.
+  walls.push_back({{7.5, 0.0}, {7.5, 3.5}, kConcreteWallLossDb, 0.5});
+  walls.push_back({{7.5, 4.7}, {7.5, 8.0}, kConcreteWallLossDb, 0.5});
+  // Furniture/shelving lines inside each room.
+  walls.push_back({{3.5, 2.0}, {3.5, 6.5}, 2.5, 0.2});
+  walls.push_back({{11.5, 1.5}, {11.5, 6.0}, 2.5, 0.2});
+  return FloorPlan("two-wide-rooms", std::move(walls), 15.0, 8.0);
+}
+
+std::vector<FloorPlan> FloorPlan::evaluation_set() {
+  return {paper_home(), open_office(), l_corridor(), two_wide_rooms()};
+}
+
+}  // namespace ff::channel

@@ -1,0 +1,88 @@
+// 2-D floor-plan geometry for indoor propagation.
+//
+// The paper evaluates in several indoor layouts: a ~2000 sq ft home (Fig. 1,
+// AP in the living-room corner, relay mid-home), an open office, an L-shaped
+// corridor, and wide rooms. A floor plan is a set of wall segments with
+// per-wall attenuation; rays accumulate the losses of every wall they cross,
+// and first-order specular reflections are generated with the image method.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ff::channel {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+struct Wall {
+  Point a, b;
+  double loss_db = 3.0;       // attenuation per traversal
+  double reflectivity = 0.3;  // amplitude reflection coefficient
+};
+
+/// Returns the intersection parameter of segment pq with segment ab, if the
+/// open segments properly intersect.
+std::optional<Point> segment_intersection(const Point& p, const Point& q, const Point& a,
+                                          const Point& b);
+
+/// Mirror point p across the infinite line through the wall.
+Point mirror_across(const Point& p, const Wall& w);
+
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+  FloorPlan(std::string name, std::vector<Wall> walls, double width_m, double height_m)
+      : name_(std::move(name)), walls_(std::move(walls)), width_(width_m), height_(height_m) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Wall>& walls() const { return walls_; }
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  /// Total wall attenuation (dB) along the straight ray from p to q.
+  double wall_loss_db(const Point& p, const Point& q) const;
+
+  /// Number of walls crossed on the straight ray from p to q.
+  int wall_crossings(const Point& p, const Point& q) const;
+
+  struct Reflection {
+    double path_length_m = 0.0;   // tx -> wall -> rx total length
+    double wall_loss_db = 0.0;    // attenuation of walls crossed on both legs
+    double reflectivity = 0.0;    // amplitude coefficient of the bounce
+  };
+
+  /// First-order specular reflections from tx to rx (image method): for each
+  /// wall whose mirror image of tx sees rx through the wall segment.
+  std::vector<Reflection> first_order_reflections(const Point& tx, const Point& rx) const;
+
+  // ---- canonical layouts used in the evaluation ----
+
+  /// The Fig. 1 home: 9 m x 6.5 m, living room + two bedrooms, interior
+  /// drywall, exterior brick.
+  static FloorPlan paper_home();
+
+  /// Open office: one big room, exterior walls only, a few pillars.
+  static FloorPlan open_office();
+
+  /// L-shaped corridor with rooms off it (the RF-pinhole generator).
+  static FloorPlan l_corridor();
+
+  /// Two large rooms separated by a heavy wall with a door gap.
+  static FloorPlan two_wide_rooms();
+
+  /// All four evaluation layouts.
+  static std::vector<FloorPlan> evaluation_set();
+
+ private:
+  std::string name_;
+  std::vector<Wall> walls_;
+  double width_ = 0.0, height_ = 0.0;
+};
+
+}  // namespace ff::channel

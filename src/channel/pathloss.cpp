@@ -1,0 +1,22 @@
+#include "channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::channel {
+
+double free_space_loss_db(double d_m, double f_hz) {
+  FF_CHECK(f_hz > 0.0);
+  const double d = std::max(d_m, 0.1);  // clamp inside the near field
+  return 20.0 * std::log10(4.0 * kPi * d * f_hz / kSpeedOfLight);
+}
+
+double log_distance_loss_db(double d_m, double f_hz, double exponent) {
+  const double d = std::max(d_m, 0.1);
+  return free_space_loss_db(1.0, f_hz) + 10.0 * exponent * std::log10(d);
+}
+
+}  // namespace ff::channel

@@ -1,0 +1,101 @@
+#include "channel/propagation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "channel/pathloss.hpp"
+
+namespace ff::channel {
+
+CVec ula_steering(std::size_t n, double theta_rad, double spacing_wavelengths) {
+  CVec v(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double phase = -kTwoPi * spacing_wavelengths * static_cast<double>(k) *
+                         std::sin(theta_rad);
+    v[k] = {std::cos(phase), std::sin(phase)};
+  }
+  return v;
+}
+
+IndoorPropagation::IndoorPropagation(FloorPlan plan, PropagationConfig cfg)
+    : plan_(std::move(plan)), cfg_(cfg) {}
+
+MimoChannel IndoorPropagation::link(const Point& tx, const Point& rx, std::size_t n_rx,
+                                    std::size_t n_tx, Rng& rng) const {
+  std::vector<MimoPath> paths;
+
+  const auto add_path = [&](double length_m, double loss_db, double angle_tx,
+                            double angle_rx, Complex extra_phase) {
+    const double amp = amplitude_from_db(-loss_db);
+    if (amp < cfg_.min_path_amp) return;
+    MimoPath p;
+    p.delay_s = length_m / kSpeedOfLight;
+    p.amp = amp * extra_phase;
+    p.tx_steering = ula_steering(n_tx, angle_tx + cfg_.angle_jitter_rad * rng.gaussian(),
+                                 cfg_.antenna_spacing_wavelengths);
+    p.rx_steering = ula_steering(n_rx, angle_rx + cfg_.angle_jitter_rad * rng.gaussian(),
+                                 cfg_.antenna_spacing_wavelengths);
+    paths.push_back(std::move(p));
+  };
+
+  const auto ray_loss = [&](double length_m) {
+    const double d_near = std::min(length_m, cfg_.path_loss_breakpoint_m);
+    double loss = log_distance_loss_db(d_near, cfg_.carrier_hz,
+                                       cfg_.path_loss_exponent_near) +
+                  cfg_.system_loss_db;
+    if (length_m > cfg_.path_loss_breakpoint_m)
+      loss += 10.0 * cfg_.path_loss_exponent_far *
+              std::log10(length_m / cfg_.path_loss_breakpoint_m);
+    return loss;
+  };
+
+  // Direct ray.
+  const double d = std::max(distance(tx, rx), 0.3);
+  const double los_angle = std::atan2(rx.y - tx.y, rx.x - tx.x);
+  const int crossings = plan_.wall_crossings(tx, rx);
+  const double direct_loss = ray_loss(d) + plan_.wall_loss_db(tx, rx) +
+                             cfg_.shadowing_sigma_db * rng.gaussian();
+  add_path(d, direct_loss, los_angle, los_angle + kPi, Complex{1.0, 0.0});
+
+  // Angular spread: the RF-pinhole effect (Sec. 1). An unobstructed link
+  // sees reflections arriving from all over the room; an obstructed link's
+  // energy funnels through doors/apertures, so every surviving path shares
+  // roughly the same bearing — which is exactly what collapses MIMO rank.
+  const double spread = crossings == 0 ? kPi / 2.0 : cfg_.keyhole_angle_spread_rad;
+
+  // First-order specular reflections. Angle approximation: use the geometric
+  // angle from each endpoint to the bounce point.
+  for (const auto& refl : plan_.first_order_reflections(tx, rx)) {
+    const double loss = ray_loss(refl.path_length_m) +
+                        refl.wall_loss_db - db_from_amplitude(refl.reflectivity) +
+                        0.5 * cfg_.shadowing_sigma_db * rng.gaussian();
+    const double angle_tx = los_angle + rng.uniform(-spread, spread);
+    const double angle_rx = los_angle + kPi + rng.uniform(-spread, spread);
+    add_path(refl.path_length_m, loss, angle_tx, angle_rx, rng.unit_phasor());
+  }
+
+  // Diffuse scatterers: late weak taps; their angles also collapse when the
+  // link is keyholed.
+  for (int s = 0; s < cfg_.diffuse_scatterers; ++s) {
+    const double extra_delay = -cfg_.diffuse_delay_spread_s * std::log(1.0 - rng.uniform());
+    const double extra_len = extra_delay * kSpeedOfLight;
+    const double loss = direct_loss - cfg_.diffuse_power_db + 3.0 * rng.gaussian() +
+                        ray_loss(d + extra_len) - ray_loss(d);
+    const double angle_tx = crossings == 0 ? rng.uniform(-kPi, kPi)
+                                           : los_angle + rng.uniform(-spread, spread);
+    const double angle_rx = crossings == 0
+                                ? rng.uniform(-kPi, kPi)
+                                : los_angle + kPi + rng.uniform(-spread, spread);
+    add_path(d + extra_len, loss, angle_tx, angle_rx, rng.unit_phasor());
+  }
+
+  return MimoChannel(n_rx, n_tx, std::move(paths), cfg_.carrier_hz);
+}
+
+MultipathChannel IndoorPropagation::siso_link(const Point& tx, const Point& rx,
+                                              Rng& rng) const {
+  return link(tx, rx, 1, 1, rng).subchannel(0, 0);
+}
+
+}  // namespace ff::channel

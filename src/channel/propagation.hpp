@@ -1,0 +1,70 @@
+// Indoor propagation model: floor-plan geometry -> MIMO multipath channels.
+//
+// This is the software stand-in for the paper's physical testbed (and for
+// the commercial ray-propagation software used for Fig. 1/2). For a TX/RX
+// placement it synthesizes:
+//   - the direct ray: free-space loss + per-wall attenuation + shadowing,
+//   - first-order specular wall reflections (image method),
+//   - a configurable sprinkle of diffuse scatterers (late, weak taps),
+// each with uniform-linear-array steering vectors derived from the ray's
+// departure/arrival angles, so MIMO rank emerges from geometry: locations
+// reached through a single door/corridor see one dominant angle and hence a
+// rank-deficient channel (the paper's pinhole effect).
+#pragma once
+
+#include "channel/floorplan.hpp"
+#include "channel/mimo.hpp"
+#include "common/rng.hpp"
+
+namespace ff::channel {
+
+struct PropagationConfig {
+  double carrier_hz = 2.45e9;
+  double antenna_spacing_wavelengths = 0.5;
+  /// Dual-slope indoor path loss: near free-space decay out to the
+  /// breakpoint, much faster beyond it (clutter, floor/furniture Fresnel
+  /// blockage); wall crossings add their losses on top. Together with
+  /// system_loss_db this calibrates the Fig. 1 home to the paper's regime:
+  /// ~25-30 dB near the AP, 10-15 dB mid-home, 0-6 dB at the edge
+  /// (20 dBm source, -90 dBm noise floor).
+  double path_loss_exponent_near = 2.0;
+  double path_loss_exponent_far = 3.6;
+  double path_loss_breakpoint_m = 4.0;
+  /// Fixed excess loss (device antennas, clutter, front-end) on every ray.
+  double system_loss_db = 40.0;
+  double shadowing_sigma_db = 2.5;
+  int diffuse_scatterers = 3;           // extra late weak taps per link
+  double diffuse_power_db = -18.0;      // mean power of a diffuse tap vs direct ray
+  double diffuse_delay_spread_s = 60e-9;  // exponential tail of extra delay
+  double angle_jitter_rad = 0.05;       // per-path steering angle perturbation
+  /// Angular spread of paths on obstructed (through-wall) links: the RF
+  /// pinhole collapses arrival bearings to a narrow cone, degrading rank.
+  double keyhole_angle_spread_rad = 0.12;
+  double min_path_amp = 1e-9;           // drop paths below -180 dB
+};
+
+class IndoorPropagation {
+ public:
+  IndoorPropagation(FloorPlan plan, PropagationConfig cfg = {});
+
+  const FloorPlan& plan() const { return plan_; }
+  const PropagationConfig& config() const { return cfg_; }
+
+  /// Synthesize the channel from `tx` (n_tx antennas) to `rx` (n_rx
+  /// antennas). Deterministic given the Rng state.
+  MimoChannel link(const Point& tx, const Point& rx, std::size_t n_rx, std::size_t n_tx,
+                   Rng& rng) const;
+
+  /// SISO convenience wrapper.
+  MultipathChannel siso_link(const Point& tx, const Point& rx, Rng& rng) const;
+
+ private:
+  FloorPlan plan_;
+  PropagationConfig cfg_;
+};
+
+/// Uniform-linear-array steering vector for `n` elements at arrival angle
+/// `theta` (radians off broadside), `spacing` in wavelengths.
+CVec ula_steering(std::size_t n, double theta_rad, double spacing_wavelengths);
+
+}  // namespace ff::channel

@@ -1,0 +1,34 @@
+// Lightweight contract checking (Core Guidelines I.6/I.8 style).
+// FF_CHECK is always on: the simulator prefers a crisp failure over silently
+// producing wrong physics.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ff::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "FF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ff::detail
+
+#define FF_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) ::ff::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FF_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream ff_os_;                                      \
+      ff_os_ << msg;                                                  \
+      ::ff::detail::check_failed(#expr, __FILE__, __LINE__, ff_os_.str()); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,58 @@
+// Deterministic random number generation. Every stochastic component in the
+// simulator draws from an Rng seeded explicitly by the experiment, so all
+// results are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hpp"
+
+namespace ff {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return uniform_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal.
+  double gaussian() { return normal_(engine_); }
+
+  /// Zero-mean circularly-symmetric complex Gaussian with E[|x|^2] = variance.
+  Complex cgaussian(double variance = 1.0) {
+    const double s = std::sqrt(variance / 2.0);
+    return {s * gaussian(), s * gaussian()};
+  }
+
+  /// Random phase point on the unit circle.
+  Complex unit_phasor() {
+    const double phi = uniform(0.0, 6.283185307179586);
+    return {std::cos(phi), std::sin(phi)};
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (stable given the same label).
+  Rng fork(std::uint64_t label) {
+    return Rng(engine_() ^ (label * 0x9E3779B97F4A7C15ULL));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace ff

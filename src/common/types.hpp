@@ -1,0 +1,28 @@
+// Fundamental scalar and buffer types shared by every FastForward module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ff {
+
+/// Complex baseband sample. Double precision throughout: the cancellation
+/// experiments measure residuals 110 dB below the signal, which is close to
+/// the float32 mantissa floor; double keeps numerical noise ~250 dB down.
+using Complex = std::complex<double>;
+
+/// A contiguous buffer of IQ samples.
+using CVec = std::vector<Complex>;
+
+/// Non-owning views used across module boundaries.
+using CSpan = std::span<const Complex>;
+using CMutSpan = std::span<Complex>;
+
+using RSpan = std::span<const double>;
+
+inline constexpr Complex kI{0.0, 1.0};
+
+}  // namespace ff

@@ -1,0 +1,83 @@
+#include "dsp/correlation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ff::dsp {
+
+CVec cross_correlate(CSpan x, CSpan ref) {
+  if (x.size() < ref.size() || ref.empty()) return {};
+  CVec out(x.size() - ref.size() + 1, Complex{});
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t k = 0; k < ref.size(); ++k) acc += std::conj(ref[k]) * x[n + k];
+    out[n] = acc;
+  }
+  return out;
+}
+
+std::vector<double> normalized_correlation(CSpan x, CSpan ref) {
+  if (x.size() < ref.size() || ref.empty()) return {};
+  double ref_energy = 0.0;
+  for (const Complex r : ref) ref_energy += std::norm(r);
+  const double ref_norm = std::sqrt(ref_energy);
+
+  std::vector<double> out(x.size() - ref.size() + 1, 0.0);
+  // Running window energy of x.
+  double win_energy = 0.0;
+  for (std::size_t k = 0; k < ref.size(); ++k) win_energy += std::norm(x[k]);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t k = 0; k < ref.size(); ++k) acc += std::conj(ref[k]) * x[n + k];
+    const double denom = ref_norm * std::sqrt(std::max(win_energy, 1e-30));
+    out[n] = std::abs(acc) / denom;
+    if (n + ref.size() < x.size())
+      win_energy += std::norm(x[n + ref.size()]) - std::norm(x[n]);
+  }
+  return out;
+}
+
+CVec autocorrelate(CSpan x, std::size_t max_lag) {
+  CVec out(max_lag + 1, Complex{});
+  for (std::size_t l = 0; l <= max_lag && l < x.size(); ++l) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t n = 0; n + l < x.size(); ++n) acc += std::conj(x[n]) * x[n + l];
+    out[l] = acc;
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const double> v) {
+  FF_CHECK(!v.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+double mean_power(CSpan x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Complex s : x) acc += std::norm(s);
+  return acc / static_cast<double>(x.size());
+}
+
+double mean_power_db(CSpan x) {
+  const double p = mean_power(x);
+  if (p <= 0.0) return -400.0;
+  return 10.0 * std::log10(p);
+}
+
+double evm_power_ratio(CSpan x, CSpan ref) {
+  FF_CHECK(x.size() == ref.size());
+  double err = 0.0, sig = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err += std::norm(x[i] - ref[i]);
+    sig += std::norm(ref[i]);
+  }
+  if (sig <= 0.0) return 0.0;
+  return err / sig;
+}
+
+}  // namespace ff::dsp

@@ -1,0 +1,107 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  FF_CHECK_MSG(is_power_of_two(n) && n >= 2, "FFT size must be a power of two >= 2, got " << n);
+  bitrev_.resize(n_);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n_) ++log2n;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    bitrev_[i] = r;
+  }
+  twiddle_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void FftPlan::transform(CMutSpan data, bool invert) const {
+  FF_CHECK(data.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (i < bitrev_[i]) std::swap(data[i], data[bitrev_[i]]);
+
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddle_[k * stride];
+        if (invert) w = std::conj(w);
+        const Complex u = data[start + k];
+        const Complex v = data[start + k + half] * w;
+        data[start + k] = u + v;
+        data[start + k + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(CMutSpan data) const { transform(data, /*invert=*/false); }
+
+void FftPlan::inverse(CMutSpan data) const {
+  transform(data, /*invert=*/true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& x : data) x *= scale;
+}
+
+CVec fft(CSpan x) {
+  CVec out(x.begin(), x.end());
+  FftPlan(out.size()).forward(out);
+  return out;
+}
+
+CVec ifft(CSpan x) {
+  CVec out(x.begin(), x.end());
+  FftPlan(out.size()).inverse(out);
+  return out;
+}
+
+CVec fftshift(CSpan x) {
+  CVec out(x.size());
+  const std::size_t h = (x.size() + 1) / 2;  // elements in the first half
+  for (std::size_t i = 0; i < x.size(); ++i) out[(i + x.size() - h) % x.size()] = x[i];
+  return out;
+}
+
+CVec ifftshift(CSpan x) {
+  CVec out(x.size());
+  const std::size_t h = x.size() / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) out[(i + x.size() - h) % x.size()] = x[i];
+  return out;
+}
+
+CVec fft_convolve(CSpan a, CSpan b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+  CVec fa(n), fb(n);
+  std::copy(a.begin(), a.end(), fa.begin());
+  std::copy(b.begin(), b.end(), fb.begin());
+  const FftPlan plan(n);
+  plan.forward(fa);
+  plan.forward(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  plan.inverse(fa);
+  fa.resize(out_len);
+  return fa;
+}
+
+}  // namespace ff::dsp

@@ -1,0 +1,54 @@
+// Iterative radix-2 FFT with a precomputed twiddle plan.
+//
+// The OFDM PHY performs thousands of 64-point transforms per packet and the
+// evaluation harness runs tens of thousands of packets, so the plan caches
+// bit-reversal indices and twiddle factors once per size.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace ff::dsp {
+
+/// FFT execution plan for a fixed power-of-two size.
+class FftPlan {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_n x[n] e^{-j 2pi k n / N}.
+  void forward(CMutSpan data) const;
+
+  /// In-place inverse DFT including the 1/N normalization.
+  void inverse(CMutSpan data) const;
+
+ private:
+  void transform(CMutSpan data, bool invert) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  CVec twiddle_;      // forward twiddles, n_/2 entries
+};
+
+/// One-shot convenience transforms (plan is built per call).
+CVec fft(CSpan x);
+CVec ifft(CSpan x);
+
+/// True if n is a power of two (and >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// Circular frequency shift helpers: reorder a spectrum between
+/// "DC-first" (natural FFT order) and "negative-frequencies-first" layouts.
+CVec fftshift(CSpan x);
+CVec ifftshift(CSpan x);
+
+/// Linear convolution of two sequences via zero-padded FFT.
+CVec fft_convolve(CSpan a, CSpan b);
+
+}  // namespace ff::dsp

@@ -1,0 +1,94 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::dsp {
+
+FirFilter::FirFilter(CVec taps) : taps_(std::move(taps)), delay_(taps_.size()) {
+  FF_CHECK_MSG(!taps_.empty(), "FIR filter needs at least one tap");
+}
+
+Complex FirFilter::push(Complex x) {
+  head_ = (head_ + delay_.size() - 1) % delay_.size();
+  delay_[head_] = x;
+  Complex acc{0.0, 0.0};
+  std::size_t idx = head_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * delay_[idx];
+    idx = (idx + 1) % delay_.size();
+  }
+  return acc;
+}
+
+CVec FirFilter::process(CSpan x) {
+  CVec out;
+  out.reserve(x.size());
+  for (const Complex s : x) out.push_back(push(s));
+  return out;
+}
+
+void FirFilter::reset() {
+  std::fill(delay_.begin(), delay_.end(), Complex{});
+  head_ = 0;
+}
+
+void FirFilter::set_taps(CVec taps) {
+  FF_CHECK(!taps.empty());
+  if (taps.size() != taps_.size()) {
+    delay_.assign(taps.size(), Complex{});
+    head_ = 0;
+  }
+  taps_ = std::move(taps);
+}
+
+CVec convolve(CSpan x, CSpan h) {
+  if (x.empty() || h.empty()) return {};
+  CVec y(x.size() + h.size() - 1, Complex{});
+  for (std::size_t n = 0; n < x.size(); ++n)
+    for (std::size_t k = 0; k < h.size(); ++k) y[n + k] += x[n] * h[k];
+  return y;
+}
+
+CVec filter(CSpan h, CSpan x) {
+  CVec y(x.size(), Complex{});
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    Complex acc{0.0, 0.0};
+    const std::size_t kmax = std::min(h.size() - 1, n);
+    for (std::size_t k = 0; k <= kmax; ++k) acc += h[k] * x[n - k];
+    y[n] = acc;
+  }
+  return y;
+}
+
+CVec design_lowpass(std::size_t taps, double cutoff_norm) {
+  FF_CHECK(taps >= 3);
+  FF_CHECK(cutoff_norm > 0.0 && cutoff_norm <= 0.5);
+  CVec h(taps);
+  const double centre = static_cast<double>(taps - 1) / 2.0;
+  double dc = 0.0;
+  for (std::size_t n = 0; n < taps; ++n) {
+    const double t = static_cast<double>(n) - centre;
+    const double s = std::abs(t) < 1e-12
+                         ? 2.0 * cutoff_norm
+                         : std::sin(kTwoPi * cutoff_norm * t) / (kPi * t);
+    const double w = 0.54 + 0.46 * std::cos(kPi * t / (centre + 1.0));
+    h[n] = Complex{s * w, 0.0};
+    dc += h[n].real();
+  }
+  for (auto& v : h) v /= dc;  // unit DC gain
+  return h;
+}
+
+Complex freq_response(CSpan taps, double f_norm) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t k = 0; k < taps.size(); ++k) {
+    const double ang = -kTwoPi * f_norm * static_cast<double>(k);
+    acc += taps[k] * Complex{std::cos(ang), std::sin(ang)};
+  }
+  return acc;
+}
+
+}  // namespace ff::dsp

@@ -1,0 +1,58 @@
+// FIR filtering: a streaming sample-by-sample filter (used by the relay
+// pipeline, where causality and per-sample latency matter) and block helpers.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace ff::dsp {
+
+/// Streaming causal FIR filter.
+///
+/// y[n] = sum_k h[k] x[n-k].  The filter owns a circular delay line; each
+/// push() consumes one input sample and produces one output sample with zero
+/// look-ahead, matching hardware tap-line semantics.
+class FirFilter {
+ public:
+  explicit FirFilter(CVec taps);
+
+  /// Feed one input sample, get the filter output at this instant.
+  Complex push(Complex x);
+
+  /// Filter a whole block (stateful: continues from previous pushes).
+  CVec process(CSpan x);
+
+  /// Reset the delay line to zeros (taps are kept).
+  void reset();
+
+  /// Replace the taps. The delay line is resized and cleared if the tap
+  /// count changed, preserved otherwise (live retuning, as in the canceller).
+  void set_taps(CVec taps);
+
+  const CVec& taps() const { return taps_; }
+  std::size_t order() const { return taps_.size(); }
+
+ private:
+  CVec taps_;
+  CVec delay_;        // circular buffer of past inputs
+  std::size_t head_ = 0;  // index of the most recent sample
+};
+
+/// Stateless linear convolution (output length = x.size() + h.size() - 1).
+CVec convolve(CSpan x, CSpan h);
+
+/// Stateless "same-length" causal filtering: y[n] = sum_k h[k] x[n-k],
+/// zero initial conditions, output trimmed to x.size().
+CVec filter(CSpan h, CSpan x);
+
+/// Frequency response of a sample-spaced FIR at normalized frequency
+/// `f_norm` in cycles/sample (i.e. H(e^{j 2 pi f_norm})).
+Complex freq_response(CSpan taps, double f_norm);
+
+/// Linear-phase low-pass design (Hamming-windowed sinc): `taps` coefficients
+/// with cutoff `cutoff_norm` (cycles/sample, 0 < cutoff <= 0.5), unit DC
+/// gain, group delay (taps-1)/2 samples. Odd tap counts give integer delay.
+CVec design_lowpass(std::size_t taps, double cutoff_norm);
+
+}  // namespace ff::dsp

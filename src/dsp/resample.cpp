@@ -1,0 +1,51 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+
+namespace ff::dsp {
+
+CVec resample_kernel(std::size_t factor, std::size_t half_width) {
+  FF_CHECK(factor >= 1);
+  const auto span = static_cast<long>(half_width * factor);
+  CVec taps;
+  taps.reserve(static_cast<std::size_t>(2 * span + 1));
+  for (long m = -span; m <= span; ++m) {
+    const double x = static_cast<double>(m) / static_cast<double>(factor);
+    const double s = std::abs(x) < 1e-12 ? 1.0 : std::sin(kPi * x) / (kPi * x);
+    const double w =
+        0.54 + 0.46 * std::cos(kPi * static_cast<double>(m) / (static_cast<double>(span) + 1.0));
+    taps.push_back(Complex{s * w, 0.0});
+  }
+  return taps;
+}
+
+std::size_t resample_group_delay(std::size_t factor, std::size_t half_width) {
+  return half_width * factor;
+}
+
+CVec upsample(CSpan x, std::size_t factor, std::size_t half_width) {
+  FF_CHECK(factor >= 1);
+  if (factor == 1) return CVec(x.begin(), x.end());
+  CVec stuffed(x.size() * factor, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) stuffed[i * factor] = x[i];
+  const CVec kernel = resample_kernel(factor, half_width);
+  CVec out = filter(kernel, stuffed);  // passband gain 1 after zero-stuffing
+  return out;
+}
+
+CVec downsample(CSpan x, std::size_t factor, std::size_t half_width) {
+  FF_CHECK(factor >= 1);
+  if (factor == 1) return CVec(x.begin(), x.end());
+  const CVec kernel = resample_kernel(factor, half_width);
+  CVec filtered = filter(kernel, x);
+  CVec out(x.size() / factor);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = filtered[i * factor] / static_cast<double>(factor);
+  return out;
+}
+
+}  // namespace ff::dsp

@@ -1,0 +1,53 @@
+#include "dsp/sequence.hpp"
+
+#include "common/check.hpp"
+
+namespace ff::dsp {
+
+Lfsr::Lfsr(std::uint32_t taps, unsigned degree, std::uint32_t seed)
+    : taps_(taps), degree_(degree), state_(seed & ((1u << degree) - 1u)) {
+  FF_CHECK_MSG(degree >= 2 && degree <= 31, "LFSR degree out of range");
+  FF_CHECK_MSG(state_ != 0, "LFSR seed must be nonzero");
+}
+
+Lfsr Lfsr::scrambler(std::uint32_t seed) { return Lfsr(0x48, 7, seed); }  // x^7+x^4+1
+
+Lfsr Lfsr::signature(std::uint32_t seed) { return Lfsr(0x6000, 15, seed); }  // x^15+x^14+1
+
+int Lfsr::next_bit() {
+  // Output the MSB; feedback is the XOR of tapped stages.
+  const int out = static_cast<int>((state_ >> (degree_ - 1)) & 1u);
+  unsigned fb = 0;
+  std::uint32_t t = taps_;
+  while (t) {
+    const unsigned bit = static_cast<unsigned>(__builtin_ctz(t));
+    fb ^= (state_ >> bit) & 1u;
+    t &= t - 1;
+  }
+  state_ = ((state_ << 1) | fb) & ((1u << degree_) - 1u);
+  return out;
+}
+
+std::vector<std::uint8_t> Lfsr::bits(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(next_bit());
+  return out;
+}
+
+CVec bpsk_map(std::span<const std::uint8_t> bits) {
+  CVec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    out[i] = bits[i] ? Complex{-1.0, 0.0} : Complex{1.0, 0.0};
+  return out;
+}
+
+CVec pn_signature(std::uint32_t client_id, std::size_t length) {
+  // Distinct seeds far apart in the LFSR state space keep cross-correlation
+  // between client signatures near 1/sqrt(length).
+  auto lfsr = Lfsr::signature(0x1234u + client_id * 0x2817u + 1u);
+  // Burn a client-dependent offset so even adjacent seeds decorrelate.
+  for (std::uint32_t i = 0; i < client_id * 37u % 1024u; ++i) lfsr.next_bit();
+  return bpsk_map(lfsr.bits(length));
+}
+
+}  // namespace ff::dsp

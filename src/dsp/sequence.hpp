@@ -1,0 +1,52 @@
+// Pseudo-random sequence generation.
+//
+// Sec. 6 of the paper prepends a per-client PN signature (4 us, repeated
+// twice) to downlink packets so the relay can pick the right constructive
+// filter before the PHY header arrives. We generate those signatures from
+// maximal-length LFSRs (distinct seeds/offsets per client) so different
+// clients' signatures have low cross-correlation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ff::dsp {
+
+/// Maximal-length LFSR over GF(2).
+///
+/// Default polynomial x^7 + x^4 + 1 (the 802.11 scrambler polynomial,
+/// period 127); degree-15 taps are also provided for longer signatures.
+class Lfsr {
+ public:
+  /// `taps` is the feedback mask (bit i set => x^{i+1} term), `degree` the
+  /// register length in bits. `seed` must be nonzero in the low `degree` bits.
+  Lfsr(std::uint32_t taps, unsigned degree, std::uint32_t seed);
+
+  /// Standard 802.11 scrambler LFSR (x^7 + x^4 + 1).
+  static Lfsr scrambler(std::uint32_t seed = 0x7F);
+
+  /// Long-period LFSR for signatures (x^15 + x^14 + 1).
+  static Lfsr signature(std::uint32_t seed);
+
+  /// Next output bit.
+  int next_bit();
+
+  /// Next `n` bits packed as 0/1 bytes.
+  std::vector<std::uint8_t> bits(std::size_t n);
+
+ private:
+  std::uint32_t taps_;
+  unsigned degree_;
+  std::uint32_t state_;
+};
+
+/// BPSK-map a bit sequence to unit-power complex samples (+1/-1).
+CVec bpsk_map(std::span<const std::uint8_t> bits);
+
+/// Per-client PN signature of `length` samples: distinct clients get
+/// signatures with low cross-correlation. Deterministic in `client_id`.
+CVec pn_signature(std::uint32_t client_id, std::size_t length);
+
+}  // namespace ff::dsp

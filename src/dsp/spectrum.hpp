@@ -1,0 +1,37 @@
+// Power spectral density estimation (Welch's method) and band-power
+// utilities.
+//
+// The relay transmits whatever its filter chain produces: the CNF
+// pre-filter fit deliberately trades some out-of-band gain for in-band
+// phase freedom (see relay/digital_prefilter.cpp), and a real deployment
+// must keep that within the regulatory spectral mask. These tools measure
+// it in the simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace ff::dsp {
+
+struct WelchConfig {
+  std::size_t segment = 256;   // FFT size per segment (power of two)
+  std::size_t overlap = 128;   // samples shared by adjacent segments
+};
+
+/// Welch PSD estimate. Returns `segment` bins of power per bin (linear,
+/// same power units as |x|^2), in natural FFT order (DC first). The sum of
+/// all bins equals the mean signal power.
+std::vector<double> welch_psd(CSpan x, const WelchConfig& cfg = {});
+
+/// Total power in a baseband frequency band [f_lo, f_hi] (Hz) of a PSD
+/// computed at the given sample rate.
+double band_power(const std::vector<double>& psd, double sample_rate_hz, double f_lo_hz,
+                  double f_hi_hz);
+
+/// Ratio (dB) of power outside [-bw/2, +bw/2] to power inside it — the
+/// out-of-band emission figure a spectral mask constrains.
+double oob_power_ratio_db(CSpan x, double sample_rate_hz, double occupied_bw_hz,
+                          const WelchConfig& cfg = {});
+
+}  // namespace ff::dsp

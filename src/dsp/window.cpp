@@ -1,0 +1,55 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  FF_CHECK(n >= 2);
+  std::vector<double> w(n);
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;  // 0..1
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) + 0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+      case WindowType::kBlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(kTwoPi * x) + 0.14128 * std::cos(2.0 * kTwoPi * x) -
+               0.01168 * std::cos(3.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& w) {
+  FF_CHECK(!w.empty());
+  double acc = 0.0;
+  for (const double v : w) acc += v;
+  return acc / static_cast<double>(w.size());
+}
+
+double enbw_bins(const std::vector<double>& w) {
+  FF_CHECK(!w.empty());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : w) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  return static_cast<double>(w.size()) * sum_sq / (sum * sum);
+}
+
+}  // namespace ff::dsp

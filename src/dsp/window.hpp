@@ -1,0 +1,20 @@
+// Window functions for spectral analysis and FIR design.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ff::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman, kBlackmanHarris };
+
+/// Generate a length-n window (symmetric form).
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Coherent gain: mean of the window (amplitude scaling of a windowed tone).
+double coherent_gain(const std::vector<double>& w);
+
+/// Equivalent noise bandwidth in bins: n * sum(w^2) / sum(w)^2.
+double enbw_bins(const std::vector<double>& w);
+
+}  // namespace ff::dsp

@@ -1,0 +1,50 @@
+// Multi-scenario experiment runner: places clients across every evaluation
+// floor plan, computes all schemes' throughput, and carries the diagnostics
+// needed by each figure's bench binary.
+#pragma once
+
+#include <string>
+
+#include "eval/schemes.hpp"
+#include "eval/testbed.hpp"
+
+namespace ff::eval {
+
+enum class LinkCategory {
+  kLowSnrLowRank,    // coverage edge (Fig. 15a)
+  kMediumSnrLowRank, // pinhole victims (Fig. 15b)
+  kHighSnrHighRank,  // near the AP (Fig. 15c)
+  kOther,
+};
+
+std::string to_string(LinkCategory c);
+
+/// Fig. 15 categorization from AP-only diagnostics.
+LinkCategory categorize(double baseline_snr_db, std::size_t baseline_streams,
+                        std::size_t max_streams);
+
+struct LocationResult {
+  std::string plan;
+  channel::Point client;
+  SchemeResult schemes;
+  LinkCategory category = LinkCategory::kOther;
+};
+
+struct ExperimentConfig {
+  TestbedConfig testbed{};
+  std::size_t clients_per_plan = 40;
+  std::uint64_t seed = 1;
+  bool evaluate_af = false;
+};
+
+/// Run the full evaluation across FloorPlan::evaluation_set().
+std::vector<LocationResult> run_experiment(const ExperimentConfig& cfg);
+
+/// Default relay design options for a testbed (fills the subcarrier grid).
+relay::DesignOptions default_design_options(const TestbedConfig& cfg);
+
+/// Extract one scheme's throughputs from results.
+std::vector<double> extract(const std::vector<LocationResult>& results,
+                            double SchemeResult::*field);
+
+}  // namespace ff::eval

@@ -1,0 +1,33 @@
+#include "eval/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ff::eval {
+
+std::string render_heatmap(const channel::FloorPlan& plan,
+                           const std::function<double(double, double)>& f,
+                           const HeatmapConfig& cfg) {
+  FF_CHECK(cfg.step_m > 0.0 && cfg.max_value > cfg.min_value);
+  static constexpr char kShades[] = " .:-=+*%@#";
+  constexpr int kLevels = 10;
+
+  std::ostringstream os;
+  for (double y = plan.height() - cfg.step_m / 2.0; y > 0.0; y -= cfg.step_m) {
+    for (double x = cfg.step_m / 2.0; x < plan.width(); x += cfg.step_m) {
+      const double v = f(x, y);
+      const double t = (v - cfg.min_value) / (cfg.max_value - cfg.min_value);
+      const int level = std::clamp(static_cast<int>(t * kLevels), 0, kLevels - 1);
+      os << kShades[level];
+    }
+    os << '\n';
+  }
+  os << "scale: '" << kShades[0] << "' <= " << cfg.min_value << "  ...  '"
+     << kShades[kLevels - 1] << "' >= " << cfg.max_value << '\n';
+  return os.str();
+}
+
+}  // namespace ff::eval

@@ -1,0 +1,25 @@
+// ASCII heatmaps over a floor-plan grid (Figs. 1 and 2 of the paper:
+// SNR and MIMO-stream maps with and without the FF relay).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "channel/floorplan.hpp"
+
+namespace ff::eval {
+
+struct HeatmapConfig {
+  double step_m = 0.5;       // grid resolution
+  double min_value = 0.0;    // colour-scale bottom
+  double max_value = 30.0;   // colour-scale top
+};
+
+/// Render f(x, y) over the plan as an ASCII-shaded grid (one char per cell,
+/// dark '.' -> bright '#'), with a legend. Origin is the plan's south-west
+/// corner; rows print north-to-south like the paper's figures.
+std::string render_heatmap(const channel::FloorPlan& plan,
+                           const std::function<double(double, double)>& f,
+                           const HeatmapConfig& cfg);
+
+}  // namespace ff::eval

@@ -1,0 +1,68 @@
+// Sample-level 2x2 MIMO end-to-end link with the FF relay in the loop —
+// the paper's actual prototype configuration (Sec. 4.3/5).
+//
+// The relay realizes the per-subcarrier unitary CNF matrix as K x K scalar
+// forward chains (the prototype's four analog CNF boards): entry (j, i) is
+// its own digital pre-filter + analog rotator, fitted by the Sec. 3.4
+// split. The destination runs the full MIMO receiver (HT-LTF channel
+// estimation + per-subcarrier MMSE), so MIMO rank expansion — the paper's
+// second gain mechanism — can be observed on real decoded packets.
+#pragma once
+
+#include "channel/mimo.hpp"
+#include "common/rng.hpp"
+#include "eval/testbed.hpp"
+#include "phy/mimo_frame.hpp"
+#include "relay/pipeline.hpp"
+
+namespace ff::eval {
+
+struct MimoTdLink {
+  channel::MimoChannel sd;  // AP -> client      (N x M)
+  channel::MimoChannel sr;  // AP -> relay       (K x M)
+  channel::MimoChannel rd;  // relay -> client   (N x K)
+  double source_power_dbm = 20.0;
+  double dest_noise_dbm = -90.0;
+  double relay_noise_dbm = -90.0;
+  double source_cfo_hz = 0.0;
+};
+
+/// Build a 2x2 link from a placement.
+MimoTdLink build_mimo_td_link(const Placement& placement, const channel::Point& client,
+                              const TestbedConfig& cfg, Rng& rng);
+
+/// The relay's K x K bank of forward chains, designed from the link's
+/// channels (including the converter chain delay) via the MIMO CNF
+/// optimization and per-entry splits.
+struct MimoRelayBank {
+  std::vector<relay::PipelineConfig> chains;  // row-major K x K: out j, in i
+  std::size_t k = 0;
+  double max_delay_s = 0.0;
+
+  /// Run the bank over per-antenna receive streams.
+  std::vector<CVec> process(const std::vector<CVec>& rx) const;
+};
+
+MimoRelayBank make_mimo_relay_bank(const MimoTdLink& link, const phy::OfdmParams& params,
+                                   double extra_latency_s = 0.0);
+
+struct MimoTdResult {
+  bool decoded = false;
+  bool crc_ok = false;
+  std::vector<bool> stream_crc_ok;
+  std::vector<double> stream_snr_db;
+  double sum_rate_mbps = 0.0;  // sum over streams of rate_from_snr
+};
+
+struct MimoTdOptions {
+  phy::OfdmParams params{};
+  int mcs_index = 2;
+  std::size_t payload_bits_per_stream = 300;
+  bool use_relay = true;
+  MimoRelayBank bank{};
+};
+
+/// Transmit one 2-stream packet and decode at the client.
+MimoTdResult run_mimo_td_packet(const MimoTdLink& link, const MimoTdOptions& opts, Rng& rng);
+
+}  // namespace ff::eval

@@ -1,0 +1,51 @@
+#include "eval/schemes.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace ff::eval {
+
+phy::MimoRate ap_only_rate(const relay::RelayLink& link) {
+  return phy::mimo_throughput_mbps(link.h_sd, power_from_db(link.source_power_dbm),
+                                   power_from_db(link.dest_noise_dbm));
+}
+
+double hd_two_hop_mbps(const relay::RelayLink& link, double mesh_power_dbm) {
+  // Hop 1: AP -> mesh router (the router sits where the relay sits).
+  const auto hop1 = phy::mimo_throughput_mbps(
+      link.h_sr, power_from_db(link.source_power_dbm), power_from_db(link.relay_noise_dbm));
+  // Hop 2: mesh router -> client.
+  const auto hop2 = phy::mimo_throughput_mbps(
+      link.h_rd, power_from_db(mesh_power_dbm), power_from_db(link.dest_noise_dbm));
+  // Perfect alternate-slot scheduling: each packet consumes two slots.
+  return 0.5 * std::min(hop1.throughput_mbps, hop2.throughput_mbps);
+}
+
+phy::MimoRate relayed_rate(const relay::RelayLink& link, const relay::RelayDesign& design) {
+  return phy::mimo_throughput_mbps(design.h_eff, power_from_db(link.source_power_dbm),
+                                   power_from_db(link.dest_noise_dbm),
+                                   design.relay_noise_mw);
+}
+
+SchemeResult evaluate_location(const relay::RelayLink& link, const SchemeOptions& opts) {
+  SchemeResult r;
+
+  const phy::MimoRate direct = ap_only_rate(link);
+  r.ap_only_mbps = direct.throughput_mbps;
+  r.baseline_snr_db = direct.effective_snr_db;
+  r.baseline_streams = direct.streams;
+
+  r.hd_mesh_mbps = std::max(direct.throughput_mbps, hd_two_hop_mbps(link));
+
+  const relay::RelayDesign ff = relay::design_ff_relay(link, opts.design);
+  r.ff_mbps = relayed_rate(link, ff).throughput_mbps;
+
+  if (opts.evaluate_af) {
+    const relay::RelayDesign af = relay::design_af_relay(link, opts.design);
+    r.af_mbps = relayed_rate(link, af).throughput_mbps;
+  }
+  return r;
+}
+
+}  // namespace ff::eval

@@ -1,0 +1,46 @@
+// Per-location PHY throughput of every compared scheme (Sec. 5):
+//   AP only            — direct link, ideal rate selection.
+//   AP + HD mesh       — decode-and-forward router at the relay position,
+//                        perfectly scheduled alternating slots; the AP picks
+//                        max(direct, two-hop/2).
+//   AP + FF relay      — construct-and-forward full duplex (this paper).
+//   AP + AF relay      — blind amplify-and-forward repeater (Sec. 5.5).
+#pragma once
+
+#include "eval/testbed.hpp"
+#include "phy/mcs.hpp"
+#include "relay/design.hpp"
+
+namespace ff::eval {
+
+struct SchemeResult {
+  double ap_only_mbps = 0.0;
+  double hd_mesh_mbps = 0.0;
+  double ff_mbps = 0.0;
+  double af_mbps = 0.0;
+  // Baseline (AP-only) link diagnostics used for Fig. 15's categorization.
+  double baseline_snr_db = 0.0;     // effective SNR of the strongest stream
+  std::size_t baseline_streams = 0; // spatial streams the AP-only link uses
+};
+
+struct SchemeOptions {
+  bool evaluate_af = false;                 // AF needs its own design pass
+  relay::DesignOptions design{};            // filled with the f-grid by caller
+};
+
+/// Throughput of the direct link only.
+phy::MimoRate ap_only_rate(const relay::RelayLink& link);
+
+/// Throughput of the half-duplex decode-and-forward mesh path:
+/// 0.5 * min(R(source->mesh), R(mesh->client)), where the mesh transmits at
+/// the same power as the AP. The caller takes max with the direct rate.
+double hd_two_hop_mbps(const relay::RelayLink& link, double mesh_power_dbm = 20.0);
+
+/// Throughput with a designed relay (FF or AF): the effective channel plus
+/// the relay-injected noise.
+phy::MimoRate relayed_rate(const relay::RelayLink& link, const relay::RelayDesign& design);
+
+/// Evaluate every scheme at one location.
+SchemeResult evaluate_location(const relay::RelayLink& link, const SchemeOptions& opts);
+
+}  // namespace ff::eval

@@ -1,0 +1,61 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ff::eval {
+
+double percentile(std::vector<double> values, double p) {
+  FF_CHECK(!values.empty());
+  FF_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+double mean(const std::vector<double>& values) {
+  FF_CHECK(!values.empty());
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+std::vector<CdfPoint> make_cdf(std::vector<double> values) {
+  FF_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[i] = {values[i],
+              static_cast<double>(i + 1) / static_cast<double>(values.size())};
+  return out;
+}
+
+std::vector<CdfPoint> resample_cdf(const std::vector<CdfPoint>& cdf, std::size_t n) {
+  FF_CHECK(!cdf.empty() && n >= 2);
+  std::vector<CdfPoint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = static_cast<double>(i + 1) / static_cast<double>(n);
+    // First CDF entry with prob >= p.
+    std::size_t j = 0;
+    while (j + 1 < cdf.size() && cdf[j].prob < p) ++j;
+    out.push_back({cdf[j].value, p});
+  }
+  return out;
+}
+
+std::vector<double> ratios(const std::vector<double>& a, const std::vector<double>& b) {
+  FF_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = b[i] > 0.0 ? a[i] / b[i] : 0.0;
+  return out;
+}
+
+}  // namespace ff::eval

@@ -1,0 +1,28 @@
+// Summary statistics and CDF helpers for the evaluation harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ff::eval {
+
+/// p-th percentile (p in [0, 100]) by linear interpolation; input copied.
+double percentile(std::vector<double> values, double p);
+
+double median(std::vector<double> values);
+double mean(const std::vector<double>& values);
+
+/// CDF sampled at the values themselves: sorted (value, cumulative prob).
+struct CdfPoint {
+  double value = 0.0;
+  double prob = 0.0;
+};
+std::vector<CdfPoint> make_cdf(std::vector<double> values);
+
+/// Downsample a CDF to ~n evenly spaced probability points for printing.
+std::vector<CdfPoint> resample_cdf(const std::vector<CdfPoint>& cdf, std::size_t n);
+
+/// Element-wise ratio a/b (0 when b == 0), used for relative-gain metrics.
+std::vector<double> ratios(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ff::eval

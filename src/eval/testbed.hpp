@@ -1,0 +1,49 @@
+// Testbed scenario generation: floor plans -> device placements ->
+// per-subcarrier channel state, mirroring the paper's indoor experiments
+// (Sec. 5: open office, L-corridor, wide rooms, and the Fig. 1 home; AP and
+// relay fixed, clients placed across the space).
+#pragma once
+
+#include "channel/floorplan.hpp"
+#include "channel/propagation.hpp"
+#include "common/rng.hpp"
+#include "phy/params.hpp"
+#include "relay/design.hpp"
+
+namespace ff::eval {
+
+struct TestbedConfig {
+  std::size_t antennas = 2;            // per device (1 => SISO experiments)
+  double ap_power_dbm = 20.0;
+  double noise_floor_dbm = -90.0;
+  double relay_noise_dbm = -90.0;
+  double cancellation_db = 110.0;      // what the relay's SIC stack achieves
+  /// Bulk processing delay of the relay chain (ADC + DAC, Sec. 4.3). Folded
+  /// into the relay->destination responses as a linear phase ramp so the
+  /// CNF design must genuinely fight it, exactly as the hardware does.
+  double relay_chain_delay_s = 50e-9;
+  phy::OfdmParams ofdm{};
+  channel::PropagationConfig prop{};
+};
+
+struct Placement {
+  channel::FloorPlan plan;
+  channel::Point ap;
+  channel::Point relay;
+};
+
+/// Canonical AP/relay placement for a floor plan: AP near one corner (like
+/// Fig. 1's living-room AP), relay near the centre of the space.
+Placement make_placement(const channel::FloorPlan& plan);
+
+/// Uniformly random client location inside the plan (margin from walls).
+channel::Point random_client_location(const channel::FloorPlan& plan, Rng& rng);
+
+/// Grid of client locations for heatmaps.
+std::vector<channel::Point> grid_locations(const channel::FloorPlan& plan, double step_m);
+
+/// Build the per-subcarrier three-link channel state for one client.
+relay::RelayLink build_link(const Placement& placement, const channel::Point& client,
+                            const TestbedConfig& cfg, Rng& rng);
+
+}  // namespace ff::eval

@@ -1,0 +1,62 @@
+// Sample-level end-to-end link simulation: source -> {direct path, relay
+// forward path} -> destination, with real packet decoding at the client.
+//
+// The frequency-domain evaluator (schemes.hpp) is valid only while every
+// relayed component lands inside the OFDM cyclic prefix — the paper's own
+// premise. This simulator makes no such assumption: it convolves the actual
+// sample streams with the channels, runs the relay's forward pipeline at the
+// configured processing latency, and decodes at the client. It is what the
+// Fig. 16 latency sweep and the CFO-restore ablation run on.
+#pragma once
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "eval/testbed.hpp"
+#include "phy/frame.hpp"
+#include "relay/pipeline.hpp"
+
+namespace ff::eval {
+
+struct TimeDomainLink {
+  channel::MultipathChannel sd;  // source -> destination
+  channel::MultipathChannel sr;  // source -> relay
+  channel::MultipathChannel rd;  // relay -> destination
+  double source_power_dbm = 20.0;
+  double dest_noise_dbm = -90.0;
+  double relay_noise_dbm = -90.0;
+  double source_cfo_hz = 0.0;    // source oscillator offset vs destination
+};
+
+/// Build a SISO time-domain link from a testbed placement.
+TimeDomainLink build_td_link(const Placement& placement, const channel::Point& client,
+                             const TestbedConfig& cfg, Rng& rng);
+
+struct TdRunResult {
+  bool decoded = false;       // preamble found and SIGNAL parsed
+  bool crc_ok = false;
+  double snr_db = 0.0;        // EVM-derived SINR at the client
+  double throughput_mbps = 0.0;  // rate_from_snr on the measured SINR
+  double relay_extra_delay_s = 0.0;  // relayed-path delay beyond the direct path
+};
+
+struct TdRunOptions {
+  phy::OfdmParams params{};      // numerology (default: the WiFi 20 MHz PHY)
+  int mcs_index = 3;             // probing MCS for the EVM measurement
+  std::size_t payload_bits = 600;
+  bool use_relay = true;
+  /// Forward-pipeline settings (gain is decided by the caller; the CNF
+  /// filter/rotation come from the frequency-domain design).
+  relay::PipelineConfig pipeline{};
+};
+
+/// Transmit one packet over the link and decode at the destination.
+TdRunResult run_td_packet(const TimeDomainLink& link, const TdRunOptions& opts, Rng& rng);
+
+/// Convenience: configure the pipeline with the FF design for this link
+/// (CNF split + noise-aware amplification + CFO estimate), with
+/// `extra_latency_s` of artificial buffering (the Fig. 16 knob).
+relay::PipelineConfig make_ff_pipeline(const TimeDomainLink& link,
+                                       const phy::OfdmParams& params,
+                                       double extra_latency_s, bool restore_cfo = true);
+
+}  // namespace ff::eval

@@ -1,0 +1,37 @@
+#include "fullduplex/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+
+namespace ff::fd {
+
+CVec adc_quantize(CSpan x, const AdcConfig& cfg) {
+  FF_CHECK(cfg.bits >= 2 && cfg.bits <= 24);
+  const double rms = std::sqrt(std::max(dsp::mean_power(x), 1e-300));
+  const double full_scale = rms * amplitude_from_db(cfg.backoff_db);
+  const double levels = std::pow(2.0, cfg.bits - 1) - 1.0;  // per rail, signed
+  const double step = full_scale / levels;
+
+  CVec out(x.size());
+  const auto rail = [&](double v) {
+    const double clipped = std::clamp(v, -full_scale, full_scale);
+    return std::round(clipped / step) * step;
+  };
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = Complex{rail(x[i].real()), rail(x[i].imag())};
+  return out;
+}
+
+double adc_noise_floor_db(const AdcConfig& cfg) {
+  // Quantization noise per rail: step^2 / 12; two rails. Input power is the
+  // RMS^2 reference the AGC used.
+  const double levels = std::pow(2.0, cfg.bits - 1) - 1.0;
+  const double step_rel = amplitude_from_db(cfg.backoff_db) / levels;  // vs RMS
+  return db_from_power(2.0 * step_rel * step_rel / 12.0);
+}
+
+}  // namespace ff::fd

@@ -1,0 +1,28 @@
+// ADC model: clipping plus uniform quantization.
+//
+// This is why the ANALOG cancellation stage exists at all (Sec. 3.3): the
+// digital canceller can only subtract what the ADC faithfully captured. If
+// self-interference reaches the converter at high power, the AGC must scale
+// the full range to fit it, and the desired signal (and the residual the
+// digital stage needs to model) drowns in quantization noise. Analog
+// cancellation buys back that dynamic range before digitization.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ff::fd {
+
+struct AdcConfig {
+  int bits = 12;               // effective bits per I/Q rail (WARP-class)
+  double backoff_db = 12.0;    // AGC headroom between RMS input and clipping
+};
+
+/// Digitize a stream: AGC sets full scale from the input RMS plus backoff,
+/// then each rail is clipped and uniformly quantized to `bits`.
+CVec adc_quantize(CSpan x, const AdcConfig& cfg = {});
+
+/// Quantization-noise floor of the model (dB below the input power) for a
+/// given configuration — the ceiling any later cancellation can reach.
+double adc_noise_floor_db(const AdcConfig& cfg);
+
+}  // namespace ff::fd

@@ -1,0 +1,115 @@
+#include "fullduplex/digital_canceller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "dsp/correlation.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ff::fd {
+
+CVec estimate_fir_ls(CSpan x, CSpan y, std::size_t taps, std::size_t lookahead,
+                     double ridge) {
+  FF_CHECK(x.size() == y.size());
+  FF_CHECK(taps > 0);
+  FF_CHECK(lookahead < taps);
+  FF_CHECK_MSG(x.size() > 2 * taps, "not enough samples to fit " << taps << " taps");
+
+  // Row n uses x[n + lookahead - k] for k in [0, taps).
+  const std::size_t first = taps;  // ensure full history
+  const std::size_t last = x.size() - lookahead;
+  const std::size_t rows = last - first;
+  linalg::Matrix a(rows, taps), b(rows, 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t n = first + r;
+    for (std::size_t k = 0; k < taps; ++k) a(r, k) = x[n + lookahead - k];
+    b(r, 0) = y[n];
+  }
+  const linalg::Matrix h = linalg::least_squares(a, b, ridge);
+  CVec out(taps);
+  for (std::size_t k = 0; k < taps; ++k) out[k] = h(k, 0);
+  return out;
+}
+
+CVec estimate_fir_ls_fast(CSpan x, CSpan y, std::size_t taps, std::size_t lookahead,
+                          double ridge) {
+  FF_CHECK(x.size() == y.size());
+  FF_CHECK(taps > 0 && lookahead < taps);
+  FF_CHECK_MSG(x.size() > 2 * taps, "not enough samples to fit " << taps << " taps");
+
+  const std::size_t first = taps;
+  const std::size_t last = x.size() - lookahead;
+
+  // Exact covariance-method Gram matrix in O(N*taps + taps^2): compute the
+  // first row exactly, then use the shift recurrence
+  //   G[i+1][j+1] = G[i][j] + boundary corrections.
+  linalg::Matrix g(taps, taps), b(taps, 1);
+  for (std::size_t j = 0; j < taps; ++j) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t n = first; n < last; ++n)
+      acc += std::conj(x[n + lookahead]) * x[n + lookahead - j];
+    g(0, j) = acc;
+  }
+  for (std::size_t i = 0; i + 1 < taps; ++i) {
+    // First entry of the next row comes from Hermitian symmetry with row 0
+    // (needed by the recurrence below when it reads g(i, 0)).
+    g(i + 1, 0) = std::conj(g(0, i + 1));
+    for (std::size_t j = 0; j + 1 < taps; ++j) {
+      // Shifting both filters back one sample swaps in the sample before the
+      // window and drops the last one.
+      const Complex add = std::conj(x[first - 1 + lookahead - i]) * x[first - 1 + lookahead - j];
+      const Complex sub = std::conj(x[last - 1 + lookahead - i]) * x[last - 1 + lookahead - j];
+      g(i + 1, j + 1) = g(i, j) + add - sub;
+    }
+  }
+
+  CVec cross(taps, Complex{});
+  for (std::size_t k = 0; k < taps; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t n = first; n < last; ++n) acc += std::conj(x[n + lookahead - k]) * y[n];
+    cross[k] = acc;
+  }
+  const double scale = std::max(std::abs(g(0, 0)), 1.0);
+  for (std::size_t i = 0; i < taps; ++i) {
+    g(i, i) += ridge * scale;
+    b(i, 0) = cross[i];
+  }
+  const linalg::Matrix h = linalg::solve(g, b);
+  CVec out(taps);
+  for (std::size_t k = 0; k < taps; ++k) out[k] = h(k, 0);
+  return out;
+}
+
+DigitalCanceller::DigitalCanceller(DigitalCancellerConfig cfg) : cfg_(cfg) {}
+
+void DigitalCanceller::train(CSpan tx, CSpan residual) {
+  taps_ = estimate_fir_ls_fast(tx, residual, cfg_.taps, cfg_.lookahead, cfg_.ridge);
+}
+
+CVec DigitalCanceller::cancel(CSpan tx, CSpan rx) const {
+  FF_CHECK(trained());
+  FF_CHECK(tx.size() == rx.size());
+  CVec out(rx.size());
+  for (std::size_t n = 0; n < rx.size(); ++n) {
+    Complex est{0.0, 0.0};
+    for (std::size_t k = 0; k < taps_.size(); ++k) {
+      const std::size_t idx = n + cfg_.lookahead;
+      if (idx < k) break;                      // before the stream started
+      const std::size_t m = idx - k;
+      if (m >= tx.size()) continue;            // beyond the stream (flush)
+      est += taps_[k] * tx[m];
+    }
+    out[n] = rx[n] - est;
+  }
+  return out;
+}
+
+double cancellation_db(CSpan before, CSpan after) {
+  const double pb = dsp::mean_power(before);
+  const double pa = dsp::mean_power(after);
+  if (pa <= 0.0) return 400.0;
+  if (pb <= 0.0) return 0.0;
+  return 10.0 * std::log10(pb / pa);
+}
+
+}  // namespace ff::fd

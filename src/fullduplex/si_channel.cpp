@@ -1,0 +1,29 @@
+#include "fullduplex/si_channel.hpp"
+
+#include "common/units.hpp"
+
+namespace ff::fd {
+
+channel::MultipathChannel make_si_channel(Rng& rng, const SiChannelConfig& cfg) {
+  std::vector<channel::PathTap> taps;
+  // Circulator leakage: the dominant tap.
+  taps.push_back({cfg.leakage_delay_s,
+                  amplitude_from_db(-cfg.circulator_isolation_db) * rng.unit_phasor()});
+  // Environment reflections.
+  for (int i = 0; i < cfg.reflections; ++i) {
+    const double level_db =
+        rng.uniform(cfg.reflection_min_db, cfg.reflection_max_db);
+    const double delay = cfg.leakage_delay_s +
+                         rng.uniform(5e-9, cfg.reflection_max_delay_s);
+    taps.push_back({delay, amplitude_from_db(-level_db) * rng.unit_phasor()});
+  }
+  return channel::MultipathChannel(std::move(taps), cfg.carrier_hz);
+}
+
+CVec si_loop_fir(const channel::MultipathChannel& ch, double sample_rate_hz,
+                 std::size_t sinc_half_width) {
+  const double align_s = static_cast<double>(kSiAlignSamples) / sample_rate_hz;
+  return ch.to_fir(sample_rate_hz, -align_s, sinc_half_width);
+}
+
+}  // namespace ff::fd

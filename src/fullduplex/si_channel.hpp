@@ -1,0 +1,42 @@
+// Self-interference channel model for a full-duplex relay.
+//
+// The relay's own transmission leaks into its receiver through (a) the
+// circulator's finite isolation (a strong, near-instantaneous tap) and
+// (b) environment reflections of the transmitted signal re-entering the
+// antenna (weaker taps spread over tens of ns). This is the channel family
+// the paper's 8-tap analog cancellation board (Sec. 4.3) was built against.
+//
+// Discretization note: all SI-loop filters (channel and cancellers) are
+// discretized against a shared alignment delay so the sub-sample (ps-scale)
+// tap structure survives sampling; the alignment is common to both sides of
+// the subtraction, so it does not bias the achievable cancellation, and it
+// is not part of the relay's forward-path latency.
+#pragma once
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+
+namespace ff::fd {
+
+struct SiChannelConfig {
+  double carrier_hz = 2.45e9;
+  double circulator_isolation_db = 20.0;  // leakage tap level below TX
+  double leakage_delay_s = 1.0e-9;        // through the circulator
+  int reflections = 3;                    // environment bounce-backs
+  double reflection_min_db = 70.0;        // below TX
+  double reflection_max_db = 85.0;
+  double reflection_max_delay_s = 80e-9;
+};
+
+/// Draw a self-interference channel realization.
+channel::MultipathChannel make_si_channel(Rng& rng, const SiChannelConfig& cfg = {});
+
+/// Common alignment delay (in samples) used when discretizing SI-loop
+/// filters; keeps sinc interpolation kernels causal.
+inline constexpr std::size_t kSiAlignSamples = 6;
+
+/// Discretize a SI-loop filter on the shared alignment grid.
+CVec si_loop_fir(const channel::MultipathChannel& ch, double sample_rate_hz,
+                 std::size_t sinc_half_width = 6);
+
+}  // namespace ff::fd

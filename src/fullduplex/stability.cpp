@@ -1,0 +1,62 @@
+#include "fullduplex/stability.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fir.hpp"
+
+namespace ff::fd {
+
+double loop_isolation_db(CSpan residual_fir, double sample_rate_hz, double bandwidth_hz) {
+  FF_CHECK(!residual_fir.empty());
+  double peak = 0.0;
+  const int n_grid = 201;
+  for (int i = 0; i < n_grid; ++i) {
+    const double f = -bandwidth_hz / 2.0 +
+                     bandwidth_hz * static_cast<double>(i) / static_cast<double>(n_grid - 1);
+    peak = std::max(peak, std::abs(dsp::freq_response(residual_fir, f / sample_rate_hz)));
+  }
+  if (peak <= 0.0) return 400.0;
+  return -db_from_amplitude(peak);
+}
+
+double LoopSimResult::growth_db() const {
+  if (diverged) return 400.0;
+  if (early_tx_power <= 0.0 || late_tx_power <= 0.0) return 0.0;
+  return db_from_power(late_tx_power / early_tx_power);
+}
+
+LoopSimResult simulate_relay_loop(CSpan input, CSpan residual_fir, double gain_db,
+                                  std::size_t delay_samples) {
+  FF_CHECK(delay_samples >= 1);
+  const double gain = amplitude_from_db(gain_db);
+  const std::size_t n = input.size();
+  LoopSimResult result;
+  result.tx.assign(n, Complex{});
+  result.input_power = dsp::mean_power(input);
+
+  CVec rx(n, Complex{});
+  constexpr double kOverflow = 1e18;
+  for (std::size_t t = 0; t < n; ++t) {
+    Complex si{0.0, 0.0};
+    for (std::size_t k = 0; k < residual_fir.size() && k <= t; ++k)
+      si += residual_fir[k] * result.tx[t - k];
+    rx[t] = input[t] + si;
+    if (t >= delay_samples) result.tx[t] = gain * rx[t - delay_samples];
+    if (std::norm(result.tx[t]) > kOverflow) {
+      result.diverged = true;
+      // Freeze the remainder at the overflow level to keep stats finite.
+      for (std::size_t u = t; u < n; ++u) result.tx[u] = result.tx[t];
+      break;
+    }
+  }
+
+  const std::size_t q = n / 4;
+  result.early_tx_power = dsp::mean_power(CSpan(result.tx).subspan(delay_samples, q));
+  result.late_tx_power = dsp::mean_power(CSpan(result.tx).subspan(n - q, q));
+  return result;
+}
+
+}  // namespace ff::fd

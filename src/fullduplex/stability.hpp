@@ -1,0 +1,39 @@
+// Positive-feedback stability of an amplify-and-forward full-duplex relay
+// (Fig. 7 of the paper): if the relay's amplification exceeds its TX->RX
+// isolation, leftover self-interference is re-amplified every pass around
+// the loop and the output diverges.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ff::fd {
+
+/// Isolation (dB) provided by a residual self-interference loop filter:
+/// the negative peak gain of its frequency response over the given band.
+/// Amplification below this value keeps the loop stable.
+double loop_isolation_db(CSpan residual_fir, double sample_rate_hz, double bandwidth_hz);
+
+struct LoopSimResult {
+  CVec tx;                     // what the relay transmitted
+  double input_power = 0.0;    // mean power of the injected signal
+  double early_tx_power = 0.0; // relay TX power over the first quarter
+  double late_tx_power = 0.0;  // relay TX power over the last quarter
+  bool diverged = false;       // numerical overflow guard tripped
+
+  /// Growth of the loop in dB between the early and late windows; ~0 for a
+  /// stable loop, large and positive for an unstable one.
+  double growth_db() const;
+};
+
+/// Time-domain simulation of the relay loop:
+///   rx[n]      = input[n] + sum_k h_res[k] tx[n-k]
+///   tx[n]      = A * rx[n - d]
+/// with `h_res` the residual (post-cancellation) SI loop filter, amplitude
+/// gain `A` = 10^(gain_db/20) and processing delay `d` >= 1 samples.
+/// The k = 0 term of `residual_fir` would form an algebraic (zero-delay)
+/// loop on the sample grid and is treated as zero; residual filters on the
+/// SI alignment grid have only sinc leakage there.
+LoopSimResult simulate_relay_loop(CSpan input, CSpan residual_fir, double gain_db,
+                                  std::size_t delay_samples = 2);
+
+}  // namespace ff::fd

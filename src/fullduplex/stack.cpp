@@ -1,0 +1,66 @@
+#include "fullduplex/stack.hpp"
+
+#include "common/check.hpp"
+#include "dsp/fir.hpp"
+
+namespace ff::fd {
+
+StackConfig::StackConfig() {
+  // Default grid: the 56 HT20 subcarrier frequencies.
+  f_grid_hz.reserve(56);
+  for (int k = -28; k <= 28; ++k) {
+    if (k == 0) continue;
+    f_grid_hz.push_back(static_cast<double>(k) * 20e6 / 64.0);
+  }
+}
+
+CancellationStack::CancellationStack(StackConfig cfg)
+    : cfg_(std::move(cfg)), analog_(cfg_.analog), digital_(cfg_.digital) {}
+
+void CancellationStack::tune(CSpan tx, CSpan probe, CSpan rx) {
+  FF_CHECK(tx.size() == rx.size() && probe.size() == rx.size());
+
+  // Stage 1 — analog. Bootstrap the SI estimate from the Gaussian probe
+  // (regressing against the probe only avoids the correlated-relay-signal
+  // bias, Sec. 3.3), then refine by causal regression of the residual on
+  // the full transmitted stream: causality excludes the source path (the
+  // source reaches tx only after the relay's processing delay), so the
+  // refinement is unbiased — the same argument that makes the causal
+  // digital canceller safe.
+  CVec si_fir = estimate_si_fir_probe(probe, rx, cfg_.probe.est_taps);
+  {
+    const CVec recon = dsp::filter(si_fir, tx);
+    CVec residual(rx.size());
+    for (std::size_t i = 0; i < rx.size(); ++i) residual[i] = rx[i] - recon[i];
+    const CVec delta =
+        estimate_fir_ls_fast(tx, residual, cfg_.probe.est_taps, 0, 1e-12);
+    for (std::size_t k = 0; k < si_fir.size(); ++k) si_fir[k] += delta[k];
+  }
+  const CVec si_resp = fir_response_on_grid(si_fir, cfg_.f_grid_hz, cfg_.sample_rate_hz);
+  analog_.tune(si_resp, cfg_.f_grid_hz);
+  analog_fir_ =
+      si_loop_fir(analog_.as_channel(), cfg_.sample_rate_hz, cfg_.sinc_half_width);
+
+  // Stage 2 — digital, trained on the analog residual. Causality of the
+  // filter is what keeps it from eating the (earlier-in-time) source signal.
+  const CVec after_analog = apply_analog_only(tx, rx);
+  digital_.train(tx, after_analog);
+  tuned_ = true;
+}
+
+CVec CancellationStack::apply_analog_only(CSpan tx, CSpan rx) const {
+  FF_CHECK(tx.size() == rx.size());
+  FF_CHECK(!analog_fir_.empty());
+  const CVec reconstruction = dsp::filter(analog_fir_, tx);
+  CVec out(rx.size());
+  for (std::size_t i = 0; i < rx.size(); ++i) out[i] = rx[i] - reconstruction[i];
+  return out;
+}
+
+CVec CancellationStack::apply(CSpan tx, CSpan rx) const {
+  FF_CHECK(tuned_);
+  const CVec after_analog = apply_analog_only(tx, rx);
+  return digital_.cancel(tx, after_analog);
+}
+
+}  // namespace ff::fd

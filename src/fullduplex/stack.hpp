@@ -1,0 +1,61 @@
+// The complete two-stage cancellation stack of an FF relay: tunable analog
+// FIR board + causal digital canceller, tuned with the Gaussian-probe
+// procedure of Sec. 3.3.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fullduplex/analog_canceller.hpp"
+#include "fullduplex/digital_canceller.hpp"
+#include "fullduplex/si_channel.hpp"
+#include "fullduplex/tuner.hpp"
+
+namespace ff::fd {
+
+struct StackConfig {
+  AnalogCancellerConfig analog{};
+  DigitalCancellerConfig digital{};
+  ProbeConfig probe{};
+  double sample_rate_hz = 20e6;
+  std::size_t sinc_half_width = 6;
+  /// Baseband frequency grid for analog tuning (filled from OFDM subcarriers
+  /// by callers; defaults to 56 HT20 tones).
+  std::vector<double> f_grid_hz;
+
+  StackConfig();
+};
+
+class CancellationStack {
+ public:
+  explicit CancellationStack(StackConfig cfg = {});
+
+  const StackConfig& config() const { return cfg_; }
+  const AnalogCanceller& analog() const { return analog_; }
+  const DigitalCanceller& digital() const { return digital_; }
+  bool tuned() const { return tuned_; }
+
+  /// Tune both stages from a training record. `tx` is everything the relay
+  /// transmitted (signal + probe), `probe` the known injected noise within
+  /// it, `rx` the received stream (source signal + self-interference +
+  /// thermal noise).
+  void tune(CSpan tx, CSpan probe, CSpan rx);
+
+  /// Apply both stages to a fresh record. Adds digital().added_delay
+  /// samples of receive-path delay if the digital stage is non-causal.
+  CVec apply(CSpan tx, CSpan rx) const;
+
+  /// Apply only the analog stage.
+  CVec apply_analog_only(CSpan tx, CSpan rx) const;
+
+  /// Discretized FIR of the tuned analog canceller on the SI alignment grid.
+  const CVec& analog_fir() const { return analog_fir_; }
+
+ private:
+  StackConfig cfg_;
+  AnalogCanceller analog_;
+  DigitalCanceller digital_;
+  CVec analog_fir_;
+  bool tuned_ = false;
+};
+
+}  // namespace ff::fd

@@ -1,0 +1,37 @@
+#include "ident/pn_detector.hpp"
+
+#include "common/check.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/sequence.hpp"
+
+namespace ff::ident {
+
+void PnSignatureDetector::register_client(std::uint32_t client, CVec signature) {
+  FF_CHECK(!signature.empty());
+  signatures_[client] = std::move(signature);
+}
+
+void PnSignatureDetector::register_client(std::uint32_t client, std::size_t signature_len) {
+  register_client(client, dsp::pn_signature(client, signature_len));
+}
+
+std::optional<PnDetection> PnSignatureDetector::detect(CSpan samples) const {
+  std::optional<PnDetection> best;
+  for (const auto& [client, sig] : signatures_) {
+    if (samples.size() < 2 * sig.size()) continue;
+    const auto corr = dsp::normalized_correlation(samples, sig);
+    // Both halves of the repeated signature must match at the same offset.
+    for (std::size_t n = 0; n + sig.size() < corr.size(); ++n) {
+      const double first = corr[n];
+      if (first < threshold_) continue;
+      const double second = corr[n + sig.size()];
+      if (second < threshold_) continue;
+      const double peak = std::min(first, second);
+      if (!best || peak > best->peak) best = PnDetection{client, n, peak};
+      break;  // earliest qualifying offset per client
+    }
+  }
+  return best;
+}
+
+}  // namespace ff::ident

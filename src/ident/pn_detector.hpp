@@ -1,0 +1,50 @@
+// Downlink source/destination identification (Sec. 6, Fig. 19/20).
+//
+// The AP prepends a per-client pseudo-random signature (4 us, repeated
+// twice) to every downlink packet. The relay continuously correlates its
+// receive stream against every associated client's signature; on a match it
+// switches in that client's constructive filter before the standard WiFi
+// preamble even begins — which is essential, because the destination
+// estimates its channel from the PHY preamble, so the filter must already
+// be in place by then.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace ff::ident {
+
+struct PnDetection {
+  std::uint32_t client = 0;
+  std::size_t offset = 0;      // sample index where the signature starts
+  double peak = 0.0;           // normalized correlation in [0, 1]
+};
+
+class PnSignatureDetector {
+ public:
+  /// `threshold`: minimum normalized correlation to accept a match.
+  explicit PnSignatureDetector(double threshold = 0.6) : threshold_(threshold) {}
+
+  /// Register a client's signature (the relay learns these on the fly as the
+  /// AP transmits; registration models that learned state).
+  void register_client(std::uint32_t client, CVec signature);
+
+  /// Register the standard signature for `client` with the given length.
+  void register_client(std::uint32_t client, std::size_t signature_len);
+
+  std::size_t known_clients() const { return signatures_.size(); }
+
+  /// Scan a receive stream; returns the best match above threshold, if any.
+  /// Detection requires BOTH halves of the repeated signature to match
+  /// (the repetition is the AP's guard against random correlation spikes).
+  std::optional<PnDetection> detect(CSpan samples) const;
+
+ private:
+  double threshold_;
+  std::map<std::uint32_t, CVec> signatures_;
+};
+
+}  // namespace ff::ident

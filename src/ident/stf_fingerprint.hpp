@@ -1,0 +1,75 @@
+// Uplink sender identification by channel fingerprinting (Sec. 6, Fig. 20/21).
+//
+// Clients cannot be modified, so there is no PN signature on the uplink. But
+// the destination is always the AP, and every WiFi packet starts with the
+// same known STF — which arrives at the relay transformed by the client->
+// relay channel. The relay already tracks that channel for every client, so
+// it identifies the sender by matching the received STF's channel imprint
+// against its per-client database: a minimum-distance search with phase
+// compensation (timing/oscillator phase is not reproducible packet to
+// packet, so only the channel's *shape* is matched).
+//
+// Thresholds: a false negative (no match) is harmless — the relay stays
+// silent and the network behaves as stock WiFi. A false positive (wrong
+// client) applies the wrong filter and can hurt SNR, so FF runs an
+// "aggressive" (strict) threshold: near-zero false positives at the cost of
+// ~5% false negatives (Fig. 21).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+#include "phy/params.hpp"
+
+namespace ff::ident {
+
+/// Channel imprint on the STF's occupied subcarriers.
+CVec stf_channel_imprint(CSpan stf_rx, const phy::OfdmParams& params);
+
+struct FingerprintConfig {
+  /// Maximum normalized distance (0 = identical shape, 1 = orthogonal) for a
+  /// match. The "aggressive" setting of the paper.
+  double max_distance = 0.10;
+  /// The best match must beat the runner-up by at least this distance
+  /// margin, or the decision is too ambiguous and the relay abstains.
+  double min_margin = 0.05;
+};
+
+FingerprintConfig aggressive_config();
+FingerprintConfig passive_config();
+
+struct FingerprintMatch {
+  std::uint32_t client = 0;
+  double distance = 0.0;
+  double margin = 0.0;
+};
+
+class StfFingerprinter {
+ public:
+  StfFingerprinter(phy::OfdmParams params, FingerprintConfig cfg = aggressive_config());
+
+  /// Store/update a client's channel imprint (from packets whose identity
+  /// was established, e.g. poll responses).
+  void enroll(std::uint32_t client, CVec imprint);
+
+  /// Enroll from a received STF.
+  void enroll_from_stf(std::uint32_t client, CSpan stf_rx);
+
+  std::size_t known_clients() const { return database_.size(); }
+
+  /// Identify the sender of a packet from its received STF. nullopt = no
+  /// confident match (false negative by design when ambiguous).
+  std::optional<FingerprintMatch> identify(CSpan stf_rx) const;
+
+  /// Phase-compensated normalized distance between two imprints, in [0, 1].
+  static double distance(CSpan a, CSpan b);
+
+ private:
+  phy::OfdmParams params_;
+  FingerprintConfig cfg_;
+  std::map<std::uint32_t, CVec> database_;
+};
+
+}  // namespace ff::ident

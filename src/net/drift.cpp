@@ -1,0 +1,42 @@
+#include "net/drift.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ff::net {
+
+DriftingChannel::DriftingChannel(channel::MultipathChannel initial, double coherence_time_s)
+    : initial_(initial), current_(std::move(initial)), coherence_time_s_(coherence_time_s) {
+  FF_CHECK(coherence_time_s_ > 0.0);
+}
+
+void DriftingChannel::advance(double dt_s, Rng& rng) {
+  FF_CHECK(dt_s >= 0.0);
+  if (dt_s == 0.0 || current_.empty()) return;
+  const double rho = std::exp(-dt_s / coherence_time_s_);
+  const double innovation = std::sqrt(std::max(1.0 - rho * rho, 0.0));
+  std::vector<channel::PathTap> taps = current_.taps();
+  const auto& init_taps = initial_.taps();
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const double sigma = std::abs(init_taps[i].amp);
+    taps[i].amp = rho * taps[i].amp + innovation * sigma * rng.cgaussian(1.0);
+  }
+  current_ = channel::MultipathChannel(std::move(taps), current_.carrier_hz());
+}
+
+double DriftingChannel::correlation_with_initial() const {
+  Complex acc{0.0, 0.0};
+  double pa = 0.0, pb = 0.0;
+  const auto& a = current_.taps();
+  const auto& b = initial_.taps();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::conj(a[i].amp) * b[i].amp;
+    pa += std::norm(a[i].amp);
+    pb += std::norm(b[i].amp);
+  }
+  if (pa <= 0.0 || pb <= 0.0) return 0.0;
+  return std::abs(acc) / std::sqrt(pa * pb);
+}
+
+}  // namespace ff::net

@@ -1,0 +1,38 @@
+// Temporal channel dynamics for the system-level simulator.
+//
+// The relay's channel knowledge ages: Sec. 4.2 refreshes it via the AP's
+// 50 ms sounding cadence precisely because indoor channels drift (people
+// move, doors open). Each propagation path's complex amplitude evolves as a
+// stationary AR(1) process with the configured coherence time, so a filter
+// designed from t-old estimates mis-rotates by an amount that grows with
+// staleness — the effect the sounding interval has to outrun.
+#pragma once
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+
+namespace ff::net {
+
+class DriftingChannel {
+ public:
+  DriftingChannel() = default;
+  DriftingChannel(channel::MultipathChannel initial, double coherence_time_s);
+
+  /// Advance time by dt: every tap amplitude takes an AR(1) step
+  ///   a <- rho a + sqrt(1 - rho^2) a0 w,  rho = exp(-dt / Tc),
+  /// which keeps the per-tap power stationary at its initial value.
+  void advance(double dt_s, Rng& rng);
+
+  /// The channel as it is right now.
+  const channel::MultipathChannel& now() const { return current_; }
+
+  /// Correlation with the initial state (diagnostic).
+  double correlation_with_initial() const;
+
+ private:
+  channel::MultipathChannel initial_;
+  channel::MultipathChannel current_;
+  double coherence_time_s_ = 0.5;
+};
+
+}  // namespace ff::net

@@ -1,0 +1,269 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/sequence.hpp"
+#include "phy/frame.hpp"
+#include "phy/mcs.hpp"
+#include "phy/preamble.hpp"
+#include "relay/cnf_design.hpp"
+#include "relay/design.hpp"
+
+namespace ff::net {
+
+namespace {
+
+/// Per-subcarrier responses of a channel, with the relay chain's delay ramp
+/// folded into relay->destination legs when requested.
+CVec responses(const channel::MultipathChannel& ch, const std::vector<double>& freqs,
+               double chain_delay_s = 0.0) {
+  CVec out(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    out[i] = ch.response(freqs[i]);
+    if (chain_delay_s > 0.0) {
+      const double ang = -kTwoPi * freqs[i] * chain_delay_s;
+      out[i] *= Complex{std::cos(ang), std::sin(ang)};
+    }
+  }
+  return out;
+}
+
+/// Snooped/estimated CSI: the true response plus estimation noise.
+CVec estimate(const CVec& truth, double csi_noise_db, Rng& rng) {
+  CVec out = truth;
+  double p = dsp::mean_power(out);
+  for (auto& h : out) h += rng.cgaussian(p * power_from_db(csi_noise_db));
+  return out;
+}
+
+/// SISO ideal-PHY rate for per-subcarrier responses.
+double direct_rate_mbps(const CVec& h, double tx_dbm, double noise_dbm) {
+  return phy::siso_throughput_mbps(h, power_from_db(tx_dbm), power_from_db(noise_dbm));
+}
+
+/// Build a SISO RelayLink from response vectors.
+relay::RelayLink make_link(const CVec& h_sd, const CVec& h_sr, const CVec& h_rd,
+                           const eval::TestbedConfig& tb) {
+  relay::RelayLink link;
+  for (std::size_t i = 0; i < h_sd.size(); ++i) {
+    link.h_sd.push_back(linalg::Matrix{{h_sd[i]}});
+    link.h_sr.push_back(linalg::Matrix{{h_sr[i]}});
+    link.h_rd.push_back(linalg::Matrix{{h_rd[i]}});
+  }
+  link.source_power_dbm = tb.ap_power_dbm;
+  link.dest_noise_dbm = tb.noise_floor_dbm;
+  link.relay_noise_dbm = tb.relay_noise_dbm;
+  link.cancellation_db = tb.cancellation_db;
+  return link;
+}
+
+/// Rate when the relay forwards with a (possibly stale) design, evaluated
+/// against the TRUE channels.
+double relayed_rate_true(const relay::RelayDesign& design, const CVec& h_sd_true,
+                         const CVec& h_sr_true, const CVec& h_rd_true,
+                         const eval::TestbedConfig& tb) {
+  const double a = design.amp_linear_eff;
+  const double n_floor = power_from_db(tb.noise_floor_dbm);
+  const double n_relay =
+      power_from_db(tb.relay_noise_dbm) +
+      power_from_db(tb.ap_power_dbm - tb.cancellation_db);  // thermal + SI residual
+  const double tx = power_from_db(tb.ap_power_dbm);
+
+  std::vector<double> snr_db(h_sd_true.size());
+  for (std::size_t i = 0; i < h_sd_true.size(); ++i) {
+    const Complex f = design.filter[i](0, 0);
+    const Complex h_eff = h_sd_true[i] + h_rd_true[i] * f * a * h_sr_true[i];
+    const double injected = std::norm(h_rd_true[i] * f) * a * a * n_relay;
+    const double p = std::norm(h_eff) * tx;
+    snr_db[i] = p > 0.0 ? db_from_power(p / (n_floor + injected)) : -100.0;
+  }
+  return phy::rate_from_snr_db(phy::effective_snr_db(snr_db));
+}
+
+struct ClientState {
+  DriftingChannel sd;  // AP -> client
+  DriftingChannel rd;  // relay -> client (and, reciprocally, client -> relay)
+};
+
+}  // namespace
+
+double NetworkReport::total_dl_gain() const {
+  double ap = 0.0, ff = 0.0;
+  for (const auto& c : clients) {
+    ap += c.dl_ap_only_mbps;
+    ff += c.dl_with_ff_mbps;
+  }
+  return ap > 0.0 ? ff / ap : 0.0;
+}
+
+double NetworkReport::total_ul_gain() const {
+  double ap = 0.0, ff = 0.0;
+  for (const auto& c : clients) {
+    ap += c.ul_ap_only_mbps;
+    ff += c.ul_with_ff_mbps;
+  }
+  return ap > 0.0 ? ff / ap : 0.0;
+}
+
+NetworkReport run_network(const NetworkConfig& cfg) {
+  FF_CHECK(cfg.n_clients >= 1);
+  Rng rng(cfg.seed);
+
+  eval::TestbedConfig tb = cfg.testbed;
+  tb.antennas = 1;
+  const auto freqs = tb.ofdm.used_subcarrier_freqs();
+  const phy::OfdmParams& params = tb.ofdm;
+
+  // ---- placement and initial channels ----
+  const eval::Placement placement = eval::make_placement(cfg.plan);
+  channel::PropagationConfig prop = tb.prop;
+  prop.carrier_hz = params.carrier_hz;
+  const channel::IndoorPropagation model(cfg.plan, prop);
+
+  DriftingChannel sr(model.siso_link(placement.ap, placement.relay, rng),
+                     cfg.coherence_time_s);
+  std::vector<ClientState> clients;
+  std::vector<channel::Point> spots;
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) {
+    const auto spot = eval::random_client_location(cfg.plan, rng);
+    spots.push_back(spot);
+    clients.push_back({DriftingChannel(model.siso_link(placement.ap, spot, rng),
+                                       cfg.coherence_time_s),
+                       DriftingChannel(model.siso_link(placement.relay, spot, rng),
+                                       cfg.coherence_time_s)});
+  }
+
+  // ---- relay control plane ----
+  relay::ChannelBook book(4.0 * cfg.sounding_interval_s);
+  ident::PnSignatureDetector pn_detector;
+  const std::size_t sig_half = phy::signature_prefix_len(params) / 2;
+  for (std::uint32_t c = 1; c <= cfg.n_clients; ++c) pn_detector.register_client(c, sig_half);
+  ident::StfFingerprinter fingerprinter(params);
+  relay::DesignOptions design_opts;
+  design_opts.f_grid_hz = freqs;
+
+  const CVec stf = phy::stf_time(params);
+  NetworkReport report;
+  report.clients.resize(cfg.n_clients);
+  for (std::uint32_t c = 0; c < cfg.n_clients; ++c) report.clients[c].id = c + 1;
+
+  double last_sounding = -1e9;
+  std::size_t packet_index = 0;
+
+  for (double t = 0.0; t < cfg.duration_s; t += cfg.packet_interval_s) {
+    // Channels drift between events.
+    sr.advance(cfg.packet_interval_s, rng);
+    for (auto& c : clients) {
+      c.sd.advance(cfg.packet_interval_s, rng);
+      c.rd.advance(cfg.packet_interval_s, rng);
+    }
+
+    // ---- sounding / polling (Sec. 4.2) ----
+    if (t - last_sounding >= cfg.sounding_interval_s) {
+      last_sounding = t;
+      ++report.soundings;
+      const CVec h_sr_true = responses(sr.now(), freqs);
+      for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
+        const CVec h_sd_true = responses(clients[c].sd.now(), freqs);
+        const CVec h_rd_true =
+            responses(clients[c].rd.now(), freqs, tb.relay_chain_delay_s);
+        // Client's CSI report of the AP->client channel, snooped by the relay.
+        book.update_source_client(c + 1, estimate(h_sd_true, cfg.csi_noise_db, rng), t);
+        // The relay measures relay<->client from the poll reply...
+        book.update_relay_client(c + 1, estimate(h_rd_true, cfg.csi_noise_db, rng), t);
+        // ...and AP->relay from the AP's own sounding packet.
+        book.update_source_relay(c + 1, estimate(h_sr_true, cfg.csi_noise_db, rng), t);
+        // Fingerprint enrollment from the identified poll reply.
+        CVec stf_rx = clients[c].rd.now().apply(stf, params.sample_rate_hz);
+        const double p = dsp::mean_power(stf_rx);
+        dsp::add_awgn(rng, stf_rx, p * power_from_db(-35.0));
+        fingerprinter.enroll_from_stf(c + 1, stf_rx);
+      }
+    }
+
+    // ---- one data packet, round robin, random direction ----
+    const std::uint32_t c = static_cast<std::uint32_t>(packet_index++ % cfg.n_clients);
+    ClientReport& cr = report.clients[c];
+    const bool downlink = rng.bernoulli(cfg.downlink_fraction);
+
+    const CVec h_sd_true = responses(clients[c].sd.now(), freqs);
+    const CVec h_sr_true = responses(sr.now(), freqs);
+    const CVec h_rd_true = responses(clients[c].rd.now(), freqs, tb.relay_chain_delay_s);
+
+    if (downlink) {
+      ++cr.dl_packets;
+      const double ap_rate = direct_rate_mbps(h_sd_true, tb.ap_power_dbm, tb.noise_floor_dbm);
+      cr.dl_ap_only_mbps += ap_rate;
+
+      // The relay sees the PN prefix through the AP->relay channel.
+      CVec prefix = dsp::pn_signature(c + 1, sig_half);
+      prefix.insert(prefix.end(), prefix.begin(), prefix.end());
+      CVec at_relay = sr.now().apply(prefix, params.sample_rate_hz);
+      dsp::set_mean_power(at_relay, power_from_db(tb.ap_power_dbm + sr.now().power_gain_db()));
+      dsp::add_awgn(rng, at_relay, power_from_db(tb.relay_noise_dbm));
+      const auto hit = pn_detector.detect(at_relay);
+
+      double ff_rate = ap_rate;
+      if (hit && book.ready(hit->client, t)) {
+        ++cr.dl_identified;
+        ++report.relay_forwards;
+        const auto link = make_link(*book.source_client(hit->client, t),
+                                    *book.source_relay(hit->client, t),
+                                    *book.relay_client(hit->client, t), tb);
+        const auto design = relay::design_ff_relay(link, design_opts);
+        ff_rate = relayed_rate_true(design, h_sd_true, h_sr_true, h_rd_true, tb);
+      } else {
+        ++report.relay_silences;
+      }
+      cr.dl_with_ff_mbps += ff_rate;
+    } else {
+      ++cr.ul_packets;
+      // Uplink: client -> AP; by reciprocity the direct channel response is
+      // the same, the hops swap roles.
+      const double ap_rate = direct_rate_mbps(h_sd_true, tb.ap_power_dbm, tb.noise_floor_dbm);
+      cr.ul_ap_only_mbps += ap_rate;
+
+      // The relay fingerprints the client's STF (client->relay channel).
+      CVec stf_rx = clients[c].rd.now().apply(stf, params.sample_rate_hz);
+      const double p = dsp::mean_power(stf_rx);
+      dsp::add_awgn(rng, stf_rx, p * power_from_db(-rng.uniform(20.0, 30.0)));
+      const auto match = fingerprinter.identify(stf_rx);
+
+      double ff_rate = ap_rate;
+      if (match && book.ready(match->client, t)) {
+        if (match->client == c + 1) ++cr.ul_identified;
+        else ++cr.ul_misidentified;
+        ++report.relay_forwards;
+        // Same constructive filter as downlink (reciprocity/commutativity);
+        // hops swapped, amplification re-decided for this direction.
+        const auto ul_link = make_link(*book.source_client(match->client, t),
+                                       *book.relay_client(match->client, t),
+                                       *book.source_relay(match->client, t), tb);
+        const auto design = relay::design_ff_relay(ul_link, design_opts);
+        ff_rate = relayed_rate_true(design, h_sd_true, h_rd_true, h_sr_true, tb);
+      } else {
+        ++report.relay_silences;
+      }
+      cr.ul_with_ff_mbps += ff_rate;
+    }
+  }
+
+  // Averages.
+  for (auto& c : report.clients) {
+    if (c.dl_packets > 0) {
+      c.dl_ap_only_mbps /= static_cast<double>(c.dl_packets);
+      c.dl_with_ff_mbps /= static_cast<double>(c.dl_packets);
+    }
+    if (c.ul_packets > 0) {
+      c.ul_ap_only_mbps /= static_cast<double>(c.ul_packets);
+      c.ul_with_ff_mbps /= static_cast<double>(c.ul_packets);
+    }
+  }
+  return report;
+}
+
+}  // namespace ff::net

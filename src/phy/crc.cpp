@@ -1,0 +1,31 @@
+#include "phy/crc.hpp"
+
+namespace ff::phy {
+
+std::uint32_t crc32_bits(std::span<const std::uint8_t> bits) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t bit : bits) {
+    const std::uint32_t top = (crc >> 31) & 1u;
+    crc <<= 1;
+    if (top ^ (bit & 1u)) crc ^= 0x04C11DB7u;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> append_crc(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out(bits.begin(), bits.end());
+  const std::uint32_t crc = crc32_bits(bits);
+  for (int i = 31; i >= 0; --i) out.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+  return out;
+}
+
+bool check_crc(std::span<const std::uint8_t> bits_with_crc) {
+  if (bits_with_crc.size() < 32) return false;
+  const std::size_t n = bits_with_crc.size() - 32;
+  const std::uint32_t expect = crc32_bits(bits_with_crc.subspan(0, n));
+  std::uint32_t got = 0;
+  for (std::size_t i = 0; i < 32; ++i) got = (got << 1) | (bits_with_crc[n + i] & 1u);
+  return got == expect;
+}
+
+}  // namespace ff::phy

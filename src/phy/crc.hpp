@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial) over bit sequences, used as the frame check
+// sequence of PHY packets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ff::phy {
+
+/// CRC-32 of a bit sequence (bits as 0/1 bytes, MSB-first semantics).
+std::uint32_t crc32_bits(std::span<const std::uint8_t> bits);
+
+/// Append the 32 CRC bits to a message.
+std::vector<std::uint8_t> append_crc(std::span<const std::uint8_t> bits);
+
+/// True if the last 32 bits are the CRC of the preceding bits.
+bool check_crc(std::span<const std::uint8_t> bits_with_crc);
+
+}  // namespace ff::phy

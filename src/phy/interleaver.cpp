@@ -1,0 +1,51 @@
+#include "phy/interleaver.hpp"
+
+#include "common/check.hpp"
+
+namespace ff::phy {
+
+std::vector<std::size_t> interleave_permutation(Modulation m, std::size_t data_subcarriers) {
+  const std::size_t bpsc = bits_per_symbol(m);
+  const std::size_t n_cbps = data_subcarriers * bpsc;
+  // Column count: the largest divisor of the SUBCARRIER count <= 16 (13 for
+  // the 52-subcarrier WiFi numerology, matching 802.11's layout). Dividing
+  // the subcarrier count keeps the two-permutation construction a bijection
+  // for every modulation order.
+  std::size_t n_col = 1;
+  for (std::size_t c = 2; c <= 16; ++c)
+    if (data_subcarriers % c == 0) n_col = c;
+  const std::size_t s = std::max<std::size_t>(bpsc / 2, 1);
+
+  std::vector<std::size_t> perm(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    const std::size_t i = (n_cbps / n_col) * (k % n_col) + k / n_col;
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (n_col * i) / n_cbps) % s;
+    perm[k] = j;
+  }
+  return perm;
+}
+
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits, Modulation m,
+                                     std::size_t data_subcarriers) {
+  const auto perm = interleave_permutation(m, data_subcarriers);
+  const std::size_t n = perm.size();
+  FF_CHECK_MSG(bits.size() % n == 0, "bit stream not a multiple of symbol size");
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += n)
+    for (std::size_t k = 0; k < n; ++k) out[base + perm[k]] = bits[base + k];
+  return out;
+}
+
+std::vector<double> deinterleave(std::span<const double> llrs, Modulation m,
+                                 std::size_t data_subcarriers) {
+  const auto perm = interleave_permutation(m, data_subcarriers);
+  const std::size_t n = perm.size();
+  FF_CHECK_MSG(llrs.size() % n == 0, "LLR stream not a multiple of symbol size");
+  std::vector<double> out(llrs.size());
+  for (std::size_t base = 0; base < llrs.size(); base += n)
+    for (std::size_t k = 0; k < n; ++k) out[base + k] = llrs[base + perm[k]];
+  return out;
+}
+
+}  // namespace ff::phy

@@ -1,0 +1,28 @@
+// Per-OFDM-symbol block interleaver (802.11a two-permutation form, adapted
+// to 52 data subcarriers). Spreads adjacent coded bits across subcarriers so
+// a frequency-selective notch doesn't wipe out a run of bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/constellation.hpp"
+
+namespace ff::phy {
+
+/// Interleaving permutation for one OFDM symbol carrying
+/// `data_subcarriers * bits_per_symbol(m)` coded bits.
+/// Returns perm such that output[perm[k]] = input[k].
+std::vector<std::size_t> interleave_permutation(Modulation m, std::size_t data_subcarriers);
+
+/// Apply the per-symbol interleaver to a whole stream (length must be a
+/// multiple of the symbol bit count).
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits, Modulation m,
+                                     std::size_t data_subcarriers);
+
+/// Inverse operation, usable on soft values too.
+std::vector<double> deinterleave(std::span<const double> llrs, Modulation m,
+                                 std::size_t data_subcarriers);
+
+}  // namespace ff::phy

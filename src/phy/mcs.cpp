@@ -1,0 +1,117 @@
+#include "phy/mcs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::phy {
+
+const std::vector<Mcs>& mcs_table() {
+  // Rates: 52 data subcarriers * bits * code_rate / 3.6 us.
+  static const std::vector<Mcs> table = {
+      {0, Modulation::BPSK, CodeRate::R1_2, 2.0, 7.2},
+      {1, Modulation::QPSK, CodeRate::R1_2, 5.0, 14.4},
+      {2, Modulation::QPSK, CodeRate::R3_4, 8.0, 21.7},
+      {3, Modulation::QAM16, CodeRate::R1_2, 11.0, 28.9},
+      {4, Modulation::QAM16, CodeRate::R3_4, 14.5, 43.3},
+      {5, Modulation::QAM64, CodeRate::R2_3, 18.5, 57.8},
+      {6, Modulation::QAM64, CodeRate::R3_4, 20.5, 65.0},
+      {7, Modulation::QAM64, CodeRate::R5_6, 22.5, 72.2},
+      {8, Modulation::QAM256, CodeRate::R3_4, 26.0, 86.7},
+      {9, Modulation::QAM256, CodeRate::R5_6, 28.0, 96.3},
+  };
+  return table;
+}
+
+const Mcs* select_mcs(double snr_db) {
+  const Mcs* best = nullptr;
+  for (const auto& m : mcs_table())
+    if (snr_db >= m.min_snr_db) best = &m;
+  return best;
+}
+
+double rate_from_snr_db(double snr_db) {
+  const Mcs* m = select_mcs(snr_db);
+  return m ? m->data_rate_mbps : 0.0;
+}
+
+double effective_snr_db(std::span<const double> per_subcarrier_snr_db) {
+  FF_CHECK(!per_subcarrier_snr_db.empty());
+  double mean_cap = 0.0;
+  for (const double snr : per_subcarrier_snr_db)
+    mean_cap += std::log2(1.0 + power_from_db(snr));
+  mean_cap /= static_cast<double>(per_subcarrier_snr_db.size());
+  const double eff_linear = std::pow(2.0, mean_cap) - 1.0;
+  return eff_linear > 0.0 ? db_from_power(eff_linear) : -100.0;
+}
+
+double siso_throughput_mbps(CSpan h_per_subcarrier, double tx_power_mw, double noise_mw) {
+  FF_CHECK(!h_per_subcarrier.empty());
+  FF_CHECK(noise_mw > 0.0);
+  std::vector<double> snr_db;
+  snr_db.reserve(h_per_subcarrier.size());
+  for (const Complex h : h_per_subcarrier) {
+    const double p = std::norm(h) * tx_power_mw;
+    snr_db.push_back(p > 0.0 ? db_from_power(p / noise_mw) : -100.0);
+  }
+  return rate_from_snr_db(effective_snr_db(snr_db));
+}
+
+MimoRate mimo_throughput_mbps(const std::vector<linalg::Matrix>& h_per_subcarrier,
+                              double tx_power_mw, double noise_mw,
+                              std::span<const double> extra_noise_mw_per_sc) {
+  FF_CHECK(!h_per_subcarrier.empty());
+  FF_CHECK(noise_mw > 0.0);
+  FF_CHECK(extra_noise_mw_per_sc.empty() ||
+           extra_noise_mw_per_sc.size() == h_per_subcarrier.size());
+
+  const std::size_t max_streams =
+      std::min(h_per_subcarrier[0].rows(), h_per_subcarrier[0].cols());
+
+  // Per-subcarrier singular values (computed once, reused per stream count).
+  std::vector<std::vector<double>> sv(h_per_subcarrier.size());
+  for (std::size_t i = 0; i < h_per_subcarrier.size(); ++i)
+    sv[i] = linalg::singular_values(h_per_subcarrier[i]);
+
+  MimoRate best;
+  for (std::size_t ns = 1; ns <= max_streams; ++ns) {
+    // Equal power split across ns streams; stream s rides singular value s.
+    double total = 0.0;
+    double strongest_eff = -100.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      std::vector<double> snr_db(h_per_subcarrier.size());
+      for (std::size_t i = 0; i < h_per_subcarrier.size(); ++i) {
+        const double n =
+            noise_mw + (extra_noise_mw_per_sc.empty() ? 0.0 : extra_noise_mw_per_sc[i]);
+        const double gain = s < sv[i].size() ? sv[i][s] * sv[i][s] : 0.0;
+        const double p = gain * tx_power_mw / static_cast<double>(ns);
+        snr_db[i] = p > 0.0 ? db_from_power(p / n) : -100.0;
+      }
+      const double eff = effective_snr_db(snr_db);
+      if (s == 0) strongest_eff = eff;
+      total += rate_from_snr_db(eff);
+    }
+    if (total > best.throughput_mbps) {
+      best.throughput_mbps = total;
+      best.streams = ns;
+      best.effective_snr_db = strongest_eff;
+    }
+  }
+  if (best.streams == 0) {
+    // Even one stream gives zero rate; report the strongest stream's SNR.
+    std::vector<double> snr_db(h_per_subcarrier.size());
+    for (std::size_t i = 0; i < h_per_subcarrier.size(); ++i) {
+      const double n =
+          noise_mw + (extra_noise_mw_per_sc.empty() ? 0.0 : extra_noise_mw_per_sc[i]);
+      const double gain = sv[i].empty() ? 0.0 : sv[i][0] * sv[i][0];
+      const double p = gain * tx_power_mw;
+      snr_db[i] = p > 0.0 ? db_from_power(p / n) : -100.0;
+    }
+    best.effective_snr_db = effective_snr_db(snr_db);
+  }
+  return best;
+}
+
+}  // namespace ff::phy

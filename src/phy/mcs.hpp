@@ -1,0 +1,70 @@
+// Modulation-and-coding-scheme table and the PHY-throughput metric.
+//
+// The paper's evaluation metric (Sec. 5): "PHY layer throughput ... the
+// optimal bitrate that can be used at any location given the SNR and the
+// MIMO rank", with ideal rate adaptation and no MAC effects. These helpers
+// compute exactly that: per-subcarrier SINRs are reduced to an effective SNR
+// (capacity-equivalent mapping), the best MCS whose threshold is met is
+// selected per spatial stream, and MIMO uses SVD eigenbeamforming (the AP
+// has CSI through the 802.11n/ac sounding the relay also snoops, Sec. 4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+#include "phy/constellation.hpp"
+#include "phy/fec.hpp"
+#include "phy/params.hpp"
+
+namespace ff::phy {
+
+struct Mcs {
+  int index = 0;
+  Modulation modulation = Modulation::BPSK;
+  CodeRate rate = CodeRate::R1_2;
+  double min_snr_db = 0.0;   // effective-SNR threshold for ~1% PER
+  double data_rate_mbps = 0.0;  // single stream, 20 MHz, 400 ns GI
+};
+
+/// The 10-entry MCS table (BPSK 1/2 ... 256-QAM 5/6). Data rates follow
+/// 52 data subcarriers / 3.6 us symbols; thresholds follow the usual link
+/// curves, topping out at 28 dB for the highest rate (the figure the paper
+/// quotes in Sec. 3.3).
+const std::vector<Mcs>& mcs_table();
+
+/// Highest-rate MCS whose threshold is <= snr_db, or nullptr below MCS0.
+const Mcs* select_mcs(double snr_db);
+
+/// Throughput (Mbps) of a single stream at the given effective SNR (0 when
+/// even MCS0 does not fit).
+double rate_from_snr_db(double snr_db);
+
+/// Capacity-equivalent effective SNR of a set of per-subcarrier SINRs:
+/// mean capacity is computed and inverted back through the AWGN curve.
+/// (Standard effective-SNR mapping for frequency-selective channels.)
+double effective_snr_db(std::span<const double> per_subcarrier_snr_db);
+
+/// PHY throughput for a SISO link given per-subcarrier channel gains and a
+/// flat noise+interference power (same linear units as |h|^2 * tx power).
+double siso_throughput_mbps(CSpan h_per_subcarrier, double tx_power_mw, double noise_mw);
+
+struct MimoRate {
+  double throughput_mbps = 0.0;
+  std::size_t streams = 0;          // chosen number of spatial streams
+  double effective_snr_db = 0.0;    // of the strongest stream
+};
+
+/// PHY throughput for a MIMO link: per-subcarrier channel matrices
+/// (n_rx x n_tx each, one per used subcarrier). Transmit power is split
+/// across streams; eigenbeamforming on each subcarrier; the stream count
+/// maximizing total rate is chosen.
+///
+/// `noise_mw` may be per-subcarrier-uniform; for relay-injected noise use
+/// `extra_noise_mw_per_sc` (one entry per subcarrier, added to noise_mw).
+MimoRate mimo_throughput_mbps(const std::vector<linalg::Matrix>& h_per_subcarrier,
+                              double tx_power_mw, double noise_mw,
+                              std::span<const double> extra_noise_mw_per_sc = {});
+
+}  // namespace ff::phy

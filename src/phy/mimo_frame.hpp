@@ -1,0 +1,76 @@
+// 2x2 (generally K x K) MIMO packet transmitter and receiver with spatial
+// multiplexing — the sample-level counterpart of the paper's 2x2 prototype
+// (Sec. 4.3: "a MIMO full duplex 2x2 FF relay").
+//
+// Packet layout (HT-style, simplified):
+//
+//   antenna 0 : STF | LTF | HT-LTF_1 .. HT-LTF_K | SIG | DATA(stream 0)
+//   antenna k : 0   | 0   | HT-LTF_1 .. HT-LTF_K |  0  | DATA(stream k)
+//
+// The legacy STF/LTF (antenna 0 only) provide detection, CFO and timing;
+// the K HT-LTF symbols, mapped across antennas with a Hadamard P-matrix,
+// give the receiver the full per-subcarrier K x K channel; data symbols are
+// spatially multiplexed one stream per antenna and detected with MMSE.
+// Payload bits are split evenly across streams, each with its own FEC chain
+// and CRC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+#include "phy/frame.hpp"
+#include "phy/params.hpp"
+
+namespace ff::phy {
+
+struct MimoTxOptions {
+  int mcs_index = 0;        // per-stream MCS (same for all streams)
+  std::size_t streams = 2;  // = transmit antennas
+};
+
+class MimoTransmitter {
+ public:
+  explicit MimoTransmitter(OfdmParams params);
+
+  /// Build one packet; returns one sample stream per transmit antenna (all
+  /// the same length). `payload` is split evenly across streams (its size
+  /// must be a multiple of `streams`).
+  std::vector<CVec> modulate(std::span<const std::uint8_t> payload,
+                             const MimoTxOptions& opts) const;
+
+ private:
+  OfdmParams params_;
+  OfdmModem modem_;
+};
+
+struct MimoRxResult {
+  std::vector<std::uint8_t> payload;   // reassembled from all streams
+  bool crc_ok = false;                 // all streams' CRCs passed
+  std::vector<bool> stream_crc_ok;     // per stream
+  int mcs_index = 0;
+  std::size_t streams = 0;
+  double cfo_hz = 0.0;
+  /// Post-MMSE SINR estimate per stream (dB), from data-symbol EVM.
+  std::vector<double> stream_snr_db;
+  std::size_t sync_index = 0;
+};
+
+class MimoReceiver {
+ public:
+  explicit MimoReceiver(OfdmParams params);
+
+  /// Decode the first packet found in the per-antenna receive streams.
+  std::optional<MimoRxResult> receive(const std::vector<CVec>& rx) const;
+
+ private:
+  OfdmParams params_;
+  OfdmModem modem_;
+};
+
+/// The P-matrix mapping HT-LTF symbols across antennas (Hadamard-like,
+/// entries +-1, invertible): row = antenna, column = HT-LTF symbol index.
+linalg::Matrix htltf_mapping(std::size_t k);
+
+}  // namespace ff::phy

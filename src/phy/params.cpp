@@ -1,0 +1,49 @@
+#include "phy/params.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ff::phy {
+
+std::vector<int> OfdmParams::used_subcarriers() const {
+  const int half = static_cast<int>(used_half);
+  std::vector<int> out;
+  out.reserve(2 * used_half);
+  for (int k = -half; k <= half; ++k)
+    if (k != 0) out.push_back(k);
+  return out;
+}
+
+std::vector<int> OfdmParams::pilot_subcarriers() const {
+  const int half = static_cast<int>(used_half);
+  const int inner = (half + 2) / 4;       // 28 -> 7
+  const int outer = (3 * half + 2) / 4;   // 28 -> 21
+  return {-outer, -inner, inner, outer};
+}
+
+std::vector<int> OfdmParams::data_subcarriers() const {
+  const auto pilots = pilot_subcarriers();
+  std::vector<int> out;
+  out.reserve(2 * used_half - 4);
+  for (const int k : used_subcarriers())
+    if (std::find(pilots.begin(), pilots.end(), k) == pilots.end()) out.push_back(k);
+  return out;
+}
+
+std::vector<double> OfdmParams::used_subcarrier_freqs() const {
+  std::vector<double> out;
+  out.reserve(56);
+  for (const int k : used_subcarriers()) out.push_back(subcarrier_freq_hz(k));
+  return out;
+}
+
+std::size_t OfdmParams::fft_bin(int k) const {
+  const int n = static_cast<int>(fft_size);
+  FF_CHECK_MSG(k > -n / 2 && k < n / 2, "subcarrier index out of range: " << k);
+  return static_cast<std::size_t>((k + n) % n);
+}
+
+OfdmParams default_params() { return OfdmParams{}; }
+
+}  // namespace ff::phy

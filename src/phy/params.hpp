@@ -1,0 +1,76 @@
+// OFDM PHY numerology.
+//
+// Matches the paper's prototype (Sec. 4.3): "a standard 20MHz OFDM PHY that
+// is based on the WiFi PHY. The PHY uses 56 subcarriers and a 400ns cyclic
+// prefix interval". That is 802.11n HT20 numerology with the short guard
+// interval: 64-point FFT at 20 Msps, 52 data + 4 pilot subcarriers, CP of 8
+// samples = 400 ns, symbol 3.2 us + 0.4 us.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ff::phy {
+
+struct OfdmParams {
+  std::size_t fft_size = 64;
+  std::size_t cp_len = 8;          // 400 ns at 20 Msps (short guard interval)
+  double sample_rate_hz = 20e6;
+  double carrier_hz = 2.45e9;
+  /// Used subcarriers span -used_half..-1, +1..+used_half (28 => HT20's 56).
+  std::size_t used_half = 28;
+
+  /// The WiFi numerology above (the prototype's PHY).
+  static OfdmParams wifi20() { return OfdmParams{}; }
+
+  /// LTE 5 MHz numerology: 512-point FFT at 7.68 Msps (15 kHz subcarriers),
+  /// 300 used tones, normal CP of 36 samples = 4.69 us — the figure the
+  /// paper quotes when arguing FF's latency budget is easy for LTE.
+  static OfdmParams lte5() {
+    OfdmParams p;
+    p.fft_size = 512;
+    p.cp_len = 36;
+    p.sample_rate_hz = 7.68e6;
+    p.carrier_hz = 2.6e9;
+    p.used_half = 150;
+    return p;
+  }
+
+  std::size_t symbol_len() const { return fft_size + cp_len; }
+  double sample_period_s() const { return 1.0 / sample_rate_hz; }
+  double cp_duration_s() const { return static_cast<double>(cp_len) * sample_period_s(); }
+  double symbol_duration_s() const {
+    return static_cast<double>(symbol_len()) * sample_period_s();
+  }
+  double subcarrier_spacing_hz() const {
+    return sample_rate_hz / static_cast<double>(fft_size);
+  }
+
+  /// Logical subcarrier indices in use: -used_half..-1, +1..+used_half.
+  std::vector<int> used_subcarriers() const;
+
+  /// Pilot subcarrier indices at +-1/4 and +-3/4 of the used span: for the
+  /// default WiFi numerology this is exactly HT20's {-21, -7, +7, +21}.
+  std::vector<int> pilot_subcarriers() const;
+
+  /// Data subcarriers = used minus pilots (52 entries, ascending).
+  std::vector<int> data_subcarriers() const;
+
+  /// Baseband frequency (Hz) of logical subcarrier k.
+  double subcarrier_freq_hz(int k) const {
+    return static_cast<double>(k) * subcarrier_spacing_hz();
+  }
+
+  /// Baseband frequencies of all used subcarriers, ascending index order.
+  std::vector<double> used_subcarrier_freqs() const;
+
+  /// Map logical index k (negative allowed) to the FFT bin in [0, fft_size).
+  std::size_t fft_bin(int k) const;
+};
+
+/// The numerology used across the project unless stated otherwise.
+OfdmParams default_params();
+
+}  // namespace ff::phy

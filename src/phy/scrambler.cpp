@@ -1,0 +1,17 @@
+#include "phy/scrambler.hpp"
+
+#include "common/check.hpp"
+#include "dsp/sequence.hpp"
+
+namespace ff::phy {
+
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  FF_CHECK_MSG(seed != 0, "scrambler seed must be nonzero");
+  auto lfsr = dsp::Lfsr::scrambler(seed);
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ lfsr.next_bit()) & 1);
+  return out;
+}
+
+}  // namespace ff::phy

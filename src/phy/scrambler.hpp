@@ -1,0 +1,14 @@
+// 802.11 data scrambler (x^7 + x^4 + 1, self-synchronizing additive form).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ff::phy {
+
+/// Scramble (or descramble — the operation is an involution) a bit stream
+/// with the 127-bit 802.11 scrambling sequence starting from `seed`.
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits, std::uint8_t seed = 0x5D);
+
+}  // namespace ff::phy

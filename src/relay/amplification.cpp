@@ -1,0 +1,33 @@
+#include "relay/amplification.hpp"
+
+#include <algorithm>
+
+namespace ff::relay {
+
+AmplificationDecision decide_amplification(double cancellation_db,
+                                           double rd_attenuation_db, double rx_power_dbm,
+                                           const AmplificationConfig& cfg) {
+  AmplificationDecision d;
+  d.stability_limit_db = cancellation_db - cfg.stability_margin_db;
+  d.noise_limit_db = rd_attenuation_db - cfg.noise_margin_db;
+  d.power_limit_db = cfg.max_tx_power_dbm - rx_power_dbm;
+  d.gain_db = std::max(0.0, std::min({d.stability_limit_db, d.noise_limit_db,
+                                      d.power_limit_db}));
+  d.noise_limited = d.noise_limit_db <= d.stability_limit_db &&
+                    d.noise_limit_db <= d.power_limit_db;
+  return d;
+}
+
+AmplificationDecision decide_amplification_blind(double cancellation_db,
+                                                 double rx_power_dbm,
+                                                 const AmplificationConfig& cfg) {
+  AmplificationDecision d;
+  d.stability_limit_db = cancellation_db - cfg.stability_margin_db;
+  d.noise_limit_db = 1e9;  // ignored by the blind repeater
+  d.power_limit_db = cfg.max_tx_power_dbm - rx_power_dbm;
+  d.gain_db = std::max(0.0, std::min(d.stability_limit_db, d.power_limit_db));
+  d.noise_limited = false;
+  return d;
+}
+
+}  // namespace ff::relay

@@ -1,0 +1,44 @@
+// Amplification control (Sec. 3.5 + Fig. 7).
+//
+// Two ceilings bound the relay gain:
+//  1. Stability: amplifying beyond the achieved TX->RX isolation C leaves
+//     residual self-interference that is re-amplified every loop — an
+//     unstable positive feedback loop. A >= C is forbidden (margin below).
+//  2. Noise: the relay amplifies its own receiver noise; by the time the
+//     relayed noise reaches the destination it must sit below the
+//     destination's noise floor, or it drowns the direct signal. With
+//     relay->destination attenuation `a` dB, the paper's rule is
+//     A <= a - 3 dB (3 dB safety margin).
+#pragma once
+
+namespace ff::relay {
+
+struct AmplificationConfig {
+  double stability_margin_db = 6.0;  // keep A at least this far below C
+  double noise_margin_db = 3.0;      // the paper's "(a - 3) dB" rule
+  double max_tx_power_dbm = 20.0;    // hardware ceiling
+};
+
+struct AmplificationDecision {
+  double gain_db = 0.0;
+  double stability_limit_db = 0.0;
+  double noise_limit_db = 0.0;
+  double power_limit_db = 0.0;
+  bool noise_limited = false;  // which ceiling was binding
+};
+
+/// Decide the relay gain.
+///   cancellation_db : achieved TX->RX isolation C
+///   rd_attenuation_db : relay->destination channel attenuation a (positive)
+///   rx_power_dbm : power of the (cancelled) received signal at the relay
+AmplificationDecision decide_amplification(double cancellation_db,
+                                           double rd_attenuation_db, double rx_power_dbm,
+                                           const AmplificationConfig& cfg = {});
+
+/// The blind repeater policy (Sec. 5.5 ablation): amplify to the stability
+/// limit, ignoring the noise rule.
+AmplificationDecision decide_amplification_blind(double cancellation_db,
+                                                 double rx_power_dbm,
+                                                 const AmplificationConfig& cfg = {});
+
+}  // namespace ff::relay

@@ -1,0 +1,43 @@
+#include "relay/channel_book.hpp"
+
+namespace ff::relay {
+
+void ChannelBook::update_source_relay(std::uint32_t client, CVec h, double now_s) {
+  source_relay_[client] = {std::move(h), now_s};
+}
+
+void ChannelBook::update_relay_client(std::uint32_t client, CVec h, double now_s) {
+  relay_client_[client] = {std::move(h), now_s};
+}
+
+void ChannelBook::update_source_client(std::uint32_t client, CVec h, double now_s) {
+  source_client_[client] = {std::move(h), now_s};
+}
+
+std::optional<CVec> ChannelBook::lookup(const std::map<std::uint32_t, ChannelRecord>& m,
+                                        std::uint32_t client, double now_s) const {
+  const auto it = m.find(client);
+  if (it == m.end()) return std::nullopt;
+  if (now_s - it->second.timestamp_s > max_age_s_) return std::nullopt;
+  return it->second.response;
+}
+
+std::optional<CVec> ChannelBook::source_relay(std::uint32_t client, double now_s) const {
+  return lookup(source_relay_, client, now_s);
+}
+
+std::optional<CVec> ChannelBook::relay_client(std::uint32_t client, double now_s) const {
+  return lookup(relay_client_, client, now_s);
+}
+
+std::optional<CVec> ChannelBook::source_client(std::uint32_t client, double now_s) const {
+  return lookup(source_client_, client, now_s);
+}
+
+bool ChannelBook::ready(std::uint32_t client, double now_s) const {
+  return source_relay(client, now_s).has_value() &&
+         relay_client(client, now_s).has_value() &&
+         source_client(client, now_s).has_value();
+}
+
+}  // namespace ff::relay

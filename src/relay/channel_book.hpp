@@ -1,0 +1,58 @@
+// The relay's three-channel knowledge base (Sec. 4.2).
+//
+// For construct-and-forward the relay needs, per AP-client pair:
+//   - source->relay   : measured directly from any received AP packet,
+//   - relay->client   : measured from client ACKs / poll replies,
+//   - source->client  : NOT observable by the relay — snooped from the
+//     802.11n/ac sounding feedback (the AP sounds every 50 ms and clients
+//     reply with compressed CSI; in LTE the client feeds CSI back anyway).
+// By reciprocity and commutativity the same constructive filter serves both
+// link directions (footnote 1: the amplification differs per direction).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace ff::relay {
+
+struct ChannelRecord {
+  CVec response;        // per-subcarrier channel estimate
+  double timestamp_s = 0.0;
+};
+
+class ChannelBook {
+ public:
+  /// Channel estimates become stale after this long (paper: sounding every
+  /// 50 ms, so anything older than a few periods is distrusted).
+  explicit ChannelBook(double max_age_s = 0.2) : max_age_s_(max_age_s) {}
+
+  void update_source_relay(std::uint32_t client, CVec h, double now_s);
+  void update_relay_client(std::uint32_t client, CVec h, double now_s);
+  void update_source_client(std::uint32_t client, CVec h, double now_s);
+
+  /// Fresh (non-stale) estimates, or nullopt.
+  std::optional<CVec> source_relay(std::uint32_t client, double now_s) const;
+  std::optional<CVec> relay_client(std::uint32_t client, double now_s) const;
+  std::optional<CVec> source_client(std::uint32_t client, double now_s) const;
+
+  /// True when all three channels are known and fresh — i.e. the relay may
+  /// constructively forward for this client. Otherwise it must stay silent
+  /// (a false-negative costs nothing, Sec. 6).
+  bool ready(std::uint32_t client, double now_s) const;
+
+  std::size_t known_clients() const { return relay_client_.size(); }
+
+ private:
+  std::optional<CVec> lookup(const std::map<std::uint32_t, ChannelRecord>& m,
+                             std::uint32_t client, double now_s) const;
+
+  double max_age_s_;
+  std::map<std::uint32_t, ChannelRecord> source_relay_;
+  std::map<std::uint32_t, ChannelRecord> relay_client_;
+  std::map<std::uint32_t, ChannelRecord> source_client_;
+};
+
+}  // namespace ff::relay

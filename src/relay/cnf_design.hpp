@@ -1,0 +1,55 @@
+// Construct-and-forward (CNF) filter design — the heart of FastForward
+// (Sec. 3.2).
+//
+// SISO: per subcarrier, the destination sees  h_sd + h_rd * F * A * h_sr.
+// The relay picks the unit-modulus F that rotates its path into alignment
+// with the direct path, turning would-be destructive multipath into a
+// coherent SNR gain:  F = exp(j (angle(h_sd) - angle(h_rd * h_sr))).
+//
+// MIMO (Eq. 2): maximize |det(H_sd + H_rd F A H_sr)| over a K x K unitary
+// (rotation) F, solved with a derivative-free non-linear optimizer on a
+// phase/Givens parameterization — the paper likewise resorts to non-linear
+// optimization, noting it runs only on channel updates, not per packet.
+#pragma once
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ff::relay {
+
+/// Ideal per-subcarrier SISO constructive filter (unit modulus).
+/// All spans must have the same length (one entry per subcarrier).
+CVec cnf_siso_ideal(CSpan h_sd, CSpan h_sr, CSpan h_rd);
+
+/// The resulting per-subcarrier destination channel h_sd + h_rd F A h_sr.
+CVec combined_channel_siso(CSpan h_sd, CSpan h_sr, CSpan h_rd, CSpan filter,
+                           double amp_linear);
+
+/// Build a K x K unitary matrix from its parameter vector (K*K real
+/// parameters: K*(K-1)/2 Givens angles and K*(K+1)/2 phases).
+linalg::Matrix unitary_from_params(std::span<const double> params, std::size_t k);
+
+/// Number of parameters for a K x K unitary.
+std::size_t unitary_param_count(std::size_t k);
+
+struct CnfMimoResult {
+  linalg::Matrix filter;        // K x K unitary F
+  std::vector<double> params;   // optimizer parameters (for warm starts)
+  double objective = 0.0;       // |det(H_sd + H_rd F A H_sr)|
+  double baseline = 0.0;        // |det(H_sd)| for comparison
+};
+
+/// Solve Eq. 2 for one subcarrier. `warm_start`, when given, seeds the
+/// optimizer with a previous solution's parameters (adjacent subcarriers
+/// have nearly identical channels, so warm starts cut the multi-start search
+/// to a single local refinement).
+CnfMimoResult cnf_mimo_design(const linalg::Matrix& h_sd, const linalg::Matrix& h_sr,
+                              const linalg::Matrix& h_rd, double amp_linear,
+                              const std::vector<double>* warm_start = nullptr);
+
+/// Per-subcarrier MIMO combined channel H_sd + H_rd F A H_sr.
+linalg::Matrix combined_channel_mimo(const linalg::Matrix& h_sd, const linalg::Matrix& h_sr,
+                                     const linalg::Matrix& h_rd, const linalg::Matrix& filter,
+                                     double amp_linear);
+
+}  // namespace ff::relay

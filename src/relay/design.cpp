@@ -1,0 +1,172 @@
+#include "relay/design.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::relay {
+
+namespace {
+
+/// Mean per-entry power gain of a stack of channel matrices.
+double mean_matrix_power_gain(const std::vector<linalg::Matrix>& h) {
+  FF_CHECK(!h.empty());
+  double acc = 0.0;
+  for (const auto& m : h) {
+    const double f = m.frobenius();
+    acc += f * f / static_cast<double>(m.rows() * m.cols());
+  }
+  return acc / static_cast<double>(h.size());
+}
+
+/// Effective noise at the relay's receiver: thermal floor plus the residual
+/// self-interference the cancellation stack could not remove. The residual
+/// sits at (TX power - C) dBm; with the paper's 110 dB of cancellation it
+/// lands exactly on the -90 dBm floor, but every dB of lost cancellation
+/// raises it dB-for-dB — the mechanism behind Fig. 18.
+double effective_relay_noise_mw(const RelayLink& link, double tx_power_dbm) {
+  return power_from_db(link.relay_noise_dbm) +
+         power_from_db(tx_power_dbm - link.cancellation_db);
+}
+
+/// Relay noise reaching the destination per subcarrier (per rx antenna, mW):
+/// the relay's receiver noise (thermal + SI residual) passes through F, the
+/// gain and H_rd.
+std::vector<double> relay_noise_at_dest(const RelayLink& link,
+                                        const std::vector<linalg::Matrix>& filter,
+                                        double gain_linear_amp, double n_relay_mw) {
+  std::vector<double> out(link.subcarriers(), 0.0);
+  for (std::size_t i = 0; i < link.subcarriers(); ++i) {
+    const linalg::Matrix g = link.h_rd[i] * filter[i];
+    const double f = g.frobenius();
+    // Each relay antenna injects independent noise: total at each rx antenna
+    // ~ sum over relay chains |(H_rd F)_{n,k}|^2 * A^2 * N_r; average over
+    // rx antennas.
+    out[i] = f * f / static_cast<double>(g.rows()) * gain_linear_amp * gain_linear_amp *
+             n_relay_mw;
+  }
+  return out;
+}
+
+}  // namespace
+
+double rd_attenuation_db(const RelayLink& link) {
+  const double g = mean_matrix_power_gain(link.h_rd);
+  return g > 0.0 ? -db_from_power(g) : 400.0;
+}
+
+double relay_rx_power_dbm(const RelayLink& link) {
+  // Per-relay-antenna received power: the source splits its power across its
+  // M antennas, and each relay antenna sums M sub-channels, so the mean
+  // per-entry gain is directly the per-antenna power ratio.
+  const double g = mean_matrix_power_gain(link.h_sr);
+  return link.source_power_dbm + (g > 0.0 ? db_from_power(g) : -400.0);
+}
+
+RelayDesign design_ff_relay(const RelayLink& link, const DesignOptions& opts) {
+  FF_CHECK(link.subcarriers() > 0);
+  FF_CHECK(link.h_sr.size() == link.subcarriers() && link.h_rd.size() == link.subcarriers());
+
+  RelayDesign d;
+  d.policy = RelayPolicy::kConstructForward;
+  d.amp = decide_amplification(link.cancellation_db, rd_attenuation_db(link),
+                               relay_rx_power_dbm(link), opts.amp);
+  const double a = amplitude_from_db(d.amp.gain_db);
+
+  const std::size_t n_sc = link.subcarriers();
+  d.filter.resize(n_sc);
+  d.h_eff.resize(n_sc);
+  double a_eff = a;  // amplifier gain incl. filter insertion-loss compensation
+
+  if (link.siso()) {
+    // Collect scalar responses.
+    CVec h_sd(n_sc), h_sr(n_sc), h_rd(n_sc);
+    for (std::size_t i = 0; i < n_sc; ++i) {
+      h_sd[i] = link.h_sd[i](0, 0);
+      h_sr[i] = link.h_sr[i](0, 0);
+      h_rd[i] = link.h_rd[i](0, 0);
+    }
+    CVec f = cnf_siso_ideal(h_sd, h_sr, h_rd);
+    if (opts.use_realized_split && !opts.f_grid_hz.empty()) {
+      FF_CHECK(opts.f_grid_hz.size() == n_sc);
+      const CnfSplit split = design_cnf_split(f, opts.f_grid_hz, opts.split);
+      f = split.realized;
+      d.split_error_db = split.error_db;
+      // The amplifier absorbs the realized filter's insertion loss so the
+      // TOTAL forward gain sits at the decided ceiling.
+      a_eff = a / split.insertion_gain();
+    }
+    for (std::size_t i = 0; i < n_sc; ++i) {
+      d.filter[i] = linalg::Matrix{{f[i]}};
+      d.h_eff[i] = linalg::Matrix{{h_sd[i] + h_rd[i] * f[i] * a_eff * h_sr[i]}};
+    }
+  } else {
+    std::vector<double> warm;
+    for (std::size_t i = 0; i < n_sc; ++i) {
+      const CnfMimoResult r = cnf_mimo_design(link.h_sd[i], link.h_sr[i], link.h_rd[i], a,
+                                              warm.empty() ? nullptr : &warm);
+      warm = r.params;
+      d.filter[i] = r.filter;
+    }
+    if (opts.use_realized_split && !opts.f_grid_hz.empty()) {
+      // Each of the K x K filter entries is realized in hardware by its own
+      // digital-prefilter + analog-rotator chain (the prototype uses four
+      // analog CNF boards for 2x2, Sec. 5); fit each entry's per-subcarrier
+      // trajectory through the split and substitute the realizable response.
+      FF_CHECK(opts.f_grid_hz.size() == n_sc);
+      const std::size_t k = d.filter[0].rows();
+      double err_acc = 0.0;
+      double insertion_acc = 0.0;
+      for (std::size_t fi = 0; fi < k; ++fi) {
+        for (std::size_t fj = 0; fj < k; ++fj) {
+          CVec target(n_sc);
+          for (std::size_t i = 0; i < n_sc; ++i) target[i] = d.filter[i](fi, fj);
+          const CnfSplit split = design_cnf_split(target, opts.f_grid_hz, opts.split);
+          for (std::size_t i = 0; i < n_sc; ++i) d.filter[i](fi, fj) = split.realized[i];
+          err_acc += power_from_db(split.error_db);
+          insertion_acc += split.insertion_gain();
+        }
+      }
+      d.split_error_db = db_from_power(err_acc / static_cast<double>(k * k));
+      a_eff = a / std::max(insertion_acc / static_cast<double>(k * k), 1e-6);
+    }
+    for (std::size_t i = 0; i < n_sc; ++i)
+      d.h_eff[i] = combined_channel_mimo(link.h_sd[i], link.h_sr[i], link.h_rd[i],
+                                         d.filter[i], a_eff);
+  }
+
+  d.amp_linear_eff = a_eff;
+  {
+    const double tx_dbm = relay_rx_power_dbm(link) + d.amp.gain_db;
+    d.relay_noise_mw =
+        relay_noise_at_dest(link, d.filter, a_eff, effective_relay_noise_mw(link, tx_dbm));
+  }
+  return d;
+}
+
+RelayDesign design_af_relay(const RelayLink& link, const DesignOptions& opts) {
+  FF_CHECK(link.subcarriers() > 0);
+  RelayDesign d;
+  d.policy = RelayPolicy::kAmplifyForward;
+  d.amp = decide_amplification_blind(link.cancellation_db, relay_rx_power_dbm(link),
+                                     opts.amp);
+  const double a = amplitude_from_db(d.amp.gain_db);
+
+  const std::size_t n_sc = link.subcarriers();
+  const std::size_t k = link.h_rd[0].cols();
+  d.filter.assign(n_sc, linalg::Matrix::identity(k));
+  d.h_eff.resize(n_sc);
+  for (std::size_t i = 0; i < n_sc; ++i)
+    d.h_eff[i] = combined_channel_mimo(link.h_sd[i], link.h_sr[i], link.h_rd[i],
+                                       d.filter[i], a);
+  d.amp_linear_eff = a;
+  {
+    const double tx_dbm = relay_rx_power_dbm(link) + d.amp.gain_db;
+    d.relay_noise_mw =
+        relay_noise_at_dest(link, d.filter, a, effective_relay_noise_mw(link, tx_dbm));
+  }
+  return d;
+}
+
+}  // namespace ff::relay

@@ -1,0 +1,75 @@
+// Frequency-domain relay design facade: given the three links' per-subcarrier
+// channel matrices, produce the constructive filter, the amplification
+// decision, and the effective end-to-end channel + relay-injected noise the
+// destination experiences. This is what the evaluation harness consumes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+#include "relay/amplification.hpp"
+#include "relay/cnf_design.hpp"
+#include "relay/digital_prefilter.hpp"
+
+namespace ff::relay {
+
+/// Per-subcarrier channel state for one source-relay-destination triple.
+struct RelayLink {
+  std::vector<linalg::Matrix> h_sd;  // source -> destination, N x M
+  std::vector<linalg::Matrix> h_sr;  // source -> relay, K x M
+  std::vector<linalg::Matrix> h_rd;  // relay -> destination, N x K
+  double source_power_dbm = 20.0;
+  double dest_noise_dbm = -90.0;
+  double relay_noise_dbm = -90.0;
+  double cancellation_db = 110.0;  // achieved isolation at the relay
+
+  std::size_t subcarriers() const { return h_sd.size(); }
+  bool siso() const {
+    return !h_sd.empty() && h_sd[0].rows() == 1 && h_sd[0].cols() == 1 &&
+           h_sr[0].rows() == 1 && h_rd[0].cols() == 1;
+  }
+};
+
+enum class RelayPolicy {
+  kConstructForward,  // FF: CNF filter + noise-aware amplification
+  kAmplifyForward,    // blind repeater: flat filter, max stable gain
+};
+
+struct RelayDesign {
+  RelayPolicy policy = RelayPolicy::kConstructForward;
+  std::vector<linalg::Matrix> filter;      // per-subcarrier F (K x K)
+  AmplificationDecision amp;
+  /// Linear amplifier gain actually applied (amp.gain_db plus the realized
+  /// filter's insertion-loss compensation). h_eff = H_sd + H_rd F a H_sr
+  /// with a = amp_linear_eff; callers re-evaluating the design on other
+  /// channel estimates need this value.
+  double amp_linear_eff = 1.0;
+  std::vector<linalg::Matrix> h_eff;       // combined channel per subcarrier
+  std::vector<double> relay_noise_mw;      // injected noise at dest (per sc, per rx antenna)
+  double split_error_db = -400.0;          // SISO: realized-filter approximation error
+};
+
+struct DesignOptions {
+  AmplificationConfig amp{};
+  /// SISO: realize the ideal filter through the digital-prefilter + analog
+  /// rotator split (true) or use the ideal response (false).
+  bool use_realized_split = true;
+  CnfSplitConfig split{};
+  /// Baseband frequency of each subcarrier (needed for the split design).
+  std::vector<double> f_grid_hz;
+};
+
+/// Design a FastForward construct-and-forward relay for the link.
+RelayDesign design_ff_relay(const RelayLink& link, const DesignOptions& opts = {});
+
+/// Design a blind amplify-and-forward repeater (Sec. 5.5 baseline).
+RelayDesign design_af_relay(const RelayLink& link, const DesignOptions& opts = {});
+
+/// Mean attenuation (positive dB) of the relay->destination link.
+double rd_attenuation_db(const RelayLink& link);
+
+/// Power (dBm) the relay receives from the source.
+double relay_rx_power_dbm(const RelayLink& link);
+
+}  // namespace ff::relay

@@ -1,0 +1,168 @@
+#include "relay/digital_prefilter.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ff::relay {
+
+namespace {
+
+Complex prefilter_response(CSpan hp, double f_hz, double fs) {
+  return dsp::freq_response(hp, f_hz / fs);
+}
+
+}  // namespace
+
+double CnfSplit::insertion_gain() const {
+  if (realized.empty()) return 1.0;
+  double acc = 0.0;
+  for (const Complex r : realized) acc += std::abs(r);
+  return std::max(acc / static_cast<double>(realized.size()), 1e-6);
+}
+
+namespace {
+
+double split_error_db(CSpan h_c, CSpan realized) {
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < h_c.size(); ++i) {
+    err += std::norm(h_c[i] - realized[i]);
+    ref += std::norm(h_c[i]);
+  }
+  if (ref <= 0.0) return -400.0;
+  return 10.0 * std::log10(std::max(err / ref, 1e-40));
+}
+
+/// Least-squares fit of the pre-filter taps given the analog response.
+///
+/// The ridge term is a real hardware constraint, not a numerical nicety: it
+/// bounds the tap energy ||hp||^2, which equals the filter's full-band
+/// (Nyquist) average power gain. An unconstrained fit against a target the
+/// taps cannot realize (e.g. a steep delay ramp) otherwise runs the gains to
+/// +60 dB with near-cancelling signs — blowing fixed-point dynamic range and
+/// amplifying out-of-band receiver noise into the transmit chain.
+CVec fit_prefilter(CSpan h_c, RSpan f_grid, const CVec& analog_resp, std::size_t taps,
+                   double fs) {
+  linalg::Matrix a(f_grid.size(), taps), b(f_grid.size(), 1);
+  for (std::size_t i = 0; i < f_grid.size(); ++i) {
+    for (std::size_t n = 0; n < taps; ++n) {
+      const double ang = -kTwoPi * f_grid[i] / fs * static_cast<double>(n);
+      a(i, n) = analog_resp[i] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    b(i, 0) = h_c[i];
+  }
+  // Ridge sized for ~20 dB of out-of-band gain headroom: enough for the
+  // in-band phase-advance trajectories the 4x-oversampled prototype needs,
+  // while keeping tap energy inside fixed-point dynamic range.
+  const double ridge = 0.002 * static_cast<double>(f_grid.size());
+  const linalg::Matrix x = linalg::least_squares(a, b, ridge);
+  CVec hp(taps);
+  for (std::size_t n = 0; n < taps; ++n) hp[n] = x(n, 0);
+  return hp;
+}
+
+/// Remove the scale degeneracy of the (Ha, Hp) product: normalize the
+/// pre-filter to unit mean in-band magnitude and return the scale so the
+/// analog stage can absorb it (its attenuators own the magnitude).
+double normalize_prefilter(CVec& hp, RSpan f_grid, double fs) {
+  double acc = 0.0;
+  for (const double f : f_grid) acc += std::abs(dsp::freq_response(hp, f / fs));
+  const double scale = acc / static_cast<double>(f_grid.size());
+  if (scale < 1e-12) return 1.0;
+  for (auto& t : hp) t /= scale;
+  return scale;
+}
+
+}  // namespace
+
+CnfSplit design_cnf_split(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg) {
+  FF_CHECK(h_c.size() == f_grid_hz.size());
+  FF_CHECK(cfg.prefilter_taps >= 1);
+
+  CnfSplit out;
+  out.analog = AnalogCnfFilter(cfg.analog);
+
+  // Initialize the analog rotator at the circular-mean phase of H_c so the
+  // pre-filter starts near unity (keeping its gains well-conditioned).
+  Complex mean{0.0, 0.0};
+  for (const Complex h : h_c) mean += h;
+  if (std::abs(mean) < 1e-20) mean = Complex{1.0, 0.0};
+  out.analog.tune(mean / std::abs(mean) *
+                  std::min(std::abs(mean) / static_cast<double>(h_c.size()), 1.2));
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // hp step: linear least squares given the analog response, then push the
+    // magnitude into the analog stage (its attenuators own the scale).
+    const CVec aresp = out.analog.response(f_grid_hz);
+    out.prefilter = fit_prefilter(h_c, f_grid_hz, aresp, cfg.prefilter_taps,
+                                  cfg.sample_rate_hz);
+    const double scale = normalize_prefilter(out.prefilter, f_grid_hz, cfg.sample_rate_hz);
+
+    // analog step: 1-D projection of the residual rotation given hp, with
+    // the hp scale folded in and the magnitude clamped to the attenuators'
+    // physical range.
+    Complex num{0.0, 0.0};
+    double den = 0.0;
+    for (std::size_t i = 0; i < h_c.size(); ++i) {
+      const Complex hp = prefilter_response(out.prefilter, f_grid_hz[i], cfg.sample_rate_hz);
+      num += std::conj(hp) * h_c[i];
+      den += std::norm(hp);
+    }
+    if (den > 1e-30) {
+      Complex target = num / den;
+      (void)scale;  // already divided out of hp; target carries it naturally
+      const double mag = std::abs(target);
+      if (mag > 1.2) target *= 1.2 / mag;
+      if (mag < 0.05) target = Complex{0.05, 0.0} * (mag > 1e-12 ? target / mag : Complex{1.0, 0.0});
+      out.analog.tune(target);
+    }
+  }
+
+  // Final hp refit against the final analog setting, then score.
+  const CVec aresp = out.analog.response(f_grid_hz);
+  out.prefilter = fit_prefilter(h_c, f_grid_hz, aresp, cfg.prefilter_taps,
+                                cfg.sample_rate_hz);
+  out.realized.resize(h_c.size());
+  for (std::size_t i = 0; i < h_c.size(); ++i)
+    out.realized[i] =
+        aresp[i] * prefilter_response(out.prefilter, f_grid_hz[i], cfg.sample_rate_hz);
+  out.error_db = split_error_db(h_c, out.realized);
+  return out;
+}
+
+CnfSplit design_analog_only(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg) {
+  FF_CHECK(h_c.size() == f_grid_hz.size());
+  CnfSplit out;
+  out.analog = AnalogCnfFilter(cfg.analog);
+  Complex mean{0.0, 0.0};
+  for (const Complex h : h_c) mean += h;
+  mean /= static_cast<double>(h_c.size());
+  if (std::abs(mean) > 1e-20) out.analog.tune(mean);
+  out.prefilter = {Complex{1.0, 0.0}};
+  out.realized = out.analog.response(f_grid_hz);
+  out.error_db = split_error_db(h_c, out.realized);
+  return out;
+}
+
+CnfSplit design_digital_only(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg) {
+  FF_CHECK(h_c.size() == f_grid_hz.size());
+  CnfSplit out;
+  // Pass-through analog stage (tap 0 at unit gain).
+  AnalogCnfConfig acfg = cfg.analog;
+  out.analog = AnalogCnfFilter(acfg);
+  out.analog.tune(Complex{1.0, 0.0});
+  const CVec aresp = out.analog.response(f_grid_hz);
+  out.prefilter = fit_prefilter(h_c, f_grid_hz, aresp, cfg.prefilter_taps,
+                                cfg.sample_rate_hz);
+  out.realized.resize(h_c.size());
+  for (std::size_t i = 0; i < h_c.size(); ++i)
+    out.realized[i] =
+        aresp[i] * prefilter_response(out.prefilter, f_grid_hz[i], cfg.sample_rate_hz);
+  out.error_db = split_error_db(h_c, out.realized);
+  return out;
+}
+
+}  // namespace ff::relay

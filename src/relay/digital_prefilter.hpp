@@ -1,0 +1,66 @@
+// Splitting the ideal constructive filter between the digital pre-filter and
+// the analog rotator (Sec. 3.4).
+//
+// The ideal CNF response H_c(f) is frequency-selective (channels differ per
+// subcarrier) but the analog rotator applies one rotation to the whole band.
+// A short digital FIR pre-filter (<= 4 taps: each tap costs 50 ns of group
+// delay at 80 Msps, 50 ns total budget — at our 20 Msps grid the budget is
+// one tap of look-back per 50 ns) pre-rotates each subcarrier so that after
+// the analog rotation all subcarriers line up:
+//
+//   minimize_{hp, Ha}  sum_i | H_c(f_i) - Ha(f_i) * Hp(f_i) |^2
+//
+// solved by alternating least squares (the sequential-convex-programming
+// approach the paper references): hp is linear given Ha, and the analog
+// target is a 1-D projection given hp.
+#pragma once
+
+#include "common/types.hpp"
+#include "relay/analog_cnf.hpp"
+
+namespace ff::relay {
+
+struct CnfSplitConfig {
+  /// The paper's pre-filter: 4 taps at 80 Msps = 50 ns delay budget. The
+  /// 4x oversampling relative to the 20 MHz signal is essential — it gives
+  /// the causal filter in-band phase freedom to absorb the relay chain's
+  /// bulk delay (ADC+DAC ~50 ns) so the relayed path still combines
+  /// coherently at the destination.
+  std::size_t prefilter_taps = 4;
+  double sample_rate_hz = 80e6;
+  int iterations = 4;
+  AnalogCnfConfig analog{};
+};
+
+struct CnfSplit {
+  CVec prefilter;          // digital taps hp[0..N)
+  AnalogCnfFilter analog;  // tuned rotator
+  CVec realized;           // Ha(f_i) * Hp(f_i) on the design grid
+  double error_db = 0.0;   // 10 log10(sum|H_c - realized|^2 / sum|H_c|^2)
+
+  /// Mean in-band magnitude of the realized filter. The constrained fit may
+  /// land below the target's unit magnitude (insertion loss); the relay's
+  /// amplifier stage compensates it, so gain decisions should subtract
+  /// 20*log10(insertion_gain()) from the filter chain's budget.
+  double insertion_gain() const;
+
+  /// Group delay the digital pre-filter adds to the relay's forward path.
+  double prefilter_delay_s(double sample_rate_hz) const {
+    return prefilter.empty() ? 0.0
+                             : static_cast<double>(prefilter.size() - 1) / sample_rate_hz;
+  }
+};
+
+/// Design the split for an ideal response `h_c` sampled at baseband
+/// frequencies `f_grid_hz`.
+CnfSplit design_cnf_split(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg = {});
+
+/// Ablation helper: best purely-analog approximation (no pre-filter).
+CnfSplit design_analog_only(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg = {});
+
+/// Ablation helper: best purely-digital approximation with the same tap
+/// budget (no analog rotator; shows why the fine-grained analog stage
+/// matters for phase resolution).
+CnfSplit design_digital_only(CSpan h_c, RSpan f_grid_hz, const CnfSplitConfig& cfg = {});
+
+}  // namespace ff::relay

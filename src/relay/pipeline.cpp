@@ -1,0 +1,66 @@
+#include "relay/pipeline.hpp"
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ff::relay {
+
+ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      cfo_remove_(-cfg_.cfo_hz, cfg_.sample_rate_hz),
+      cfo_restore_(cfg_.restore_cfo ? cfg_.cfo_hz : 0.0, cfg_.sample_rate_hz),
+      prefilter_(cfg_.prefilter),
+      tx_filter_(cfg_.tx_filter.empty() ? CVec{Complex{1.0, 0.0}} : cfg_.tx_filter),
+      delay_line_(std::max<std::size_t>(delay_fifo_len(), 1), Complex{}),
+      gain_linear_(amplitude_from_db(cfg_.gain_db)) {
+  FF_CHECK(!cfg_.prefilter.empty());
+}
+
+std::size_t ForwardPipeline::delay_fifo_len() const {
+  // With a TX filter, the converter latency lives in the filter's group
+  // delay; only the artificial buffering remains a FIFO.
+  if (!cfg_.tx_filter.empty()) return cfg_.extra_buffer_samples;
+  return bulk_delay_samples();
+}
+
+double ForwardPipeline::max_delay_s() const {
+  return (static_cast<double>(bulk_delay_samples()) +
+          static_cast<double>(cfg_.prefilter.size() - 1)) /
+         cfg_.sample_rate_hz;
+}
+
+Complex ForwardPipeline::push(Complex rx) {
+  // CFO remove -> digital CNF -> CFO restore -> amplify -> analog CNF
+  // -> DAC/TX reconstruction filter.
+  Complex s = cfo_remove_.push(rx);
+  s = prefilter_.push(s);
+  s = cfo_restore_.push(s);
+  s *= gain_linear_ * cfg_.analog_rotation;
+  if (!cfg_.tx_filter.empty()) s = tx_filter_.push(s);
+
+  // Remaining bulk delay FIFO (converter latency when no TX filter models
+  // it, plus any artificial buffering).
+  if (delay_fifo_len() == 0) return s;
+  const Complex out = delay_line_[delay_pos_];
+  delay_line_[delay_pos_] = s;
+  delay_pos_ = (delay_pos_ + 1) % delay_line_.size();
+  return out;
+}
+
+CVec ForwardPipeline::process(CSpan rx) {
+  CVec out;
+  out.reserve(rx.size());
+  for (const Complex s : rx) out.push_back(push(s));
+  return out;
+}
+
+void ForwardPipeline::reset() {
+  cfo_remove_.reset();
+  cfo_restore_.reset();
+  prefilter_.reset();
+  tx_filter_.reset();
+  std::fill(delay_line_.begin(), delay_line_.end(), Complex{});
+  delay_pos_ = 0;
+}
+
+}  // namespace ff::relay

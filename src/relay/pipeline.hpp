@@ -1,0 +1,79 @@
+// Sample-level relay forward path (Sec. 4.1 + 4.3).
+//
+// Stages, in order, with their latency contribution at 20 Msps:
+//   ADC                      ~0.5 sample   (modelled within adc_dac_delay)
+//   CFO correction           0             (one complex multiply)
+//   causal digital cancel    0             (the Sec. 3.3 invention)
+//   digital CNF pre-filter   (taps-1) * Ts of delay spread
+//   CFO restore              0
+//   amplify                  0
+//   DAC                      ~0.5 sample
+//   analog CNF rotator       ~0.3 ns
+//
+// The CFO trick: the relay corrects the source's carrier offset for its own
+// processing, then re-applies it before transmission, so the destination
+// sees one consistent offset across the direct and relayed paths and its
+// own CFO correction still works.
+#pragma once
+
+#include "channel/cfo.hpp"
+#include "common/types.hpp"
+#include "dsp/fir.hpp"
+#include "phy/params.hpp"
+
+namespace ff::relay {
+
+struct PipelineConfig {
+  double sample_rate_hz = 20e6;
+  std::size_t adc_dac_delay_samples = 1;   // 50 ns at 20 Msps (paper's figure)
+  std::size_t extra_buffer_samples = 0;    // artificial latency (Fig. 16 sweeps)
+  double cfo_hz = 0.0;                     // relay's estimate of the source CFO
+  bool restore_cfo = true;                 // Sec. 4.1 (ablation: false)
+  CVec prefilter{Complex{1.0, 0.0}};       // digital CNF taps
+  Complex analog_rotation{1.0, 0.0};       // analog CNF response at carrier
+  double gain_db = 0.0;
+  /// DAC reconstruction / TX low-pass filter. When non-empty it REPLACES
+  /// the plain ADC/DAC delay FIFO: its group delay ((taps-1)/2 samples)
+  /// should equal adc_dac_delay_samples, since in real hardware those
+  /// filters ARE where the converter latency lives. It is what keeps
+  /// amplified out-of-band receiver noise from reaching the antenna.
+  CVec tx_filter{};
+};
+
+/// Streaming forward-path processor. Push received (already SI-cancelled)
+/// samples, get transmit samples with all latencies applied.
+class ForwardPipeline {
+ public:
+  explicit ForwardPipeline(PipelineConfig cfg);
+
+  const PipelineConfig& config() const { return cfg_; }
+
+  /// Bulk (integer-sample) delay of the pipeline: ADC/DAC + extra buffering.
+  /// The pre-filter's delay spread rides on top via its tap positions.
+  std::size_t bulk_delay_samples() const {
+    return cfg_.adc_dac_delay_samples + cfg_.extra_buffer_samples;
+  }
+
+  /// Worst-case extra delay of any relayed signal component (seconds):
+  /// bulk delay plus the last pre-filter tap.
+  double max_delay_s() const;
+
+  Complex push(Complex rx);
+  CVec process(CSpan rx);
+
+  void reset();
+
+ private:
+  std::size_t delay_fifo_len() const;
+
+  PipelineConfig cfg_;
+  channel::CfoRotator cfo_remove_;
+  channel::CfoRotator cfo_restore_;
+  dsp::FirFilter prefilter_;
+  dsp::FirFilter tx_filter_;
+  CVec delay_line_;      // bulk delay FIFO
+  std::size_t delay_pos_ = 0;
+  double gain_linear_;
+};
+
+}  // namespace ff::relay

@@ -1,0 +1,91 @@
+// Tests for the ADC clipping/quantization model — the constraint that makes
+// the analog cancellation stage necessary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "fullduplex/adc.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Adc, QuantizationNoiseMatchesPrediction) {
+  Rng rng(1);
+  const CVec x = dsp::awgn(rng, 60000, 1.0);
+  const fd::AdcConfig cfg;  // 12 bits, 12 dB backoff
+  const CVec q = fd::adc_quantize(x, cfg);
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) err += std::norm(q[i] - x[i]);
+  err /= static_cast<double>(x.size());
+  EXPECT_NEAR(db_from_power(err), fd::adc_noise_floor_db(cfg), 1.5);
+}
+
+TEST(Adc, MoreBitsLowerTheFloor) {
+  const double f8 = fd::adc_noise_floor_db({.bits = 8});
+  const double f12 = fd::adc_noise_floor_db({.bits = 12});
+  const double f16 = fd::adc_noise_floor_db({.bits = 16});
+  // ~6 dB per bit.
+  EXPECT_NEAR(f8 - f12, 4 * 6.02, 0.5);
+  EXPECT_NEAR(f12 - f16, 4 * 6.02, 0.5);
+}
+
+TEST(Adc, ClipsBeyondFullScale) {
+  Rng rng(2);
+  CVec x = dsp::awgn(rng, 20000, 1.0);
+  x[100] = {50.0, -50.0};  // strong spike, mild RMS inflation
+  const CVec q = fd::adc_quantize(x);
+  // The spike is clipped to the AGC full scale (RMS x 12 dB backoff ~ 4.2).
+  EXPECT_LT(std::abs(q[100].real()), 6.0);
+  EXPECT_GT(std::abs(q[100].real()), 3.0);
+}
+
+TEST(Adc, SmallSignalUnderStrongInterferenceLosesResolution) {
+  // The reason analog cancellation exists: a weak desired signal riding on
+  // strong residual SI gets crushed by quantization once the AGC scales to
+  // the interferer.
+  Rng rng(3);
+  const std::size_t n = 40000;
+  const CVec weak = dsp::awgn(rng, n, 1e-6);   // -60 dB signal
+  const CVec strong = dsp::awgn(rng, n, 1.0);  // 0 dB interferer
+  CVec mixed(n);
+  for (std::size_t i = 0; i < n; ++i) mixed[i] = weak[i] + strong[i];
+  const fd::AdcConfig cfg{.bits = 8, .backoff_db = 12.0};
+  const CVec q = fd::adc_quantize(mixed, cfg);
+  // Perfectly subtract the interferer digitally; what remains is the weak
+  // signal plus quantization noise.
+  CVec residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = q[i] - strong[i];
+  double sig = 0.0, err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sig += std::norm(weak[i]);
+    err += std::norm(residual[i] - weak[i]);
+  }
+  // 8-bit floor ~ -38 dB of the interferer => the -60 dB signal is buried.
+  EXPECT_GT(err / sig, 10.0);
+}
+
+TEST(Adc, HighResolutionPreservesSmallSignal) {
+  Rng rng(4);
+  const std::size_t n = 40000;
+  const CVec weak = dsp::awgn(rng, n, 1e-4);  // -40 dB signal
+  const CVec strong = dsp::awgn(rng, n, 1.0);
+  CVec mixed(n);
+  for (std::size_t i = 0; i < n; ++i) mixed[i] = weak[i] + strong[i];
+  const fd::AdcConfig cfg{.bits = 14, .backoff_db = 12.0};
+  const CVec q = fd::adc_quantize(mixed, cfg);
+  CVec residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = q[i] - strong[i];
+  double sig = 0.0, err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sig += std::norm(weak[i]);
+    err += std::norm(residual[i] - weak[i]);
+  }
+  EXPECT_LT(err / sig, 0.1);  // 14-bit floor well under the -40 dB signal
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,300 @@
+// Self-interference cancellation stack tests (Sec. 3.3 physics).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/fractional_delay.hpp"
+#include "dsp/noise.hpp"
+#include "fullduplex/digital_canceller.hpp"
+#include "fullduplex/si_channel.hpp"
+#include "fullduplex/stability.hpp"
+#include "fullduplex/stack.hpp"
+#include "fullduplex/tuner.hpp"
+
+namespace ff {
+namespace {
+
+constexpr double kFs = 20e6;
+constexpr double kTxPowerDbm = 20.0;
+constexpr double kNoiseFloorDbm = -90.0;
+
+/// Build the classic relay tuning scenario: the relay transmits a delayed
+/// amplified copy of what it receives, plus probe noise; the receive port
+/// sees source signal + SI + thermal noise.
+struct Scenario {
+  CVec tx;      // relay transmit stream (relayed signal + probe)
+  CVec probe;   // the injected probe component
+  CVec rx;      // receive port stream
+  CVec si_only; // the self-interference component of rx
+  CVec source;  // the source-signal component of rx
+  channel::MultipathChannel si;
+};
+
+Scenario make_scenario(Rng& rng, std::size_t n, double source_dbm = -70.0,
+                       fd::SiChannelConfig si_cfg = {}) {
+  Scenario s;
+  s.si = fd::make_si_channel(rng, si_cfg);
+
+  // Source signal arriving at the relay (OFDM-like Gaussian waveform).
+  s.source = dsp::awgn_dbm(rng, n, source_dbm);
+
+  // Relay transmit = amplified 2-sample-delayed copy at 20 dBm.
+  s.tx.assign(n, Complex{});
+  for (std::size_t i = 2; i < n; ++i) s.tx[i] = s.source[i - 2];
+  dsp::set_mean_power(s.tx, power_from_db(kTxPowerDbm));
+  s.probe = fd::inject_probe(rng, s.tx, 30.0);
+
+  // Self-interference through the SI channel (shared alignment grid).
+  const CVec si_fir = fd::si_loop_fir(s.si, kFs);
+  s.si_only = dsp::filter(si_fir, s.tx);
+
+  s.rx.resize(n);
+  const CVec thermal = dsp::awgn_dbm(rng, n, kNoiseFloorDbm);
+  for (std::size_t i = 0; i < n; ++i) s.rx[i] = s.source[i] + s.si_only[i] + thermal[i];
+  return s;
+}
+
+TEST(SiChannel, LeakageDominates) {
+  Rng rng(3);
+  const auto si = fd::make_si_channel(rng);
+  ASSERT_FALSE(si.taps().empty());
+  // Total SI power should be close to the circulator leakage level.
+  EXPECT_NEAR(si.power_gain_db(), -20.0, 3.0);
+  EXPECT_LT(si.min_delay_s(), 2e-9);
+}
+
+TEST(CancellationStack, ReachesPaperCancellation) {
+  // Sec. 3.3: "consistently achieves between 108-110dB of cancellation.
+  // Note that the maximum cancellation expected is 110dB, since the maximum
+  // transmit power is 20dBm and the noise floor is -90dBm."
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const auto train = make_scenario(rng, 16000);
+    fd::CancellationStack stack;
+    stack.tune(train.tx, train.probe, train.rx);
+
+    // Fresh data through the same SI channel.
+    Rng rng2(seed + 100);
+    auto test = make_scenario(rng2, 6000);
+    test.si = train.si;  // same channel realization
+    const CVec si_fir = fd::si_loop_fir(train.si, kFs);
+    const CVec si_only = dsp::filter(si_fir, test.tx);
+    CVec rx(test.tx.size());
+    const CVec thermal = dsp::awgn_dbm(rng2, rx.size(), kNoiseFloorDbm);
+    for (std::size_t i = 0; i < rx.size(); ++i)
+      rx[i] = si_only[i] + thermal[i];  // SI-only measurement, like the paper
+
+    const CVec after = stack.apply(test.tx, rx);
+    const double total_db = kTxPowerDbm - dsp::mean_power_db(after);
+    EXPECT_GE(total_db, 105.0) << "seed " << seed;
+    EXPECT_LE(total_db, 112.0) << "seed " << seed;
+  }
+}
+
+TEST(CancellationStack, AnalogStageAloneGivesSixtyPlusDb) {
+  // Sec. 3.3: "analog cancellation provides around 70dB" (including the
+  // circulator's isolation, as the hardware measurements count it).
+  Rng rng(9);
+  const auto s = make_scenario(rng, 12000);
+  fd::CancellationStack stack;
+  stack.tune(s.tx, s.probe, s.rx);
+
+  const CVec si_fir = fd::si_loop_fir(s.si, kFs);
+  const CVec si_only = dsp::filter(si_fir, s.tx);
+  const CVec after_analog = stack.apply_analog_only(s.tx, si_only);
+  const double analog_db = kTxPowerDbm - dsp::mean_power_db(after_analog);
+  EXPECT_GE(analog_db, 55.0);
+  EXPECT_LE(analog_db, 90.0);
+}
+
+TEST(CancellationStack, PreservesTheSourceSignal) {
+  // The whole point of probe-based tuning: after cancellation the source
+  // signal must survive.
+  Rng rng(21);
+  const auto s = make_scenario(rng, 6000, /*source_dbm=*/-55.0);
+  fd::CancellationStack stack;
+  stack.tune(s.tx, s.probe, s.rx);
+  const CVec after = stack.apply(s.tx, s.rx);
+
+  // Compare the residual with the source component: they should match to
+  // within a couple of dB (residual = source + noise + tiny SI leftover).
+  const double after_dbm = dsp::mean_power_db(after);
+  const double source_dbm = dsp::mean_power_db(s.source);
+  EXPECT_NEAR(after_dbm, source_dbm, 2.0);
+
+  // And the residual should correlate strongly with the source.
+  Complex corr{0.0, 0.0};
+  double pa = 0.0, pb = 0.0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    corr += std::conj(after[i]) * s.source[i];
+    pa += std::norm(after[i]);
+    pb += std::norm(s.source[i]);
+  }
+  const double rho = std::abs(corr) / std::sqrt(pa * pb);
+  EXPECT_GT(rho, 0.9);
+}
+
+TEST(Tuner, NaiveEstimatorEatsTheSourceSignal) {
+  // Reproduces the paper's warning: regressing against the full transmitted
+  // stream (which is a delayed copy of the received signal) produces a
+  // "canceller" that also nulls the source signal. The probe-based
+  // estimator does not.
+  Rng rng(33);
+  // Strong source so the bias is visible; record long enough for the probe
+  // iteration to converge (taps/N * P_tx/P_probe < 1).
+  const auto s = make_scenario(rng, 60000, /*source_dbm=*/-40.0);
+
+  // Give the naive estimator the anti-causal freedom prior-work tuners have
+  // (they buffer and peek ahead): lookahead 4 lets it reach the future TX
+  // samples that encode the current source sample.
+  const CVec h_naive = fd::estimate_fir_ls_fast(s.tx, s.rx, 40, /*lookahead=*/4);
+  const CVec h_probe =
+      fd::estimate_si_fir_probe_iterative(s.probe, s.tx, s.rx, 24, /*iterations=*/40);
+
+  auto residual_with = [&](const CVec& h, std::size_t lookahead) {
+    CVec out(s.rx.size());
+    for (std::size_t n = 0; n < s.rx.size(); ++n) {
+      Complex est{0.0, 0.0};
+      for (std::size_t k = 0; k < h.size(); ++k) {
+        const std::size_t idx = n + lookahead;
+        if (idx < k) break;
+        const std::size_t m = idx - k;
+        if (m >= s.tx.size()) continue;
+        est += h[k] * s.tx[m];
+      }
+      out[n] = s.rx[n] - est;
+    }
+    return out;
+  };
+
+  const CVec res_naive = residual_with(h_naive, 4);
+  const CVec res_probe = residual_with(h_probe, 0);
+
+  const double source_dbm = dsp::mean_power_db(s.source);
+  // Naive: the residual falls well below the source power - the source got
+  // cancelled along with the SI.
+  EXPECT_LT(dsp::mean_power_db(res_naive), source_dbm - 10.0);
+  // Probe-based: the source survives (residual = source + converged SI
+  // leftover a few dB below it).
+  EXPECT_NEAR(dsp::mean_power_db(res_probe), source_dbm, 3.0);
+}
+
+TEST(DigitalCanceller, CausalAddsNoDelayNonCausalDoes) {
+  fd::DigitalCanceller causal({.taps = 120, .lookahead = 0});
+  fd::DigitalCanceller noncausal({.taps = 40, .lookahead = 5});
+  EXPECT_EQ(causal.added_delay_samples(), 0u);
+  EXPECT_EQ(noncausal.added_delay_samples(), 5u);  // 250 ns at 20 Msps
+}
+
+TEST(DigitalCanceller, CausalNeedsMoreTapsThanNonCausal) {
+  // The paper: prior-work digital cancellation "likes to peek ahead into the
+  // future of the signal" (non-causal interpolation taps around the SI
+  // arrival), which in a relay costs buffering delay. FF's causal filter
+  // avoids the delay but "results in digital cancellation filters which are
+  // slightly longer".
+  //
+  // The physics that makes the longer causal filter work: the transmitted
+  // signal is band-limited (oversampled at the converters), so "future"
+  // samples are linearly predictable from the past — a causal filter with
+  // more taps folds that prediction in.
+  Rng rng(55);
+  const std::size_t n = 16000;
+  // 2x-oversampled band-limited transmit stream: white symbols upsampled
+  // through a windowed-sinc half-band interpolator.
+  CVec tx(n, Complex{});
+  {
+    const CVec sym = dsp::awgn(rng, n / 2, 1.0);
+    CVec up(n, Complex{});
+    for (std::size_t i = 0; i < sym.size(); ++i) up[2 * i] = sym[i];
+    CVec halfband;
+    for (int m = -16; m <= 16; ++m) {
+      const double x = 0.5 * m;
+      const double s = std::abs(x) < 1e-9 ? 1.0 : std::sin(kPi * x) / (kPi * x);
+      const double w = 0.54 + 0.46 * std::cos(kPi * m / 17.0);
+      halfband.push_back(Complex{s * w, 0.0});
+    }
+    tx = dsp::filter(halfband, up);
+    // Transmitter noise floor (-65 dBc, DAC/PA): full-band, so the future of
+    // tx is NOT perfectly predictable from its past. This is what bounds how
+    // well a causal filter can stand in for a non-causal one.
+    dsp::add_awgn(rng, tx, dsp::mean_power(tx) * power_from_db(-65.0));
+  }
+
+  // SI channel whose discrete response has pre-cursor (anti-causal) content:
+  // a half-sample bulk delay means the interpolation kernel splits its main
+  // lobe across the current and NEXT transmit samples.
+  const channel::MultipathChannel si({{0.5 / 40e6, Complex{0.1, 0.03}}}, 2.45e9);
+  const CVec si_fir = si.to_fir(40e6, -4.0 / 40e6, 4);  // pre-cursor of 4 samples
+  CVec rx_full = dsp::filter(si_fir, tx);
+  // The canceller is aligned to the physical emission instant: drop the
+  // 4-sample representation lead so SI appears to depend on future tx.
+  CVec rx(rx_full.begin() + 4, rx_full.end());
+  rx.resize(tx.size());
+  dsp::add_awgn(rng, rx, power_from_db(-75.0));
+
+  auto residual_db = [&](std::size_t taps, std::size_t lookahead) {
+    const CVec h = fd::estimate_fir_ls(tx, rx, taps, lookahead);
+    CVec est(rx.size(), Complex{});
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t k = 0; k < h.size(); ++k) {
+        const std::size_t idx = i + lookahead;
+        if (idx < k) break;
+        const std::size_t m = idx - k;
+        if (m >= tx.size()) continue;
+        acc += h[k] * tx[m];
+      }
+      est[i] = rx[i] - acc;
+    }
+    return dsp::mean_power_db(CSpan(est).subspan(200, rx.size() - 400));
+  };
+
+  // Same tap budget: the non-causal filter (which can reach the future TX
+  // samples) beats the causal one decisively.
+  const double causal_short = residual_db(10, 0);
+  const double noncausal_short = residual_db(10, 5);
+  EXPECT_LT(noncausal_short, causal_short - 4.0);
+
+  // A longer causal filter improves withOUT adding delay, by exploiting the
+  // band-limited predictability of the signal. (The improvement saturates at
+  // the predictability limit; the production stack avoids the issue entirely
+  // because the front-end group delay keeps its SI response causal, which is
+  // why the 120-tap causal filter reaches the full 110 dB.)
+  const double causal_long = residual_db(60, 0);
+  EXPECT_LT(causal_long, causal_short - 1.0);
+  EXPECT_LT(noncausal_short, causal_long);
+}
+
+TEST(Stability, AmplificationBeyondIsolationDiverges) {
+  Rng rng(77);
+  // Residual loop: flat -40 dB isolation, one sample into the loop.
+  CVec residual_fir{Complex{}, Complex{amplitude_from_db(-40.0), 0.0}};
+  const CVec input = dsp::awgn(rng, 4000, 1.0);
+
+  const auto stable = fd::simulate_relay_loop(input, residual_fir, 35.0);
+  EXPECT_LT(stable.growth_db(), 3.0);
+  EXPECT_FALSE(stable.diverged);
+
+  const auto unstable = fd::simulate_relay_loop(input, residual_fir, 45.0);
+  EXPECT_GT(unstable.growth_db(), 30.0);
+}
+
+TEST(Stability, IsolationMeasurementMatchesFlatLoop) {
+  CVec fir{Complex{amplitude_from_db(-37.0), 0.0}};
+  EXPECT_NEAR(fd::loop_isolation_db(fir, kFs, 20e6), 37.0, 0.1);
+}
+
+TEST(Stability, MarginalGainIsBoundary) {
+  Rng rng(88);
+  CVec residual_fir{Complex{}, Complex{amplitude_from_db(-40.0), 0.0}};
+  const CVec input = dsp::awgn(rng, 6000, 1.0);
+  // 1 dB under the isolation: still stable.
+  const auto r = fd::simulate_relay_loop(input, residual_fir, 39.0);
+  EXPECT_FALSE(r.diverged);
+  EXPECT_LT(r.growth_db(), 6.0);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,139 @@
+// Sample-level validation of the half-duplex decode-and-forward baseline
+// (Sec. 2/5: "AP + Half-Duplex Mesh Routers", e.g. an Airport Express).
+//
+// Unlike FF, the mesh router DECODES the packet, then re-transmits it in
+// the next slot — no cancellation, no constructive filtering, but also a
+// hard cost: every relayed packet consumes two airtime slots.
+#include <gtest/gtest.h>
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/noise.hpp"
+#include "eval/experiment.hpp"
+#include "eval/schemes.hpp"
+#include "eval/testbed.hpp"
+#include "eval/timedomain.hpp"
+#include "phy/frame.hpp"
+
+namespace ff {
+namespace {
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+struct HopResult {
+  bool ok = false;
+  double snr_db = 0.0;
+};
+
+/// One PHY hop: transmit at `tx_dbm` over `ch`, decode at a -90 dBm floor.
+HopResult run_hop(const channel::MultipathChannel& ch, std::span<const std::uint8_t> payload,
+                  int mcs, double tx_dbm, Rng& rng) {
+  const phy::OfdmParams params;
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  CVec pkt = tx.modulate(payload, {.mcs_index = mcs});
+  dsp::set_mean_power(pkt, power_from_db(tx_dbm));
+  pkt.resize(pkt.size() + 60, Complex{});  // room for the channel's delay tail
+  CVec at_rx = ch.apply(pkt, params.sample_rate_hz, -8.0 / params.sample_rate_hz);
+  dsp::add_awgn(rng, at_rx, power_from_db(-90.0));
+  const auto r = rx.receive(at_rx);
+  if (!r || !r->crc_ok || r->payload.size() != payload.size()) return {};
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    if (r->payload[i] != payload[i]) return {};
+  return {true, r->snr_db};
+}
+
+TEST(HdMesh, TwoHopDecodeAndForwardDeliversWhereDirectFails) {
+  // Client at the coverage edge: the direct hop fails at a mid MCS, but the
+  // two high-SNR hops through the mesh router both succeed.
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  const channel::Point client{8.4, 6.1};
+  // A mesh router would be placed mid-home (unlike the FF relay, which sits
+  // near the AP to maximize its input SNR).
+  const channel::Point mesh{4.5, 3.2};
+
+  int direct_ok = 0, mesh_ok = 0, trials = 0;
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(static_cast<unsigned>(60 + seed));
+    channel::PropagationConfig prop = tb.prop;
+    prop.carrier_hz = tb.ofdm.carrier_hz;
+    const channel::IndoorPropagation model(plan, prop);
+    const auto sd = model.siso_link(placement.ap, client, rng);
+    const auto sr = model.siso_link(placement.ap, mesh, rng);
+    const auto rd = model.siso_link(mesh, client, rng);
+
+    const auto payload = random_bits(rng, 500);
+    const int mcs = 2;  // QPSK 3/4: needs ~8 dB
+    ++trials;
+    // Direct attempt.
+    Rng r1(static_cast<unsigned>(160 + seed));
+    if (run_hop(sd, payload, mcs, 20.0, r1).ok) ++direct_ok;
+    // Mesh: slot 1 AP -> router (DECODE), slot 2 router -> client.
+    Rng r2(static_cast<unsigned>(260 + seed)), r3(static_cast<unsigned>(360 + seed));
+    const auto hop1 = run_hop(sr, payload, mcs, 20.0, r2);
+    if (!hop1.ok) continue;
+    const auto hop2 = run_hop(rd, payload, mcs, 20.0, r3);
+    if (hop2.ok) ++mesh_ok;
+  }
+  EXPECT_LT(direct_ok, trials / 2);   // the edge client struggles directly
+  EXPECT_GT(mesh_ok, trials / 2);     // the mesh path delivers
+}
+
+TEST(HdMesh, FrequencyDomainModelMatchesHalving) {
+  // The eval harness charges the mesh router two slots:
+  // rate = max(direct, 0.5 * min(hop1, hop2)). Verify against the
+  // per-hop ideal rates.
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const auto plan = channel::FloorPlan::paper_home();
+  Rng rng(9);
+  const auto link =
+      eval::build_link(eval::make_placement(plan), {8.0, 5.5}, tb, rng);
+  const double two_hop = eval::hd_two_hop_mbps(link);
+  const double hop1 = phy::siso_throughput_mbps(
+      [&] {
+        CVec h(link.subcarriers());
+        for (std::size_t i = 0; i < h.size(); ++i) h[i] = link.h_sr[i](0, 0);
+        return h;
+      }(),
+      power_from_db(20.0), power_from_db(-90.0));
+  EXPECT_LE(two_hop, 0.5 * hop1 + 1e-9);
+  EXPECT_GE(two_hop, 0.0);
+}
+
+TEST(HdMesh, MeshNeverBeatsFullDuplexOnEqualLinks) {
+  // With identical hop qualities, the full-duplex relay should never do
+  // worse than the half-duplex mesh (no slot halving, plus coherent
+  // combining with the direct path).
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  const auto opts = eval::default_design_options(tb);
+  int ff_wins = 0, trials = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<unsigned>(700 + seed));
+    const auto client = eval::random_client_location(plan, rng);
+    const auto link = eval::build_link(placement, client, tb, rng);
+    const double hd =
+        std::max(eval::ap_only_rate(link).throughput_mbps, eval::hd_two_hop_mbps(link));
+    if (hd <= 0.0) continue;
+    const auto ff = relay::design_ff_relay(link, opts);
+    const double ff_rate = eval::relayed_rate(link, ff).throughput_mbps;
+    ++trials;
+    if (ff_rate >= hd - 1e-9) ++ff_wins;
+  }
+  ASSERT_GE(trials, 6);
+  EXPECT_GE(static_cast<double>(ff_wins) / trials, 0.8);
+}
+
+}  // namespace
+}  // namespace ff

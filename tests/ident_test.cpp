@@ -1,0 +1,234 @@
+// Tests for source/destination identification (Sec. 6): downlink PN
+// signature correlation and uplink STF channel fingerprinting.
+#include <gtest/gtest.h>
+
+#include "channel/multipath.hpp"
+#include "channel/propagation.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/sequence.hpp"
+#include "ident/pn_detector.hpp"
+#include "ident/stf_fingerprint.hpp"
+#include "phy/frame.hpp"
+#include "phy/preamble.hpp"
+
+namespace ff {
+namespace {
+
+constexpr double kFs = 20e6;
+
+// ---------------------------------------------------------- PN detector
+
+TEST(PnDetector, FindsRegisteredClientInCleanStream) {
+  const phy::OfdmParams params;
+  ident::PnSignatureDetector det;
+  const std::size_t half = phy::signature_prefix_len(params) / 2;
+  for (std::uint32_t c = 1; c <= 4; ++c) det.register_client(c, half);
+
+  Rng rng(3);
+  CVec stream = dsp::awgn(rng, 300, power_from_db(-40.0));
+  const CVec sig = dsp::pn_signature(3, half);
+  stream.insert(stream.end(), sig.begin(), sig.end());
+  stream.insert(stream.end(), sig.begin(), sig.end());
+  stream.resize(stream.size() + 100, Complex{});
+
+  const auto hit = det.detect(stream);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->client, 3u);
+  EXPECT_NEAR(static_cast<double>(hit->offset), 300.0, 2.0);
+  EXPECT_GT(hit->peak, 0.9);
+}
+
+TEST(PnDetector, RequiresBothRepetitions) {
+  const phy::OfdmParams params;
+  ident::PnSignatureDetector det;
+  const std::size_t half = phy::signature_prefix_len(params) / 2;
+  det.register_client(1, half);
+
+  Rng rng(5);
+  // Only one copy of the signature: must not trigger.
+  CVec stream = dsp::awgn(rng, 200, power_from_db(-40.0));
+  const CVec sig = dsp::pn_signature(1, half);
+  stream.insert(stream.end(), sig.begin(), sig.end());
+  stream.resize(stream.size() + 2 * half, Complex{});
+  EXPECT_FALSE(det.detect(stream).has_value());
+}
+
+TEST(PnDetector, IgnoresUnknownNetworksSignatures) {
+  // Sec. 6 design decision: "FF should only constructively relay the
+  // packets from its own network" — a neighbour's signature is not in the
+  // registry and must not match.
+  const phy::OfdmParams params;
+  ident::PnSignatureDetector det;
+  const std::size_t half = phy::signature_prefix_len(params) / 2;
+  det.register_client(1, half);
+  det.register_client(2, half);
+
+  Rng rng(7);
+  CVec stream = dsp::awgn(rng, 100, power_from_db(-45.0));
+  const CVec foreign = dsp::pn_signature(77, half);  // unknown client id
+  stream.insert(stream.end(), foreign.begin(), foreign.end());
+  stream.insert(stream.end(), foreign.begin(), foreign.end());
+  EXPECT_FALSE(det.detect(stream).has_value());
+}
+
+TEST(PnDetector, SurvivesMultipathAndNoise) {
+  const phy::OfdmParams params;
+  ident::PnSignatureDetector det(0.5);
+  const std::size_t half = phy::signature_prefix_len(params) / 2;
+  for (std::uint32_t c = 1; c <= 3; ++c) det.register_client(c, half);
+
+  Rng rng(9);
+  CVec clean(150, Complex{});
+  const CVec sig = dsp::pn_signature(2, half);
+  clean.insert(clean.end(), sig.begin(), sig.end());
+  clean.insert(clean.end(), sig.begin(), sig.end());
+  clean.resize(clean.size() + 150, Complex{});
+
+  channel::MultipathChannel ch({{0.0, {0.9, 0.2}}, {120e-9, {0.25, -0.2}}}, 2.45e9);
+  CVec rx = ch.apply(clean, kFs);
+  dsp::add_awgn(rng, rx, power_from_db(-14.0));  // ~13 dB SNR
+
+  const auto hit = det.detect(rx);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->client, 2u);
+}
+
+TEST(PnDetector, DetectsSignaturePrefixedPacket) {
+  // End-to-end: the Transmitter's downlink prefix (Fig. 19) is found by the
+  // relay before the standard preamble.
+  const phy::OfdmParams params;
+  const phy::Transmitter tx(params);
+  ident::PnSignatureDetector det;
+  const std::size_t half = phy::signature_prefix_len(params) / 2;
+  det.register_client(5, half);
+
+  Rng rng(11);
+  std::vector<std::uint8_t> payload(128);
+  for (auto& b : payload) b = rng.bernoulli(0.5) ? 1 : 0;
+  phy::TxOptions opts;
+  opts.mcs_index = 1;
+  opts.signature_client = 5;
+  CVec pkt = tx.modulate(payload, opts);
+  dsp::add_awgn(rng, pkt, power_from_db(-20.0));
+
+  const auto hit = det.detect(pkt);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->client, 5u);
+  EXPECT_LT(hit->offset, 4u);  // the prefix leads the packet
+}
+
+// ---------------------------------------------------------- fingerprinting
+
+/// Received STF through a client->relay channel with noise.
+CVec stf_through(const channel::MultipathChannel& ch, double snr_db, Rng& rng) {
+  const phy::OfdmParams params;
+  CVec stf = phy::stf_time(params);
+  CVec rx = ch.apply(stf, kFs);
+  // Unit-power STF scaled by channel; add noise at the given SNR.
+  const double p = dsp::mean_power(rx);
+  dsp::add_awgn(rng, rx, p * power_from_db(-snr_db));
+  return rx;
+}
+
+channel::MultipathChannel random_client_channel(Rng& rng) {
+  std::vector<channel::PathTap> taps;
+  const int n = 2 + static_cast<int>(rng.index(3));
+  for (int i = 0; i < n; ++i)
+    taps.push_back({rng.uniform(10e-9, 250e-9),
+                    amplitude_from_db(-rng.uniform(0.0, 12.0)) * rng.unit_phasor()});
+  return channel::MultipathChannel(std::move(taps), 2.45e9);
+}
+
+TEST(StfFingerprint, IdentifiesEnrolledClient) {
+  const phy::OfdmParams params;
+  ident::StfFingerprinter fp(params);
+  Rng rng(13);
+  std::vector<channel::MultipathChannel> channels;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    channels.push_back(random_client_channel(rng));
+    fp.enroll_from_stf(c + 1, stf_through(channels.back(), 30.0, rng));
+  }
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const auto match = fp.identify(stf_through(channels[c], 25.0, rng));
+    ASSERT_TRUE(match.has_value()) << c;
+    EXPECT_EQ(match->client, c + 1) << c;
+  }
+}
+
+TEST(StfFingerprint, PhaseOffsetDoesNotBreakMatching) {
+  // Packet-to-packet carrier phase is random; the matcher compensates it.
+  const phy::OfdmParams params;
+  ident::StfFingerprinter fp(params);
+  Rng rng(17);
+  const auto ch = random_client_channel(rng);
+  fp.enroll_from_stf(9, stf_through(ch, 30.0, rng));
+
+  CVec rx = stf_through(ch, 30.0, rng);
+  const Complex rot = rng.unit_phasor();
+  for (auto& s : rx) s *= rot;
+  const auto match = fp.identify(rx);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->client, 9u);
+}
+
+TEST(StfFingerprint, AbstainsOnUnknownChannel) {
+  const phy::OfdmParams params;
+  ident::StfFingerprinter fp(params);
+  Rng rng(19);
+  for (std::uint32_t c = 1; c <= 3; ++c)
+    fp.enroll_from_stf(c, stf_through(random_client_channel(rng), 30.0, rng));
+  // A new client from a fresh channel: the aggressive threshold should
+  // usually refuse to guess (false negative, harmless per the paper).
+  int false_positives = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto match = fp.identify(stf_through(random_client_channel(rng), 25.0, rng));
+    if (match.has_value()) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 2);
+}
+
+TEST(StfFingerprint, AggressiveIsStricterThanPassive) {
+  const auto agg = ident::aggressive_config();
+  const auto pas = ident::passive_config();
+  EXPECT_LT(agg.max_distance, pas.max_distance);
+  EXPECT_GT(agg.min_margin, pas.min_margin);
+}
+
+TEST(StfFingerprint, DistanceIsZeroForIdenticalAndOneForOrthogonal) {
+  CVec a{{1.0, 0.0}, {0.0, 1.0}};
+  CVec b{{0.0, 1.0}, {1.0, 0.0}};  // orthogonal to a under the inner product
+  EXPECT_NEAR(ident::StfFingerprinter::distance(a, a), 0.0, 1e-12);
+  CVec c{{1.0, 0.0}, {0.0, 0.0}};
+  CVec d{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_NEAR(ident::StfFingerprinter::distance(c, d), 1.0, 1e-12);
+}
+
+TEST(StfFingerprint, ImprintLengthMatchesOccupiedTones) {
+  const phy::OfdmParams params;
+  Rng rng(23);
+  const auto ch = random_client_channel(rng);
+  const CVec imprint = ident::stf_channel_imprint(stf_through(ch, 30.0, rng), params);
+  EXPECT_EQ(imprint.size(), 14u);  // every 4th of the 56 used tones
+}
+
+TEST(StfFingerprint, ChannelDriftDegradesGracefully) {
+  // Enroll, then perturb the channel slightly (time-varying environment):
+  // matching should still work for small drift.
+  const phy::OfdmParams params;
+  ident::StfFingerprinter fp(params);
+  Rng rng(29);
+  auto taps = random_client_channel(rng).taps();
+  fp.enroll_from_stf(4, stf_through(channel::MultipathChannel(taps, 2.45e9), 32.0, rng));
+  // Drift: 2% amplitude wobble on each tap.
+  for (auto& t : taps) t.amp *= 1.0 + 0.02 * rng.gaussian();
+  const auto match =
+      fp.identify(stf_through(channel::MultipathChannel(taps, 2.45e9), 28.0, rng));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->client, 4u);
+}
+
+}  // namespace
+}  // namespace ff

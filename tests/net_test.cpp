@@ -1,0 +1,145 @@
+// Tests for the packet-level network simulator (Sec. 4.2 + Sec. 6 control
+// plane: sounding, snooping, identification, reciprocity, staleness).
+#include <gtest/gtest.h>
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "net/drift.hpp"
+#include "net/network.hpp"
+
+namespace ff {
+namespace {
+
+// ---------------------------------------------------------- drift
+
+TEST(Drift, ZeroTimeIsIdentity) {
+  channel::MultipathChannel ch({{20e-9, {0.3, 0.4}}}, 2.45e9);
+  net::DriftingChannel d(ch, 0.5);
+  Rng rng(1);
+  d.advance(0.0, rng);
+  EXPECT_NEAR(std::abs(d.now().taps()[0].amp - Complex{0.3, 0.4}), 0.0, 1e-12);
+  EXPECT_NEAR(d.correlation_with_initial(), 1.0, 1e-12);
+}
+
+TEST(Drift, CorrelationDecaysWithTime) {
+  channel::MultipathChannel ch(
+      {{20e-9, {0.3, 0.4}}, {80e-9, {0.1, -0.2}}, {150e-9, {-0.05, 0.12}}}, 2.45e9);
+  Rng rng(2);
+  net::DriftingChannel d(ch, 0.2);
+  d.advance(0.02, rng);  // 10% of Tc
+  const double early = d.correlation_with_initial();
+  for (int i = 0; i < 50; ++i) d.advance(0.02, rng);  // several Tc
+  const double late = d.correlation_with_initial();
+  EXPECT_GT(early, 0.85);
+  EXPECT_LT(late, early);
+}
+
+TEST(Drift, PowerStaysStationary) {
+  channel::MultipathChannel ch({{20e-9, {0.3, 0.4}}}, 2.45e9);
+  Rng rng(3);
+  net::DriftingChannel d(ch, 0.1);
+  // Long-run average power should track the initial tap power (0.25).
+  double acc = 0.0;
+  const int steps = 4000;
+  for (int i = 0; i < steps; ++i) {
+    d.advance(0.05, rng);
+    acc += std::norm(d.now().taps()[0].amp);
+  }
+  EXPECT_NEAR(acc / steps, 0.25, 0.035);
+}
+
+// ---------------------------------------------------------- network
+
+net::NetworkConfig small_config() {
+  net::NetworkConfig cfg;
+  cfg.n_clients = 3;
+  cfg.duration_s = 0.4;
+  cfg.packet_interval_s = 2e-3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Network, RunsAndProducesSaneReport) {
+  const auto report = net::run_network(small_config());
+  ASSERT_EQ(report.clients.size(), 3u);
+  EXPECT_GE(report.soundings, 7u);  // 0.4 s / 50 ms
+  std::size_t packets = 0;
+  for (const auto& c : report.clients) {
+    packets += c.dl_packets + c.ul_packets;
+    EXPECT_GE(c.dl_with_ff_mbps, 0.0);
+    EXPECT_LE(c.dl_with_ff_mbps, 2.0 * 96.3);
+  }
+  EXPECT_EQ(packets, report.relay_forwards + report.relay_silences);
+}
+
+TEST(Network, FfNeverHurtsAggregateMuch) {
+  // The relay design can be slightly stale, but across the run the FF
+  // network should not fall below the AP-only network.
+  const auto report = net::run_network(small_config());
+  EXPECT_GE(report.total_dl_gain(), 0.95);
+  EXPECT_GE(report.total_ul_gain(), 0.95);
+}
+
+TEST(Network, DownlinkIdentificationIsReliable) {
+  // PN signatures are designed sequences: the relay should identify nearly
+  // every downlink packet once registered.
+  const auto report = net::run_network(small_config());
+  for (const auto& c : report.clients) {
+    if (c.dl_packets < 10) continue;
+    EXPECT_GT(static_cast<double>(c.dl_identified) / c.dl_packets, 0.9) << c.id;
+  }
+}
+
+TEST(Network, UplinkMisidentificationIsRare) {
+  const auto report = net::run_network(small_config());
+  std::size_t mis = 0, total = 0;
+  for (const auto& c : report.clients) {
+    mis += c.ul_misidentified;
+    total += c.ul_packets;
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_LT(static_cast<double>(mis) / total, 0.02);
+}
+
+TEST(Network, FasterSoundingHelpsUnderFastDrift) {
+  // The 50 ms sounding cadence exists because channels drift: with a short
+  // coherence time, sounding rarely leaves the relay with stale filters and
+  // costs gain.
+  net::NetworkConfig fast = small_config();
+  fast.coherence_time_s = 0.08;
+  fast.sounding_interval_s = 0.02;
+  net::NetworkConfig slow = fast;
+  slow.sounding_interval_s = 0.2;
+  const auto fast_report = net::run_network(fast);
+  const auto slow_report = net::run_network(slow);
+  EXPECT_GT(fast_report.total_dl_gain(), slow_report.total_dl_gain() - 0.05);
+}
+
+TEST(Network, GainsComeFromNeedyClients) {
+  // In a network with a mix of locations, the FF gain concentrates on the
+  // weaker links (the paper's whole premise).
+  net::NetworkConfig cfg = small_config();
+  cfg.n_clients = 5;
+  cfg.duration_s = 0.6;
+  cfg.seed = 23;
+  const auto report = net::run_network(cfg);
+  double weak_gain = 0.0, strong_gain = 0.0;
+  int weak_n = 0, strong_n = 0;
+  for (const auto& c : report.clients) {
+    if (c.dl_packets == 0 || c.dl_ap_only_mbps <= 0.0) continue;
+    const double gain = c.dl_with_ff_mbps / c.dl_ap_only_mbps;
+    if (c.dl_ap_only_mbps < 40.0) {
+      weak_gain += gain;
+      ++weak_n;
+    } else {
+      strong_gain += gain;
+      ++strong_n;
+    }
+  }
+  if (weak_n > 0 && strong_n > 0) {
+    EXPECT_GE(weak_gain / weak_n, strong_gain / strong_n - 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace ff

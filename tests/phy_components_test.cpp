@@ -1,0 +1,491 @@
+// Unit tests for the PHY building blocks: constellations, FEC, interleaver,
+// scrambler, CRC, OFDM modem, preamble, MCS table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/cfo.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "phy/constellation.hpp"
+#include "phy/crc.hpp"
+#include "phy/fec.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/mcs.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/params.hpp"
+#include "phy/preamble.hpp"
+#include "phy/scrambler.hpp"
+
+namespace ff {
+namespace {
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+// ---------------------------------------------------------- params
+
+TEST(Params, PaperNumerology) {
+  const phy::OfdmParams p;
+  EXPECT_EQ(p.used_subcarriers().size(), 56u);       // "56 subcarriers"
+  EXPECT_EQ(p.data_subcarriers().size(), 52u);
+  EXPECT_EQ(p.pilot_subcarriers().size(), 4u);
+  EXPECT_NEAR(p.cp_duration_s(), 400e-9, 1e-15);     // "400ns cyclic prefix"
+  EXPECT_NEAR(p.subcarrier_spacing_hz(), 312.5e3, 1e-6);
+  EXPECT_EQ(p.symbol_len(), 72u);
+}
+
+TEST(Params, FftBinMapping) {
+  const phy::OfdmParams p;
+  EXPECT_EQ(p.fft_bin(1), 1u);
+  EXPECT_EQ(p.fft_bin(28), 28u);
+  EXPECT_EQ(p.fft_bin(-1), 63u);
+  EXPECT_EQ(p.fft_bin(-28), 36u);
+  EXPECT_THROW(p.fft_bin(32), std::logic_error);
+}
+
+// ---------------------------------------------------------- constellation
+
+class AllModulations : public ::testing::TestWithParam<phy::Modulation> {};
+
+TEST_P(AllModulations, RoundTripsBits) {
+  const auto m = GetParam();
+  Rng rng(17);
+  const auto bits = random_bits(rng, 24 * phy::bits_per_symbol(m));
+  const CVec syms = phy::modulate(bits, m);
+  const auto back = phy::demodulate_hard(syms, m);
+  EXPECT_EQ(back, bits);
+}
+
+TEST_P(AllModulations, UnitAveragePower) {
+  const auto m = GetParam();
+  const CVec pts = phy::constellation_points(m);
+  double acc = 0.0;
+  for (const Complex p : pts) acc += std::norm(p);
+  EXPECT_NEAR(acc / static_cast<double>(pts.size()), 1.0, 1e-9);
+}
+
+TEST_P(AllModulations, GrayNeighboursDifferInOneBit) {
+  // Gray mapping property along the I axis: adjacent levels differ in one
+  // bit, which bounds the bit errors a single symbol error causes.
+  const auto m = GetParam();
+  if (m == phy::Modulation::BPSK || m == phy::Modulation::QPSK) GTEST_SKIP();
+  const CVec pts = phy::constellation_points(m);
+  const std::size_t bps = phy::bits_per_symbol(m);
+  // Find pairs of points at minimum distance; their index XOR must have
+  // popcount 1.
+  double min_d = 1e9;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      min_d = std::min(min_d, std::abs(pts[i] - pts[j]));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (std::abs(pts[i] - pts[j]) < min_d * 1.01) {
+        EXPECT_EQ(__builtin_popcount(static_cast<unsigned>(i ^ j)), 1)
+            << to_string(m) << " " << i << "," << j;
+      }
+    }
+  }
+  (void)bps;
+}
+
+TEST_P(AllModulations, SoftLlrSignsMatchHardDecisions) {
+  const auto m = GetParam();
+  Rng rng(23);
+  const auto bits = random_bits(rng, 16 * phy::bits_per_symbol(m));
+  CVec syms = phy::modulate(bits, m);
+  dsp::add_awgn(rng, syms, 1e-4);
+  const auto llrs = phy::demodulate_soft(syms, m, 1e-4);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Positive LLR means bit 0.
+    EXPECT_EQ(llrs[i] > 0 ? 0 : 1, bits[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllModulations,
+                         ::testing::Values(phy::Modulation::BPSK, phy::Modulation::QPSK,
+                                           phy::Modulation::QAM16, phy::Modulation::QAM64,
+                                           phy::Modulation::QAM256));
+
+// ---------------------------------------------------------- FEC
+
+class AllRates : public ::testing::TestWithParam<phy::CodeRate> {};
+
+TEST_P(AllRates, DecodesCleanCodeword) {
+  Rng rng(29);
+  const auto msg = random_bits(rng, 300);
+  const auto coded = phy::convolutional_encode(msg, GetParam());
+  EXPECT_EQ(coded.size(), phy::coded_length(msg.size(), GetParam()));
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -4.0 : 4.0;
+  const auto decoded = phy::viterbi_decode(llrs, GetParam(), msg.size());
+  EXPECT_EQ(decoded, msg);
+}
+
+TEST_P(AllRates, CorrectsScatteredErrors) {
+  Rng rng(31);
+  const auto msg = random_bits(rng, 400);
+  const auto coded = phy::convolutional_encode(msg, GetParam());
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -3.0 : 3.0;
+  // Flip ~2% of coded bits, spread out.
+  for (std::size_t i = 7; i < llrs.size(); i += 53) llrs[i] = -llrs[i];
+  const auto decoded = phy::viterbi_decode(llrs, GetParam(), msg.size());
+  EXPECT_EQ(decoded, msg) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllRates,
+                         ::testing::Values(phy::CodeRate::R1_2, phy::CodeRate::R2_3,
+                                           phy::CodeRate::R3_4, phy::CodeRate::R5_6));
+
+TEST(Fec, LowerRatesSurviveMoreNoise) {
+  // Property: at an SNR where rate 5/6 starts failing, rate 1/2 still holds.
+  Rng rng(37);
+  const auto msg = random_bits(rng, 600);
+  int errors_12 = 0, errors_56 = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    for (const auto rate : {phy::CodeRate::R1_2, phy::CodeRate::R5_6}) {
+      const auto coded = phy::convolutional_encode(msg, rate);
+      std::vector<double> llrs(coded.size());
+      for (std::size_t i = 0; i < coded.size(); ++i) {
+        const double clean = coded[i] ? -1.0 : 1.0;
+        llrs[i] = 2.0 * (clean + 0.55 * rng.gaussian());
+      }
+      const auto decoded = phy::viterbi_decode(llrs, rate, msg.size());
+      int diff = 0;
+      for (std::size_t i = 0; i < msg.size(); ++i) diff += decoded[i] != msg[i];
+      (rate == phy::CodeRate::R1_2 ? errors_12 : errors_56) += diff;
+    }
+  }
+  EXPECT_LT(errors_12, errors_56);
+  EXPECT_EQ(errors_12, 0);
+}
+
+TEST(Fec, PuncturePatternsHaveRightDensity) {
+  EXPECT_EQ(phy::puncture_pattern(phy::CodeRate::R1_2).size(), 2u);
+  // Rate 3/4: 4 of 6 mother bits survive.
+  const auto p34 = phy::puncture_pattern(phy::CodeRate::R3_4);
+  int kept = 0;
+  for (const auto b : p34) kept += b;
+  EXPECT_EQ(kept * 2, static_cast<int>(p34.size()) * 2 * 2 / 3);
+}
+
+// ---------------------------------------------------------- interleaver
+
+class InterleaverMods : public ::testing::TestWithParam<phy::Modulation> {};
+
+TEST_P(InterleaverMods, PermutationIsABijection) {
+  const auto perm = phy::interleave_permutation(GetParam(), 52);
+  std::vector<bool> seen(perm.size(), false);
+  for (const std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST_P(InterleaverMods, InterleaveDeinterleaveRoundTrip) {
+  Rng rng(41);
+  const std::size_t n_cbps = 52 * phy::bits_per_symbol(GetParam());
+  const auto bits = random_bits(rng, 3 * n_cbps);
+  const auto inter = phy::interleave(bits, GetParam(), 52);
+  std::vector<double> llrs(inter.size());
+  for (std::size_t i = 0; i < inter.size(); ++i) llrs[i] = inter[i] ? -1.0 : 1.0;
+  const auto deint = phy::deinterleave(llrs, GetParam(), 52);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    EXPECT_EQ(deint[i] > 0 ? 0 : 1, bits[i]);
+}
+
+TEST_P(InterleaverMods, SpreadsAdjacentBits) {
+  // Adjacent coded bits must land on distant subcarriers.
+  const auto m = GetParam();
+  const auto perm = phy::interleave_permutation(m, 52);
+  const std::size_t bps = phy::bits_per_symbol(m);
+  int close = 0;
+  for (std::size_t k = 0; k + 1 < perm.size(); ++k) {
+    const std::size_t sc1 = perm[k] / bps;
+    const std::size_t sc2 = perm[k + 1] / bps;
+    if (std::abs(static_cast<long>(sc1) - static_cast<long>(sc2)) < 2) ++close;
+  }
+  EXPECT_LT(close, static_cast<int>(perm.size() / 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, InterleaverMods,
+                         ::testing::Values(phy::Modulation::BPSK, phy::Modulation::QPSK,
+                                           phy::Modulation::QAM16, phy::Modulation::QAM64,
+                                           phy::Modulation::QAM256));
+
+// ---------------------------------------------------------- scrambler / CRC
+
+TEST(Scrambler, IsAnInvolution) {
+  Rng rng(43);
+  const auto bits = random_bits(rng, 501);
+  EXPECT_EQ(phy::scramble(phy::scramble(bits)), bits);
+}
+
+TEST(Scrambler, WhitensLongRuns) {
+  const std::vector<std::uint8_t> zeros(254, 0);
+  const auto s = phy::scramble(zeros);
+  int ones = 0;
+  for (const auto b : s) ones += b;
+  EXPECT_GT(ones, 100);
+  EXPECT_LT(ones, 160);
+}
+
+TEST(Crc, DetectsSingleBitFlips) {
+  Rng rng(47);
+  const auto msg = random_bits(rng, 200);
+  auto with_crc = phy::append_crc(msg);
+  EXPECT_TRUE(phy::check_crc(with_crc));
+  for (const std::size_t pos : {0u, 57u, 199u, 210u, 231u}) {
+    auto corrupted = with_crc;
+    corrupted[pos] ^= 1;
+    EXPECT_FALSE(phy::check_crc(corrupted)) << pos;
+  }
+}
+
+TEST(Crc, DetectsBurstErrors) {
+  Rng rng(53);
+  const auto msg = random_bits(rng, 300);
+  auto with_crc = phy::append_crc(msg);
+  for (std::size_t i = 100; i < 120; ++i) with_crc[i] ^= 1;
+  EXPECT_FALSE(phy::check_crc(with_crc));
+}
+
+// ---------------------------------------------------------- OFDM modem
+
+TEST(OfdmModem, SymbolRoundTrips) {
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(59);
+  CVec vals(56);
+  for (auto& v : vals) v = rng.unit_phasor();
+  const CVec sym = modem.modulate_symbol(vals);
+  ASSERT_EQ(sym.size(), 72u);
+  const CVec back = modem.demodulate_symbol(sym);
+  for (std::size_t i = 0; i < 56; ++i)
+    EXPECT_NEAR(std::abs(back[i] - vals[i]), 0.0, 1e-10);
+}
+
+TEST(OfdmModem, CyclicPrefixIsTailCopy) {
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(61);
+  CVec vals(56);
+  for (auto& v : vals) v = rng.unit_phasor();
+  const CVec sym = modem.modulate_symbol(vals);
+  for (std::size_t i = 0; i < p.cp_len; ++i)
+    EXPECT_NEAR(std::abs(sym[i] - sym[p.fft_size + i]), 0.0, 1e-12);
+}
+
+TEST(OfdmModem, UnitSubcarriersGiveUnitSymbolPower) {
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(67);
+  CVec vals(56);
+  for (auto& v : vals) v = rng.unit_phasor();
+  const CVec sym = modem.modulate_symbol(vals);
+  EXPECT_NEAR(dsp::mean_power(CSpan(sym).subspan(p.cp_len)), 1.0, 1e-9);
+}
+
+TEST(OfdmModem, CpAdvanceCompensationIsExact) {
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(71);
+  CVec vals(56);
+  for (auto& v : vals) v = rng.unit_phasor();
+  const CVec sym = modem.modulate_symbol(vals);
+  const CVec back = modem.demodulate_symbol(sym, /*cp_advance=*/3);
+  for (std::size_t i = 0; i < 56; ++i)
+    EXPECT_NEAR(std::abs(back[i] - vals[i]), 0.0, 1e-9);
+}
+
+TEST(OfdmModem, IntraCpDelayCausesNoIsi) {
+  // The paper's Fig. 4 property: a reflection within the CP does not smear
+  // symbols into each other; per-subcarrier it is a phase rotation.
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(73);
+  CVec v1(56), v2(56);
+  for (auto& v : v1) v = rng.unit_phasor();
+  for (auto& v : v2) v = rng.unit_phasor();
+  CVec burst = modem.modulate_symbol(v1);
+  const CVec s2 = modem.modulate_symbol(v2);
+  burst.insert(burst.end(), s2.begin(), s2.end());
+
+  // Channel: direct + echo delayed 5 samples (< CP of 8).
+  CVec rx(burst.size() + 5, Complex{});
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    rx[i] += burst[i];
+    rx[i + 5] += Complex{0.4, 0.3} * burst[i];
+  }
+  const CVec back2 = modem.demodulate_symbol(CSpan(rx).subspan(72, 72));
+  // Every subcarrier of symbol 2: y = (1 + 0.4+0.3j * e^{-j2pi k 5/64}) v2.
+  const auto used = p.used_subcarriers();
+  for (std::size_t i = 0; i < 56; ++i) {
+    const double ang = -kTwoPi * used[i] * 5.0 / 64.0;
+    const Complex h = Complex{1.0, 0.0} + Complex{0.4, 0.3} * Complex{std::cos(ang), std::sin(ang)};
+    EXPECT_NEAR(std::abs(back2[i] - h * v2[i]), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(OfdmModem, BeyondCpDelayCausesIsi) {
+  // ...and beyond the CP it does smear (Fig. 6).
+  const phy::OfdmParams p;
+  const phy::OfdmModem modem(p);
+  Rng rng(79);
+  CVec v1(56), v2(56);
+  for (auto& v : v1) v = rng.unit_phasor();
+  for (auto& v : v2) v = rng.unit_phasor();
+  CVec burst = modem.modulate_symbol(v1);
+  const CVec s2 = modem.modulate_symbol(v2);
+  burst.insert(burst.end(), s2.begin(), s2.end());
+
+  CVec rx(burst.size() + 20, Complex{});
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    rx[i] += burst[i];
+    rx[i + 20] += Complex{0.4, 0.3} * burst[i];  // 1 us echo >> 400 ns CP
+  }
+  const CVec back2 = modem.demodulate_symbol(CSpan(rx).subspan(72, 72));
+  const auto used = p.used_subcarriers();
+  double err = 0.0;
+  for (std::size_t i = 0; i < 56; ++i) {
+    const double ang = -kTwoPi * used[i] * 20.0 / 64.0;
+    const Complex h = Complex{1.0, 0.0} + Complex{0.4, 0.3} * Complex{std::cos(ang), std::sin(ang)};
+    err += std::norm(back2[i] - h * v2[i]);
+  }
+  EXPECT_GT(err / 56.0, 1e-3);  // inter-symbol interference present
+}
+
+// ---------------------------------------------------------- preamble
+
+TEST(Preamble, StfIsSixteenPeriodic) {
+  const phy::OfdmParams p;
+  const CVec stf = phy::stf_time(p);
+  ASSERT_EQ(stf.size(), 160u);
+  for (std::size_t i = 0; i + 16 < stf.size(); ++i)
+    EXPECT_NEAR(std::abs(stf[i] - stf[i + 16]), 0.0, 1e-10);
+}
+
+TEST(Preamble, LtfWordsRepeat) {
+  const phy::OfdmParams p;
+  const CVec ltf = phy::ltf_time(p);
+  ASSERT_EQ(ltf.size(), 2u * p.cp_len + 2u * p.fft_size);
+  for (std::size_t i = 0; i < p.fft_size; ++i)
+    EXPECT_NEAR(std::abs(ltf[2 * p.cp_len + i] - ltf[2 * p.cp_len + p.fft_size + i]), 0.0,
+                1e-12);
+}
+
+TEST(Preamble, CfoEstimatorIsAccurate) {
+  const phy::OfdmParams p;
+  Rng rng(83);
+  for (const double cfo : {-80e3, -20e3, 5e3, 60e3, 110e3}) {
+    CVec pre = phy::preamble_time(p);
+    pre = channel::apply_cfo(pre, cfo, p.sample_rate_hz);
+    dsp::add_awgn(rng, pre, power_from_db(-25.0));
+    const double coarse = phy::estimate_cfo_stf(pre, p);
+    EXPECT_NEAR(coarse, cfo, 4e3) << cfo;
+    // Fine stage on the LTF words of the corrected stream.
+    const CVec corr = channel::apply_cfo(pre, -coarse, p.sample_rate_hz);
+    const double fine =
+        phy::estimate_cfo_ltf(CSpan(corr).subspan(160 + 2 * p.cp_len), p);
+    EXPECT_NEAR(coarse + fine, cfo, 800.0) << cfo;
+  }
+}
+
+TEST(Preamble, ChannelEstimateRecoversFlatChannel) {
+  const phy::OfdmParams p;
+  const Complex h{0.6, -0.8};
+  CVec pre = phy::preamble_time(p);
+  for (auto& s : pre) s *= h;
+  const CVec est = phy::estimate_channel_ltf(CSpan(pre).subspan(160 + 2 * p.cp_len), p);
+  for (const Complex e : est) EXPECT_NEAR(std::abs(e - h), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------- MCS
+
+TEST(Mcs, TableIsMonotone) {
+  const auto& table = phy::mcs_table();
+  ASSERT_EQ(table.size(), 10u);
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    EXPECT_LT(table[i].min_snr_db, table[i + 1].min_snr_db);
+    EXPECT_LT(table[i].data_rate_mbps, table[i + 1].data_rate_mbps);
+  }
+  // Paper Sec. 3.3: "the maximum SNR required is 28dB for the highest rate".
+  EXPECT_NEAR(table.back().min_snr_db, 28.0, 1e-9);
+}
+
+TEST(Mcs, SelectionAndEdges) {
+  EXPECT_EQ(phy::select_mcs(-3.0), nullptr);
+  EXPECT_EQ(phy::select_mcs(2.0)->index, 0);
+  EXPECT_EQ(phy::select_mcs(50.0)->index, 9);
+  EXPECT_NEAR(phy::rate_from_snr_db(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(phy::rate_from_snr_db(30.0), 96.3, 1e-9);
+}
+
+TEST(Mcs, EffectiveSnrOfFlatChannelIsItself) {
+  const std::vector<double> flat(56, 17.0);
+  EXPECT_NEAR(phy::effective_snr_db(flat), 17.0, 1e-9);
+}
+
+TEST(Mcs, EffectiveSnrPenalizesSelectiveFades) {
+  std::vector<double> faded(56, 20.0);
+  for (std::size_t i = 0; i < faded.size(); i += 4) faded[i] = -5.0;
+  const double eff = phy::effective_snr_db(faded);
+  EXPECT_LT(eff, 20.0);
+  EXPECT_GT(eff, 5.0);
+}
+
+TEST(Mcs, SisoThroughputMatchesSnr) {
+  const CVec h(56, Complex{1e-4, 0.0});  // -80 dB channel
+  // 20 dBm TX -> -60 dBm RX over -90 dBm floor: 30 dB -> top MCS.
+  const double tput = phy::siso_throughput_mbps(h, power_from_db(20.0), power_from_db(-90.0));
+  EXPECT_NEAR(tput, 96.3, 1e-9);
+}
+
+TEST(Mcs, MimoPrefersTwoStreamsOnStrongFullRankChannel) {
+  Rng rng(89);
+  std::vector<linalg::Matrix> h;
+  for (int i = 0; i < 56; ++i) {
+    linalg::Matrix m(2, 2);
+    m(0, 0) = {1e-4, 0.0};
+    m(1, 1) = {1e-4, 0.0};  // orthogonal strong paths
+    h.push_back(m);
+  }
+  const auto r = phy::mimo_throughput_mbps(h, power_from_db(20.0), power_from_db(-90.0));
+  EXPECT_EQ(r.streams, 2u);
+  EXPECT_GT(r.throughput_mbps, 140.0);
+}
+
+TEST(Mcs, MimoFallsBackToOneStreamOnKeyhole) {
+  std::vector<linalg::Matrix> h;
+  for (int i = 0; i < 56; ++i) {
+    linalg::Matrix m(2, 2);
+    // Rank-1: all entries equal.
+    for (std::size_t a = 0; a < 2; ++a)
+      for (std::size_t b = 0; b < 2; ++b) m(a, b) = {1e-4, 0.0};
+    h.push_back(m);
+  }
+  const auto r = phy::mimo_throughput_mbps(h, power_from_db(20.0), power_from_db(-90.0));
+  EXPECT_EQ(r.streams, 1u);
+}
+
+TEST(Mcs, ExtraNoisePerSubcarrierReducesRate) {
+  const CVec flat(56, Complex{1e-4, 0.0});
+  std::vector<linalg::Matrix> h;
+  for (int i = 0; i < 56; ++i) h.push_back(linalg::Matrix{{flat[static_cast<std::size_t>(i)]}});
+  const std::vector<double> extra(56, power_from_db(-70.0));  // strong interference
+  const auto clean = phy::mimo_throughput_mbps(h, power_from_db(20.0), power_from_db(-90.0));
+  const auto noisy =
+      phy::mimo_throughput_mbps(h, power_from_db(20.0), power_from_db(-90.0), extra);
+  EXPECT_GT(clean.throughput_mbps, noisy.throughput_mbps);
+}
+
+}  // namespace
+}  // namespace ff

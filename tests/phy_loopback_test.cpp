@@ -1,0 +1,173 @@
+// End-to-end PHY transceiver tests: clean loopback, AWGN, multipath, CFO.
+#include <gtest/gtest.h>
+
+#include "channel/cfo.hpp"
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/noise.hpp"
+#include "phy/frame.hpp"
+
+namespace ff {
+namespace {
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+class PhyLoopback : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhyLoopback, CleanChannelDecodesEveryMcs) {
+  const int mcs = GetParam();
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(42 + static_cast<unsigned>(mcs));
+
+  const auto payload = random_bits(rng, 800);
+  phy::TxOptions opts;
+  opts.mcs_index = mcs;
+  CVec samples = tx.modulate(payload, opts);
+  // Small guard so detection has context.
+  CVec padded(50, Complex{});
+  padded.insert(padded.end(), samples.begin(), samples.end());
+  padded.resize(padded.size() + 50, Complex{});
+
+  const auto result = rx.receive(padded);
+  ASSERT_TRUE(result.has_value()) << "MCS " << mcs;
+  EXPECT_TRUE(result->crc_ok) << "MCS " << mcs;
+  EXPECT_EQ(result->mcs_index, mcs);
+  EXPECT_EQ(result->payload, payload);
+}
+
+TEST_P(PhyLoopback, HighSnrAwgnDecodes) {
+  const int mcs = GetParam();
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(1000 + static_cast<unsigned>(mcs));
+
+  const auto payload = random_bits(rng, 600);
+  phy::TxOptions opts;
+  opts.mcs_index = mcs;
+  CVec samples = tx.modulate(payload, opts);
+  // 35 dB SNR: comfortably above every MCS threshold.
+  dsp::add_awgn(rng, samples, power_from_db(-35.0));
+
+  const auto result = rx.receive(samples);
+  ASSERT_TRUE(result.has_value()) << "MCS " << mcs;
+  EXPECT_TRUE(result->crc_ok) << "MCS " << mcs;
+  EXPECT_EQ(result->payload, payload);
+  EXPECT_GT(result->snr_db, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, PhyLoopback, ::testing::Range(0, 10));
+
+TEST(PhyFrame, DecodesThroughMultipathChannel) {
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(7);
+
+  const auto payload = random_bits(rng, 512);
+  phy::TxOptions opts;
+  opts.mcs_index = 4;  // 16-QAM 3/4
+  const CVec clean = tx.modulate(payload, opts);
+
+  // Two-path channel: direct + 150 ns echo at -6 dB, all within the CP.
+  channel::MultipathChannel ch({{0.0, {1.0, 0.0}}, {150e-9, {0.5, 0.1}}},
+                               params.carrier_hz);
+  CVec faded = ch.apply(clean, params.sample_rate_hz);
+  dsp::add_awgn(rng, faded, power_from_db(-30.0));
+
+  const auto result = rx.receive(faded);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->crc_ok);
+  EXPECT_EQ(result->payload, payload);
+}
+
+TEST(PhyFrame, CorrectsCarrierFrequencyOffset) {
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(11);
+
+  const auto payload = random_bits(rng, 400);
+  phy::TxOptions opts;
+  opts.mcs_index = 3;
+  CVec samples = tx.modulate(payload, opts);
+
+  // 40 ppm at 2.45 GHz is ~98 kHz — a worst-case WiFi oscillator pair.
+  const double cfo = 45e3;
+  samples = channel::apply_cfo(samples, cfo, params.sample_rate_hz, 0.3);
+  dsp::add_awgn(rng, samples, power_from_db(-32.0));
+
+  const auto result = rx.receive(samples);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->crc_ok);
+  EXPECT_EQ(result->payload, payload);
+  EXPECT_NEAR(result->cfo_hz, cfo, 500.0);
+}
+
+TEST(PhyFrame, SignaturePrefixDoesNotBreakClientDecoding) {
+  // Sec. 6: clients ignore the PN prefix because decoding starts at the
+  // standard preamble.
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(13);
+
+  const auto payload = random_bits(rng, 256);
+  phy::TxOptions opts;
+  opts.mcs_index = 2;
+  opts.signature_client = 3;
+  CVec samples = tx.modulate(payload, opts);
+  EXPECT_EQ(samples.size(),
+            tx.modulate(payload, {.mcs_index = 2}).size() + phy::signature_prefix_len(params));
+  dsp::add_awgn(rng, samples, power_from_db(-30.0));
+
+  const auto result = rx.receive(samples);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->crc_ok);
+  EXPECT_EQ(result->payload, payload);
+}
+
+TEST(PhyFrame, LowSnrFailsCrcGracefully) {
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(17);
+
+  const auto payload = random_bits(rng, 800);
+  phy::TxOptions opts;
+  opts.mcs_index = 9;  // 256-QAM 5/6 at 5 dB SNR: hopeless
+  CVec samples = tx.modulate(payload, opts);
+  dsp::add_awgn(rng, samples, power_from_db(-5.0));
+
+  const auto result = rx.receive(samples);
+  if (result.has_value()) {
+    EXPECT_FALSE(result->crc_ok);
+  }
+}
+
+TEST(PhyFrame, DetectReportsCorrectOffset) {
+  const phy::OfdmParams params = phy::default_params();
+  const phy::Transmitter tx(params);
+  const phy::Receiver rx(params);
+  Rng rng(23);
+
+  const auto payload = random_bits(rng, 128);
+  const CVec pkt = tx.modulate(payload, {.mcs_index = 0});
+  CVec samples = dsp::awgn(rng, 333, power_from_db(-40.0));
+  samples.insert(samples.end(), pkt.begin(), pkt.end());
+
+  const auto at = rx.detect_preamble(samples);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_NEAR(static_cast<double>(*at), 333.0, 2.0);
+}
+
+}  // namespace
+}  // namespace ff

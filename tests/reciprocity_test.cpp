@@ -1,0 +1,136 @@
+// Tests for the Sec. 4.2 reciprocity/commutativity claims and the Sec. 6
+// wrong-filter harm that motivates the aggressive identification threshold.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "eval/experiment.hpp"
+#include "eval/schemes.hpp"
+#include "eval/testbed.hpp"
+#include "relay/cnf_design.hpp"
+#include "relay/design.hpp"
+
+namespace ff {
+namespace {
+
+CVec random_responses(Rng& rng, std::size_t n) {
+  CVec out(n);
+  for (auto& v : out) v = rng.unit_phasor() * rng.uniform(0.4, 1.6);
+  return out;
+}
+
+TEST(Reciprocity, DownlinkFilterIsOptimalForUplinkSiso) {
+  // Footnote 1 / Sec. 4.2: "the same constructive filter can be used in
+  // both directions" because the scalar cascade commutes. Verify: the
+  // filter designed for (h_sd, h_sr, h_rd) equals the one designed for the
+  // uplink (h_sd, h_rd, h_sr) on every subcarrier.
+  Rng rng(5);
+  const std::size_t n = 56;
+  const CVec h_sd = random_responses(rng, n);
+  const CVec h_sr = random_responses(rng, n);
+  const CVec h_rd = random_responses(rng, n);
+  const CVec down = relay::cnf_siso_ideal(h_sd, h_sr, h_rd);
+  const CVec up = relay::cnf_siso_ideal(h_sd, h_rd, h_sr);  // hops swapped
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(down[i] - up[i]), 0.0, 1e-9) << i;
+}
+
+TEST(Reciprocity, CombinedChannelIsDirectionSymmetricAtEqualGain) {
+  // With the same filter and the same amplification, the combined channel
+  // magnitude is identical in both directions (commutativity); only the
+  // amplification decision differs per direction (asymmetric noise budgets).
+  Rng rng(7);
+  const std::size_t n = 56;
+  const CVec h_sd = random_responses(rng, n);
+  const CVec h_sr = random_responses(rng, n);
+  const CVec h_rd = random_responses(rng, n);
+  const CVec f = relay::cnf_siso_ideal(h_sd, h_sr, h_rd);
+  const CVec down = relay::combined_channel_siso(h_sd, h_sr, h_rd, f, 1.7);
+  const CVec up = relay::combined_channel_siso(h_sd, h_rd, h_sr, f, 1.7);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(down[i]) - std::abs(up[i]), 0.0, 1e-9) << i;
+}
+
+TEST(Reciprocity, AmplificationDiffersPerDirection) {
+  // The uplink's relay->AP hop has a different attenuation than the
+  // downlink's relay->client hop, so the (a - 3) noise rule lands elsewhere.
+  const auto down = relay::decide_amplification(110.0, /*a=*/85.0, /*rx=*/-70.0);
+  const auto up = relay::decide_amplification(110.0, /*a=*/65.0, /*rx=*/-80.0);
+  EXPECT_NE(down.gain_db, up.gain_db);
+  EXPECT_NEAR(down.gain_db, 82.0, 1e-9);
+  EXPECT_NEAR(up.gain_db, 62.0, 1e-9);
+}
+
+TEST(WrongFilter, ApplyingAnotherClientsFilterCanHurt) {
+  // Sec. 6: "A false positive (mistaking one client for another) could in
+  // some cases worsen the SNR by applying the wrong filter." Measure it:
+  // design for client A, apply to client B, compare against no relay.
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  const auto opts = eval::default_design_options(tb);
+
+  int hurt = 0, trials = 0;
+  for (int seed = 0; seed < 12; ++seed) {
+    Rng rng_a(static_cast<unsigned>(100 + seed)), rng_b(static_cast<unsigned>(500 + seed));
+    const auto client_a = eval::random_client_location(plan, rng_a);
+    const auto client_b = eval::random_client_location(plan, rng_b);
+    Rng ch_a(static_cast<unsigned>(1000 + seed)), ch_b(static_cast<unsigned>(2000 + seed));
+    const auto link_a = eval::build_link(placement, client_a, tb, ch_a);
+    const auto link_b = eval::build_link(placement, client_b, tb, ch_b);
+
+    const double direct_b = eval::ap_only_rate(link_b).throughput_mbps;
+    if (direct_b <= 0.0) continue;
+    ++trials;
+
+    // Design the filter for A but forward to B.
+    const auto design_a = relay::design_ff_relay(link_a, opts);
+    relay::RelayDesign wrong = design_a;
+    for (std::size_t i = 0; i < link_b.subcarriers(); ++i)
+      wrong.h_eff[i] = linalg::Matrix{
+          {link_b.h_sd[i](0, 0) + link_b.h_rd[i](0, 0) * design_a.filter[i](0, 0) *
+                                      design_a.amp_linear_eff * link_b.h_sr[i](0, 0)}};
+    const double wrong_rate = eval::relayed_rate(link_b, wrong).throughput_mbps;
+    if (wrong_rate < direct_b) ++hurt;
+  }
+  ASSERT_GE(trials, 8);
+  // The harm is real at a meaningful fraction of locations — that is why
+  // the identification threshold trades false negatives for zero false
+  // positives.
+  EXPECT_GE(hurt, 1);
+}
+
+TEST(WrongFilter, RightFilterBeatsWrongOnAverage) {
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  const auto opts = eval::default_design_options(tb);
+
+  double right_acc = 0.0, wrong_acc = 0.0;
+  int n = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng ch_a(static_cast<unsigned>(3000 + seed)), ch_b(static_cast<unsigned>(4000 + seed));
+    const auto link_a =
+        eval::build_link(placement, {7.5, 5.0}, tb, ch_a);  // same nominal spot,
+    const auto link_b =
+        eval::build_link(placement, {3.0, 2.0}, tb, ch_b);  // different client
+
+    const auto design_b = relay::design_ff_relay(link_b, opts);
+    right_acc += eval::relayed_rate(link_b, design_b).throughput_mbps;
+
+    const auto design_a = relay::design_ff_relay(link_a, opts);
+    relay::RelayDesign wrong = design_b;
+    for (std::size_t i = 0; i < link_b.subcarriers(); ++i)
+      wrong.h_eff[i] = linalg::Matrix{
+          {link_b.h_sd[i](0, 0) + link_b.h_rd[i](0, 0) * design_a.filter[i](0, 0) *
+                                      design_a.amp_linear_eff * link_b.h_sr[i](0, 0)}};
+    wrong_acc += eval::relayed_rate(link_b, wrong).throughput_mbps;
+    ++n;
+  }
+  EXPECT_GT(right_acc / n, wrong_acc / n);
+}
+
+}  // namespace
+}  // namespace ff

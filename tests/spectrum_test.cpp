@@ -1,0 +1,115 @@
+// Tests for PSD estimation and the relay's out-of-band emission accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/spectrum.hpp"
+#include "eval/testbed.hpp"
+#include "eval/timedomain.hpp"
+#include "phy/frame.hpp"
+#include "relay/pipeline.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Welch, WhiteNoisePsdIsFlatAndSumsToPower) {
+  Rng rng(1);
+  const CVec x = dsp::awgn(rng, 40000, 2.0);
+  const auto psd = dsp::welch_psd(x);
+  double total = 0.0, min_bin = 1e9, max_bin = 0.0;
+  for (const double p : psd) {
+    total += p;
+    min_bin = std::min(min_bin, p);
+    max_bin = std::max(max_bin, p);
+  }
+  EXPECT_NEAR(total, 2.0, 0.1);
+  // Flat to within a few dB bin-to-bin at this averaging depth.
+  EXPECT_LT(max_bin / min_bin, 3.0);
+}
+
+TEST(Welch, ToneLandsInTheRightBin) {
+  const double fs = 20e6;
+  const double f0 = 2.5e6;
+  CVec x(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ang = kTwoPi * f0 / fs * static_cast<double>(i);
+    x[i] = {std::cos(ang), std::sin(ang)};
+  }
+  const auto psd = dsp::welch_psd(x);
+  // Power concentrated around +2.5 MHz: band power there ~1, elsewhere ~0.
+  EXPECT_NEAR(dsp::band_power(psd, fs, 2.2e6, 2.8e6), 1.0, 0.05);
+  EXPECT_NEAR(dsp::band_power(psd, fs, -8e6, -1e6), 0.0, 0.02);
+}
+
+TEST(Welch, BandPowerPartitionsTotal) {
+  Rng rng(2);
+  const CVec x = dsp::awgn(rng, 30000, 1.0);
+  const auto psd = dsp::welch_psd(x);
+  const double fs = 20e6;
+  const double low = dsp::band_power(psd, fs, -10e6, 0.0);
+  const double high = dsp::band_power(psd, fs, 1e-6, 10e6);
+  double total = 0.0;
+  for (const double p : psd) total += p;
+  EXPECT_NEAR(low + high, total, 1e-9);
+}
+
+TEST(Spectrum, UpsampledSignalIsBandLimited) {
+  Rng rng(3);
+  const CVec base = dsp::awgn(rng, 8000, 1.0);
+  const CVec up = dsp::upsample(base, 4);
+  // The 20 MHz content sits inside a quarter of the 80 MHz span.
+  const double oob = dsp::oob_power_ratio_db(up, 80e6, 22e6);
+  EXPECT_LT(oob, -25.0);
+}
+
+TEST(Spectrum, OfdmPacketOccupiesItsChannel) {
+  const phy::OfdmParams params;
+  const phy::Transmitter tx(params);
+  Rng rng(4);
+  std::vector<std::uint8_t> payload(1800);
+  for (auto& b : payload) b = rng.bernoulli(0.5) ? 1 : 0;
+  const CVec pkt = tx.modulate(payload, {.mcs_index = 7});
+  // At critical sampling the 56 tones span 17.5 of 20 MHz: nearly all power
+  // inside +-9 MHz.
+  const auto psd = dsp::welch_psd(pkt, {.segment = 64, .overlap = 32});
+  const double in_band = dsp::band_power(psd, 20e6, -9.2e6, 9.2e6);
+  double total = 0.0;
+  for (const double p : psd) total += p;
+  EXPECT_GT(in_band / total, 0.95);
+}
+
+TEST(Spectrum, RelayOobEmissionsStayBounded) {
+  // The CNF pre-filter's ridge bounds its out-of-band gain; the relay's
+  // transmit spectrum must not be dominated by amplified OOB receiver
+  // noise. (This is the constraint that makes the unconstrained LS fit —
+  // tap gains in the hundreds — unphysical.)
+  eval::TestbedConfig tb;
+  tb.antennas = 1;
+  const phy::OfdmParams params;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  Rng rng(5);
+  const auto client = eval::random_client_location(plan, rng);
+  const auto link = eval::build_td_link(placement, client, tb, rng);
+  const auto cfg = eval::make_ff_pipeline(link, params, 0.0);
+
+  // Feed the pipeline a band-limited signal plus full-band receiver noise.
+  const double fs_hi = 80e6;
+  CVec sig = dsp::upsample(dsp::awgn(rng, 6000, 1.0), 4);
+  dsp::set_mean_power(sig, power_from_db(-65.0));
+  dsp::add_awgn(rng, sig, power_from_db(-90.0) * 4.0);
+  relay::ForwardPipeline pipe(cfg);
+  const CVec out = pipe.process(sig);
+
+  const double oob_db = dsp::oob_power_ratio_db(out, fs_hi, 22e6);
+  // In-band dominates: OOB at least 10 dB down even with the filter's
+  // deliberate OOB headroom amplifying the noise floor.
+  EXPECT_LT(oob_db, -10.0);
+}
+
+}  // namespace
+}  // namespace ff
