@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_canceller.dir/bench_ablation_canceller.cpp.o"
+  "CMakeFiles/bench_ablation_canceller.dir/bench_ablation_canceller.cpp.o.d"
+  "bench_ablation_canceller"
+  "bench_ablation_canceller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_canceller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

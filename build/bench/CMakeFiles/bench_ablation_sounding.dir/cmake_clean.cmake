@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sounding.dir/bench_ablation_sounding.cpp.o"
+  "CMakeFiles/bench_ablation_sounding.dir/bench_ablation_sounding.cpp.o.d"
+  "bench_ablation_sounding"
+  "bench_ablation_sounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_overall_gains.dir/bench_fig12_overall_gains.cpp.o"
+  "CMakeFiles/bench_fig12_overall_gains.dir/bench_fig12_overall_gains.cpp.o.d"
+  "bench_fig12_overall_gains"
+  "bench_fig12_overall_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overall_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

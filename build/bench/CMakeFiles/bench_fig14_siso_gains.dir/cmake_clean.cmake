@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_siso_gains.dir/bench_fig14_siso_gains.cpp.o"
+  "CMakeFiles/bench_fig14_siso_gains.dir/bench_fig14_siso_gains.cpp.o.d"
+  "bench_fig14_siso_gains"
+  "bench_fig14_siso_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_siso_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_no_cnf.dir/bench_fig17_no_cnf.cpp.o"
+  "CMakeFiles/bench_fig17_no_cnf.dir/bench_fig17_no_cnf.cpp.o.d"
+  "bench_fig17_no_cnf"
+  "bench_fig17_no_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_no_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_fingerprint.dir/bench_fig21_fingerprint.cpp.o"
+  "CMakeFiles/bench_fig21_fingerprint.dir/bench_fig21_fingerprint.cpp.o.d"
+  "bench_fig21_fingerprint"
+  "bench_fig21_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lte_latency.dir/bench_lte_latency.cpp.o"
+  "CMakeFiles/bench_lte_latency.dir/bench_lte_latency.cpp.o.d"
+  "bench_lte_latency"
+  "bench_lte_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lte_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mimo_rank.dir/bench_mimo_rank.cpp.o"
+  "CMakeFiles/bench_mimo_rank.dir/bench_mimo_rank.cpp.o.d"
+  "bench_mimo_rank"
+  "bench_mimo_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mimo_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_cancellation.dir/bench_sec33_cancellation.cpp.o"
+  "CMakeFiles/bench_sec33_cancellation.dir/bench_sec33_cancellation.cpp.o.d"
+  "bench_sec33_cancellation"
+  "bench_sec33_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

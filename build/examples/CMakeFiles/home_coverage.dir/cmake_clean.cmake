@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_coverage.dir/home_coverage.cpp.o"
+  "CMakeFiles/home_coverage.dir/home_coverage.cpp.o.d"
+  "home_coverage"
+  "home_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_pipeline.dir/relay_pipeline.cpp.o"
+  "CMakeFiles/relay_pipeline.dir/relay_pipeline.cpp.o.d"
+  "relay_pipeline"
+  "relay_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplink_identification.dir/uplink_identification.cpp.o"
+  "CMakeFiles/uplink_identification.dir/uplink_identification.cpp.o.d"
+  "uplink_identification"
+  "uplink_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplink_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/cfo.cpp" "src/channel/CMakeFiles/ff_channel.dir/cfo.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/cfo.cpp.o.d"
+  "/root/repo/src/channel/floorplan.cpp" "src/channel/CMakeFiles/ff_channel.dir/floorplan.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/floorplan.cpp.o.d"
+  "/root/repo/src/channel/mimo.cpp" "src/channel/CMakeFiles/ff_channel.dir/mimo.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/mimo.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/ff_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/multipath.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/ff_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/channel/propagation.cpp" "src/channel/CMakeFiles/ff_channel.dir/propagation.cpp.o" "gcc" "src/channel/CMakeFiles/ff_channel.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

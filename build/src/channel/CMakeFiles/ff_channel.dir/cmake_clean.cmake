@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_channel.dir/cfo.cpp.o"
+  "CMakeFiles/ff_channel.dir/cfo.cpp.o.d"
+  "CMakeFiles/ff_channel.dir/floorplan.cpp.o"
+  "CMakeFiles/ff_channel.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ff_channel.dir/mimo.cpp.o"
+  "CMakeFiles/ff_channel.dir/mimo.cpp.o.d"
+  "CMakeFiles/ff_channel.dir/multipath.cpp.o"
+  "CMakeFiles/ff_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/ff_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/ff_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/ff_channel.dir/propagation.cpp.o"
+  "CMakeFiles/ff_channel.dir/propagation.cpp.o.d"
+  "libff_channel.a"
+  "libff_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_dsp.dir/correlation.cpp.o"
+  "CMakeFiles/ff_dsp.dir/correlation.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ff_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/fir.cpp.o"
+  "CMakeFiles/ff_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/fractional_delay.cpp.o"
+  "CMakeFiles/ff_dsp.dir/fractional_delay.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/noise.cpp.o"
+  "CMakeFiles/ff_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/resample.cpp.o"
+  "CMakeFiles/ff_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/sequence.cpp.o"
+  "CMakeFiles/ff_dsp.dir/sequence.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/ff_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/ff_dsp.dir/window.cpp.o"
+  "CMakeFiles/ff_dsp.dir/window.cpp.o.d"
+  "libff_dsp.a"
+  "libff_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

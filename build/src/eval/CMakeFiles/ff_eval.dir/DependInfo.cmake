@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/ff_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/heatmap.cpp" "src/eval/CMakeFiles/ff_eval.dir/heatmap.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/heatmap.cpp.o.d"
+  "/root/repo/src/eval/mimo_timedomain.cpp" "src/eval/CMakeFiles/ff_eval.dir/mimo_timedomain.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/mimo_timedomain.cpp.o.d"
+  "/root/repo/src/eval/schemes.cpp" "src/eval/CMakeFiles/ff_eval.dir/schemes.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/schemes.cpp.o.d"
+  "/root/repo/src/eval/stats.cpp" "src/eval/CMakeFiles/ff_eval.dir/stats.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/stats.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/eval/CMakeFiles/ff_eval.dir/table.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/table.cpp.o.d"
+  "/root/repo/src/eval/testbed.cpp" "src/eval/CMakeFiles/ff_eval.dir/testbed.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/testbed.cpp.o.d"
+  "/root/repo/src/eval/timedomain.cpp" "src/eval/CMakeFiles/ff_eval.dir/timedomain.cpp.o" "gcc" "src/eval/CMakeFiles/ff_eval.dir/timedomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ff_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ff_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullduplex/CMakeFiles/ff_fullduplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/ff_relay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_eval.dir/experiment.cpp.o"
+  "CMakeFiles/ff_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/heatmap.cpp.o"
+  "CMakeFiles/ff_eval.dir/heatmap.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/mimo_timedomain.cpp.o"
+  "CMakeFiles/ff_eval.dir/mimo_timedomain.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/schemes.cpp.o"
+  "CMakeFiles/ff_eval.dir/schemes.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/stats.cpp.o"
+  "CMakeFiles/ff_eval.dir/stats.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/table.cpp.o"
+  "CMakeFiles/ff_eval.dir/table.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/testbed.cpp.o"
+  "CMakeFiles/ff_eval.dir/testbed.cpp.o.d"
+  "CMakeFiles/ff_eval.dir/timedomain.cpp.o"
+  "CMakeFiles/ff_eval.dir/timedomain.cpp.o.d"
+  "libff_eval.a"
+  "libff_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fullduplex/adc.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/adc.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/adc.cpp.o.d"
+  "/root/repo/src/fullduplex/analog_canceller.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/analog_canceller.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/analog_canceller.cpp.o.d"
+  "/root/repo/src/fullduplex/digital_canceller.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/digital_canceller.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/digital_canceller.cpp.o.d"
+  "/root/repo/src/fullduplex/si_channel.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/si_channel.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/si_channel.cpp.o.d"
+  "/root/repo/src/fullduplex/stability.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/stability.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/stability.cpp.o.d"
+  "/root/repo/src/fullduplex/stack.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/stack.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/stack.cpp.o.d"
+  "/root/repo/src/fullduplex/tuner.cpp" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/tuner.cpp.o" "gcc" "src/fullduplex/CMakeFiles/ff_fullduplex.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

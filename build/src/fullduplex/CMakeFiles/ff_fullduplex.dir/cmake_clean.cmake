@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_fullduplex.dir/adc.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/adc.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/analog_canceller.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/analog_canceller.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/digital_canceller.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/digital_canceller.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/si_channel.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/si_channel.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/stability.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/stability.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/stack.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/stack.cpp.o.d"
+  "CMakeFiles/ff_fullduplex.dir/tuner.cpp.o"
+  "CMakeFiles/ff_fullduplex.dir/tuner.cpp.o.d"
+  "libff_fullduplex.a"
+  "libff_fullduplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_fullduplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libff_fullduplex.a"
+)

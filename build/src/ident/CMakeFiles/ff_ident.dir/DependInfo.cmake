@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ident/pn_detector.cpp" "src/ident/CMakeFiles/ff_ident.dir/pn_detector.cpp.o" "gcc" "src/ident/CMakeFiles/ff_ident.dir/pn_detector.cpp.o.d"
+  "/root/repo/src/ident/stf_fingerprint.cpp" "src/ident/CMakeFiles/ff_ident.dir/stf_fingerprint.cpp.o" "gcc" "src/ident/CMakeFiles/ff_ident.dir/stf_fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ff_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_ident.dir/pn_detector.cpp.o"
+  "CMakeFiles/ff_ident.dir/pn_detector.cpp.o.d"
+  "CMakeFiles/ff_ident.dir/stf_fingerprint.cpp.o"
+  "CMakeFiles/ff_ident.dir/stf_fingerprint.cpp.o.d"
+  "libff_ident.a"
+  "libff_ident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_ident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

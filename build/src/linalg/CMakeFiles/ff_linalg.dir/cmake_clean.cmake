@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ff_linalg.dir/matrix.cpp.o.d"
+  "libff_linalg.a"
+  "libff_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_net.dir/drift.cpp.o"
+  "CMakeFiles/ff_net.dir/drift.cpp.o.d"
+  "CMakeFiles/ff_net.dir/network.cpp.o"
+  "CMakeFiles/ff_net.dir/network.cpp.o.d"
+  "libff_net.a"
+  "libff_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

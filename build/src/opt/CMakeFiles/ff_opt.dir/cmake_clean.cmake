@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_opt.dir/optimizers.cpp.o"
+  "CMakeFiles/ff_opt.dir/optimizers.cpp.o.d"
+  "libff_opt.a"
+  "libff_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

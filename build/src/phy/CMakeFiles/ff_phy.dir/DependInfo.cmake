@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/constellation.cpp" "src/phy/CMakeFiles/ff_phy.dir/constellation.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/ff_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/fec.cpp" "src/phy/CMakeFiles/ff_phy.dir/fec.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/fec.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/ff_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/ff_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/ff_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/mimo_frame.cpp" "src/phy/CMakeFiles/ff_phy.dir/mimo_frame.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/mimo_frame.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/ff_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/params.cpp" "src/phy/CMakeFiles/ff_phy.dir/params.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/params.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/ff_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/ff_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/ff_phy.dir/scrambler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_phy.dir/constellation.cpp.o"
+  "CMakeFiles/ff_phy.dir/constellation.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/crc.cpp.o"
+  "CMakeFiles/ff_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/fec.cpp.o"
+  "CMakeFiles/ff_phy.dir/fec.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/frame.cpp.o"
+  "CMakeFiles/ff_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/ff_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/mcs.cpp.o"
+  "CMakeFiles/ff_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/mimo_frame.cpp.o"
+  "CMakeFiles/ff_phy.dir/mimo_frame.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/ff_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/params.cpp.o"
+  "CMakeFiles/ff_phy.dir/params.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/preamble.cpp.o"
+  "CMakeFiles/ff_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/ff_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/ff_phy.dir/scrambler.cpp.o.d"
+  "libff_phy.a"
+  "libff_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/amplification.cpp" "src/relay/CMakeFiles/ff_relay.dir/amplification.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/amplification.cpp.o.d"
+  "/root/repo/src/relay/analog_cnf.cpp" "src/relay/CMakeFiles/ff_relay.dir/analog_cnf.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/analog_cnf.cpp.o.d"
+  "/root/repo/src/relay/channel_book.cpp" "src/relay/CMakeFiles/ff_relay.dir/channel_book.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/channel_book.cpp.o.d"
+  "/root/repo/src/relay/cnf_design.cpp" "src/relay/CMakeFiles/ff_relay.dir/cnf_design.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/cnf_design.cpp.o.d"
+  "/root/repo/src/relay/design.cpp" "src/relay/CMakeFiles/ff_relay.dir/design.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/design.cpp.o.d"
+  "/root/repo/src/relay/digital_prefilter.cpp" "src/relay/CMakeFiles/ff_relay.dir/digital_prefilter.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/digital_prefilter.cpp.o.d"
+  "/root/repo/src/relay/pipeline.cpp" "src/relay/CMakeFiles/ff_relay.dir/pipeline.cpp.o" "gcc" "src/relay/CMakeFiles/ff_relay.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ff_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ff_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullduplex/CMakeFiles/ff_fullduplex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

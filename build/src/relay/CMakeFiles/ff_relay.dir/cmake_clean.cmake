@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_relay.dir/amplification.cpp.o"
+  "CMakeFiles/ff_relay.dir/amplification.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/analog_cnf.cpp.o"
+  "CMakeFiles/ff_relay.dir/analog_cnf.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/channel_book.cpp.o"
+  "CMakeFiles/ff_relay.dir/channel_book.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/cnf_design.cpp.o"
+  "CMakeFiles/ff_relay.dir/cnf_design.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/design.cpp.o"
+  "CMakeFiles/ff_relay.dir/design.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/digital_prefilter.cpp.o"
+  "CMakeFiles/ff_relay.dir/digital_prefilter.cpp.o.d"
+  "CMakeFiles/ff_relay.dir/pipeline.cpp.o"
+  "CMakeFiles/ff_relay.dir/pipeline.cpp.o.d"
+  "libff_relay.a"
+  "libff_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

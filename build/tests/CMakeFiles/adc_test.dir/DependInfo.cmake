@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adc_test.cpp" "tests/CMakeFiles/adc_test.dir/adc_test.cpp.o" "gcc" "tests/CMakeFiles/adc_test.dir/adc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ff_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ff_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ff_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ff_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ff_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullduplex/CMakeFiles/ff_fullduplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/ff_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/ident/CMakeFiles/ff_ident.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ff_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ff_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullduplex_test.dir/fullduplex_test.cpp.o"
+  "CMakeFiles/fullduplex_test.dir/fullduplex_test.cpp.o.d"
+  "fullduplex_test"
+  "fullduplex_test.pdb"
+  "fullduplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullduplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_mesh_test.dir/hd_mesh_test.cpp.o"
+  "CMakeFiles/hd_mesh_test.dir/hd_mesh_test.cpp.o.d"
+  "hd_mesh_test"
+  "hd_mesh_test.pdb"
+  "hd_mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

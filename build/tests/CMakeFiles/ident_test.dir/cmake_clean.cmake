@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ident_test.dir/ident_test.cpp.o"
+  "CMakeFiles/ident_test.dir/ident_test.cpp.o.d"
+  "ident_test"
+  "ident_test.pdb"
+  "ident_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ident_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_test.dir/lte_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_test.cpp.o.d"
+  "lte_test"
+  "lte_test.pdb"
+  "lte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

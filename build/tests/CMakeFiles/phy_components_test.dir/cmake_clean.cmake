@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_components_test.dir/phy_components_test.cpp.o"
+  "CMakeFiles/phy_components_test.dir/phy_components_test.cpp.o.d"
+  "phy_components_test"
+  "phy_components_test.pdb"
+  "phy_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

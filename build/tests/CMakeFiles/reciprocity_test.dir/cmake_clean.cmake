@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reciprocity_test.dir/reciprocity_test.cpp.o"
+  "CMakeFiles/reciprocity_test.dir/reciprocity_test.cpp.o.d"
+  "reciprocity_test"
+  "reciprocity_test.pdb"
+  "reciprocity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reciprocity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/phy_loopback_test[1]_include.cmake")
+include("/root/repo/build/tests/fullduplex_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/relay_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_components_test[1]_include.cmake")
+include("/root/repo/build/tests/ident_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lte_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/spectrum_test[1]_include.cmake")
+include("/root/repo/build/tests/mimo_test[1]_include.cmake")
+include("/root/repo/build/tests/reciprocity_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/hd_mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/adc_test[1]_include.cmake")
