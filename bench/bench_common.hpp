@@ -3,10 +3,16 @@
 // series the paper plots; EXPERIMENTS.md records paper-vs-measured.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "eval/experiment.hpp"
 #include "eval/stats.hpp"
 #include "eval/table.hpp"
@@ -15,6 +21,163 @@ namespace ffbench {
 
 using namespace ff;
 using namespace ff::eval;
+
+// ------------------------------------------------------------- timing
+
+/// Monotonic wall-clock stopwatch for the runtime bench harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Wall time of one call to `fn`, in milliseconds.
+template <typename F>
+double time_once_ms(F&& fn) {
+  const Stopwatch sw;
+  fn();
+  return sw.elapsed_ms();
+}
+
+/// Best-of-`reps` wall time (the usual noise-resistant micro-bench metric).
+template <typename F>
+double time_best_ms(F&& fn, int reps) {
+  double best = time_once_ms(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, time_once_ms(fn));
+  return best;
+}
+
+// ------------------------------------------------------------- checksums
+
+/// Fold raw bytes into an FNV-1a accumulator (bit-exact, platform-stable for
+/// the little-endian IEEE-754 doubles this codebase runs on).
+inline std::uint64_t fnv1a_accumulate(std::uint64_t h, const void* bytes, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Checksum of every numeric field of an experiment's results. Two runs are
+/// bit-identical iff their checksums match — this is how the runtime bench
+/// proves the parallel engine's determinism contract holds.
+inline std::uint64_t results_checksum(const std::vector<LocationResult>& results) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& r : results) {
+    h = fnv1a_accumulate(h, r.plan.data(), r.plan.size());
+    const double fields[] = {r.client.x,
+                             r.client.y,
+                             r.schemes.ap_only_mbps,
+                             r.schemes.hd_mesh_mbps,
+                             r.schemes.ff_mbps,
+                             r.schemes.af_mbps,
+                             r.schemes.baseline_snr_db,
+                             static_cast<double>(r.schemes.baseline_streams),
+                             static_cast<double>(r.category)};
+    h = fnv1a_accumulate(h, fields, sizeof(fields));
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- JSON writer
+
+/// Minimal JSON emitter for the machine-readable BENCH_*.json telemetry
+/// files (flat objects, arrays of objects, numbers and strings only).
+class JsonWriter {
+ public:
+  JsonWriter& key(const std::string& k) {
+    comma();
+    os_ << '"' << k << "\":";
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    os_ << format_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    os_ << '"';
+    for (const char c : v)
+      if (c == '"' || c == '\\')
+        os_ << '\\' << c;
+      else
+        os_ << c;
+    os_ << '"';
+    return *this;
+  }
+  JsonWriter& begin_object() {
+    comma();
+    os_ << '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    os_ << '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << str() << '\n';
+    return static_cast<bool>(f);
+  }
+
+ private:
+  static std::string format_number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  void comma() {
+    if (!fresh_) os_ << ',';
+    fresh_ = false;
+  }
+
+  std::ostringstream os_;
+  bool fresh_ = true;
+};
 
 /// Default full-evaluation run (2x2 MIMO, all four floor plans), shared by
 /// Figs. 12/13/15/17. Deterministic.

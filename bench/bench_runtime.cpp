@@ -1,0 +1,208 @@
+// Runtime telemetry for the evaluation engine: wall time of the standard
+// full-evaluation run at 1/2/4/N threads (with a bit-exactness checksum at
+// every thread count), plus best-of wall times for the hot micro-kernels.
+// Emits machine-readable BENCH_runtime.json so perf PRs have a baseline to
+// compare against.
+//
+// Usage: bench_runtime [--clients N] [--out PATH] [--reps R]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "dsp/fft.hpp"
+#include "phy/frame.hpp"
+
+namespace {
+
+using namespace ffbench;
+
+struct ExperimentTiming {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+ExperimentTiming time_experiment(std::size_t clients, std::size_t threads) {
+  ExperimentConfig cfg;
+  cfg.clients_per_plan = clients;
+  cfg.seed = 20140817;  // same seed as standard_run()
+  cfg.threads = threads;
+  ExperimentTiming t;
+  t.threads = threads;
+  std::vector<LocationResult> results;
+  t.wall_ms = time_once_ms([&] { results = run_experiment(cfg); });
+  t.checksum = results_checksum(results);
+  return t;
+}
+
+struct KernelTiming {
+  std::string name;
+  double wall_ms = 0.0;   // best-of-reps for one batch
+  std::size_t items = 0;  // operations per batch
+};
+
+std::vector<KernelTiming> time_kernels(int reps) {
+  std::vector<KernelTiming> out;
+  Rng rng(1);
+
+  {
+    // 64-point forward/inverse transforms: the OFDM modem's innermost loop.
+    const dsp::FftPlan& plan = dsp::FftPlan::cached(64);
+    CVec x(64);
+    for (auto& v : x) v = rng.cgaussian();
+    constexpr std::size_t kBatch = 20000;
+    out.push_back({"fft64_forward",
+                   time_best_ms([&] { for (std::size_t i = 0; i < kBatch; ++i) plan.forward(x); },
+                                reps),
+                   kBatch});
+    out.push_back({"fft64_inverse",
+                   time_best_ms([&] { for (std::size_t i = 0; i < kBatch; ++i) plan.inverse(x); },
+                                reps),
+                   kBatch});
+  }
+  {
+    const dsp::FftPlan& plan = dsp::FftPlan::cached(1024);
+    CVec x(1024);
+    for (auto& v : x) v = rng.cgaussian();
+    constexpr std::size_t kBatch = 2000;
+    out.push_back({"fft1024_inverse",
+                   time_best_ms([&] { for (std::size_t i = 0; i < kBatch; ++i) plan.inverse(x); },
+                                reps),
+                   kBatch});
+  }
+  {
+    // One full-location evaluation (link synthesis + every scheme's design):
+    // the unit of work the parallel engine schedules.
+    const TestbedConfig tb;
+    const auto plan = channel::FloorPlan::paper_home();
+    const auto placement = make_placement(plan);
+    SchemeOptions sopts;
+    sopts.design = default_design_options(tb);
+    Rng loc_rng(42);
+    out.push_back({"evaluate_location",
+                   time_best_ms(
+                       [&] {
+                         Rng r = loc_rng;  // identical draws every rep
+                         const auto link = build_link(placement, {6.0, 4.0}, tb, r);
+                         const auto res = evaluate_location(link, sopts);
+                         if (res.ap_only_mbps < 0.0) std::abort();  // keep it live
+                       },
+                       reps),
+                   1});
+  }
+  {
+    // Full packet decode through the SISO receiver (FFT cache beneficiary).
+    const phy::OfdmParams params;
+    const phy::Transmitter tx(params);
+    const phy::Receiver rx(params);
+    std::vector<std::uint8_t> payload(400);
+    for (auto& b : payload) b = rng.bernoulli(0.5) ? 1 : 0;
+    const CVec pkt = tx.modulate(payload, {.mcs_index = 4});
+    constexpr std::size_t kBatch = 20;
+    out.push_back({"packet_decode",
+                   time_best_ms(
+                       [&] {
+                         for (std::size_t i = 0; i < kBatch; ++i) {
+                           const auto r = rx.receive(pkt);
+                           if (!r || !r->crc_ok) std::abort();
+                         }
+                       },
+                       reps),
+                   kBatch});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 50;
+  std::string out_path = "BENCH_runtime.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc)
+      clients = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (arg == "--out" && i + 1 < argc)
+      out_path = argv[++i];
+    else if (arg == "--reps" && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else {
+      std::cerr << "usage: bench_runtime [--clients N] [--out PATH] [--reps R]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t hw_threads = ff::default_thread_count();
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw_threads > 4) thread_counts.push_back(hw_threads);
+
+  std::printf("bench_runtime: standard_run(%zu) at 1/2/4/N threads "
+              "(hardware default: %zu)\n\n",
+              clients, hw_threads);
+
+  std::vector<ExperimentTiming> timings;
+  for (const std::size_t t : thread_counts) timings.push_back(time_experiment(clients, t));
+
+  bool deterministic = true;
+  for (const auto& t : timings)
+    if (t.checksum != timings.front().checksum) deterministic = false;
+
+  Table table({"threads", "wall (ms)", "speedup vs 1T", "checksum"});
+  char cs[32];
+  for (const auto& t : timings) {
+    std::snprintf(cs, sizeof(cs), "%016llx", static_cast<unsigned long long>(t.checksum));
+    table.row({std::to_string(t.threads), Table::num(t.wall_ms, 1),
+               Table::num(timings.front().wall_ms / t.wall_ms, 2), cs});
+  }
+  table.print();
+  std::printf("\nresults bit-identical across thread counts: %s\n\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  const auto kernels = time_kernels(reps);
+  Table ktable({"kernel", "batch", "best-of (ms)", "us/op"});
+  for (const auto& k : kernels)
+    ktable.row({k.name, std::to_string(k.items), Table::num(k.wall_ms, 3),
+                Table::num(1e3 * k.wall_ms / static_cast<double>(k.items), 3)});
+  ktable.print();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(std::string("ff-bench-runtime-v1"));
+  json.key("clients_per_plan").value(clients);
+  json.key("hardware_threads").value(hw_threads);
+  json.key("deterministic").value(deterministic);
+  json.key("experiment");
+  json.begin_array();
+  for (const auto& t : timings) {
+    std::snprintf(cs, sizeof(cs), "%016llx", static_cast<unsigned long long>(t.checksum));
+    json.begin_object();
+    json.key("threads").value(t.threads);
+    json.key("wall_ms").value(t.wall_ms);
+    json.key("speedup_vs_1t").value(timings.front().wall_ms / t.wall_ms);
+    json.key("checksum").value(std::string(cs));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("kernels");
+  json.begin_array();
+  for (const auto& k : kernels) {
+    json.begin_object();
+    json.key("name").value(k.name);
+    json.key("batch").value(k.items);
+    json.key("best_of_ms").value(k.wall_ms);
+    json.key("us_per_op").value(1e3 * k.wall_ms / static_cast<double>(k.items));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ff {
+namespace {
+
+thread_local bool tl_inside_parallel = false;
+
+struct InsideGuard {
+  bool previous;
+  InsideGuard() : previous(tl_inside_parallel) { tl_inside_parallel = true; }
+  ~InsideGuard() { tl_inside_parallel = previous; }
+};
+
+/// One parallel_for invocation: a shared cursor hands out contiguous index
+/// chunks; the first exception wins and aborts the remaining chunks.
+struct Job {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void record_error(std::exception_ptr e) {
+    failed.store(true, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lk(error_mutex);
+    if (!error) error = std::move(e);
+  }
+
+  void run_chunks() {
+    const InsideGuard guard;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t start = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= n) return;
+      const std::size_t end = std::min(n, start + chunk);
+      try {
+        for (std::size_t i = start; i < end; ++i) (*body)(i);
+      } catch (...) {
+        record_error(std::current_exception());
+        return;
+      }
+    }
+  }
+};
+
+/// Fixed worker pool, created once on first parallel call. Workers sleep on
+/// a condition variable between jobs; each job admits at most the requested
+/// number of extra workers (the caller always participates too).
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t capacity() const { return workers_.size() + 1; }
+
+  void run(Job& job, std::size_t extra_workers) {
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      job_ = &job;
+      slots_ = std::min(extra_workers, workers_.size());
+      ++generation_;
+    }
+    cv_.notify_all();
+    job.run_chunks();  // the caller is always one of the workers
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      slots_ = 0;  // no late joiners once the caller has drained the cursor
+      done_cv_.wait(lk, [&] { return active_ == 0; });
+      job_ = nullptr;
+    }
+  }
+
+ private:
+  Pool() {
+    // Size the pool so small machines can still exercise (oversubscribed)
+    // multi-thread schedules up to kMinCapacity ways; determinism never
+    // depends on the physical core count.
+    static constexpr std::size_t kMinCapacity = 8;
+    static constexpr std::size_t kMaxCapacity = 64;
+    const std::size_t cap =
+        std::clamp(default_thread_count(), kMinCapacity, kMaxCapacity);
+    workers_.reserve(cap - 1);
+    for (std::size_t i = 0; i + 1 < cap; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+      cv_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen && slots_ > 0);
+      });
+      if (stop_) return;
+      seen = generation_;
+      --slots_;
+      ++active_;
+      Job* job = job_;
+      lk.unlock();
+      job->run_chunks();
+      lk.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;          // guarded by mutex_
+  std::size_t slots_ = 0;       // remaining worker slots for the current job
+  std::size_t active_ = 0;      // workers currently inside the current job
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("FF_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool inside_parallel_region() { return tl_inside_parallel; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_thread_count();
+
+  // Serial fast path; also taken for nested calls so a body that itself
+  // parallelizes can never deadlock waiting on the pool it runs inside.
+  if (threads <= 1 || n == 1 || inside_parallel_region()) {
+    const InsideGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Pool& pool = Pool::instance();
+  threads = std::min({threads, n, pool.capacity()});
+
+  Job job;
+  job.n = n;
+  // ~4 chunks per worker balances scheduling slack against cursor traffic.
+  job.chunk = std::max<std::size_t>(1, n / (threads * 4));
+  job.body = &body;
+  pool.run(job, threads - 1);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace ff

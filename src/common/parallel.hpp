@@ -1,0 +1,42 @@
+// Deterministic parallel execution engine.
+//
+// A fixed pool of workers dispatches chunked index ranges; callers use
+// parallel_for(n, body) for embarrassingly parallel loops. The engine makes
+// three guarantees the evaluation harness depends on:
+//
+//   1. Every index in [0, n) is executed exactly once.
+//   2. The first exception thrown by any body is rethrown in the caller
+//      (after all workers have left the loop), never swallowed.
+//   3. A body that itself calls parallel_for runs the nested loop inline on
+//      the calling thread — nesting can never deadlock the pool.
+//
+// Determinism is the caller's contract: bodies must only write state owned
+// by their own index (e.g. slot i of a pre-sized results vector) and draw
+// randomness from per-index RNG streams prepared serially beforehand. Under
+// that contract, results are bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ff {
+
+/// Worker count used when a caller passes threads == 0: the FF_THREADS
+/// environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency(), else 1.
+std::size_t default_thread_count();
+
+/// Run body(i) for every i in [0, n), using up to `threads` threads
+/// (0 = default_thread_count()). The calling thread participates, so
+/// threads == 1 degenerates to a plain serial loop with zero overhead.
+/// Work is handed out as contiguous index chunks from a shared atomic
+/// cursor; chunk boundaries never affect results under the determinism
+/// contract above.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// True while the current thread is executing inside a parallel_for body;
+/// nested parallel_for calls detect this and run inline.
+bool inside_parallel_region();
+
+}  // namespace ff

@@ -5,10 +5,24 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 #include "common/types.hpp"
 
 namespace ff {
+
+/// FNV-1a 64-bit string hash. Used wherever a seed is derived from a name
+/// (floor plans, scheme labels): unlike std::hash, the value is pinned by
+/// this implementation, so forked RNG streams — and therefore every figure —
+/// are identical across standard libraries and platforms.
+constexpr std::uint64_t fnv1a_64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 class Rng {
  public:

@@ -1,6 +1,9 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -27,26 +30,40 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     bitrev_[i] = r;
   }
   twiddle_.resize(n_ / 2);
+  inv_twiddle_.resize(n_ / 2);
   for (std::size_t k = 0; k < n_ / 2; ++k) {
     const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n_);
     twiddle_[k] = {std::cos(ang), std::sin(ang)};
+    inv_twiddle_[k] = std::conj(twiddle_[k]);
   }
 }
 
-void FftPlan::transform(CMutSpan data, bool invert) const {
+const FftPlan& FftPlan::cached(std::size_t n) {
+  // Plans are immutable, so only the map itself needs the lock; callers keep
+  // using the returned plan lock-free. Entries live for the whole process.
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
+      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
+  const std::lock_guard<std::mutex> lk(mutex);
+  auto& slot = (*cache)[n];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+template <bool kInvert>
+void FftPlan::transform(CMutSpan data) const {
   FF_CHECK(data.size() == n_);
   for (std::size_t i = 0; i < n_; ++i)
     if (i < bitrev_[i]) std::swap(data[i], data[bitrev_[i]]);
 
+  const Complex* tw = kInvert ? inv_twiddle_.data() : twiddle_.data();
   for (std::size_t len = 2; len <= n_; len <<= 1) {
     const std::size_t half = len / 2;
     const std::size_t stride = n_ / len;
     for (std::size_t start = 0; start < n_; start += len) {
       for (std::size_t k = 0; k < half; ++k) {
-        Complex w = twiddle_[k * stride];
-        if (invert) w = std::conj(w);
         const Complex u = data[start + k];
-        const Complex v = data[start + k + half] * w;
+        const Complex v = data[start + k + half] * tw[k * stride];
         data[start + k] = u + v;
         data[start + k + half] = u - v;
       }
@@ -54,23 +71,23 @@ void FftPlan::transform(CMutSpan data, bool invert) const {
   }
 }
 
-void FftPlan::forward(CMutSpan data) const { transform(data, /*invert=*/false); }
+void FftPlan::forward(CMutSpan data) const { transform<false>(data); }
 
 void FftPlan::inverse(CMutSpan data) const {
-  transform(data, /*invert=*/true);
+  transform<true>(data);
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& x : data) x *= scale;
 }
 
 CVec fft(CSpan x) {
   CVec out(x.begin(), x.end());
-  FftPlan(out.size()).forward(out);
+  FftPlan::cached(out.size()).forward(out);
   return out;
 }
 
 CVec ifft(CSpan x) {
   CVec out(x.begin(), x.end());
-  FftPlan(out.size()).inverse(out);
+  FftPlan::cached(out.size()).inverse(out);
   return out;
 }
 
@@ -95,7 +112,7 @@ CVec fft_convolve(CSpan a, CSpan b) {
   CVec fa(n), fb(n);
   std::copy(a.begin(), a.end(), fa.begin());
   std::copy(b.begin(), b.end(), fb.begin());
-  const FftPlan plan(n);
+  const FftPlan& plan = FftPlan::cached(n);
   plan.forward(fa);
   plan.forward(fb);
   for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];

@@ -11,11 +11,18 @@
 
 namespace ff::dsp {
 
-/// FFT execution plan for a fixed power-of-two size.
+/// FFT execution plan for a fixed power-of-two size. Immutable once built,
+/// so a single plan may be shared freely across threads.
 class FftPlan {
  public:
   /// `n` must be a power of two >= 2.
   explicit FftPlan(std::size_t n);
+
+  /// Shared process-wide plan for size `n`, built on first use. Plans are
+  /// immutable and never evicted, so the returned reference stays valid for
+  /// the lifetime of the process and is safe to use concurrently — this is
+  /// what the parallel evaluation engine's workers hit.
+  static const FftPlan& cached(std::size_t n);
 
   std::size_t size() const { return n_; }
 
@@ -26,11 +33,13 @@ class FftPlan {
   void inverse(CMutSpan data) const;
 
  private:
-  void transform(CMutSpan data, bool invert) const;
+  template <bool kInvert>
+  void transform(CMutSpan data) const;
 
   std::size_t n_;
   std::vector<std::size_t> bitrev_;
   CVec twiddle_;      // forward twiddles, n_/2 entries
+  CVec inv_twiddle_;  // conjugate table: the inverse butterfly stays branch-free
 };
 
 /// One-shot convenience transforms (plan is built per call).

@@ -1,6 +1,7 @@
 #include "eval/experiment.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ff::eval {
 
@@ -34,27 +35,56 @@ relay::DesignOptions default_design_options(const TestbedConfig& cfg) {
 }
 
 std::vector<LocationResult> run_experiment(const ExperimentConfig& cfg) {
-  std::vector<LocationResult> out;
-  Rng master(cfg.seed);
-
   SchemeOptions sopts;
   sopts.evaluate_af = cfg.evaluate_af;
   sopts.design = default_design_options(cfg.testbed);
 
-  for (const auto& plan : channel::FloorPlan::evaluation_set()) {
-    const Placement placement = make_placement(plan);
-    Rng rng = master.fork(std::hash<std::string>{}(plan.name()));
+  // Phase 1 (serial): draw every client location and fork one RNG stream per
+  // location, in a fixed order. This pins all randomness up front, so the
+  // expensive phase below can run its locations in any schedule — on any
+  // number of threads — and still produce bit-identical results.
+  struct LocationJob {
+    const Placement* placement = nullptr;
+    channel::Point client{};
+    Rng rng{0};
+  };
+  const auto plans = channel::FloorPlan::evaluation_set();
+  std::vector<Placement> placements;
+  placements.reserve(plans.size());
+  std::vector<LocationJob> jobs;
+  jobs.reserve(plans.size() * cfg.clients_per_plan);
+
+  Rng master(cfg.seed);
+  for (const auto& plan : plans) {
+    placements.push_back(make_placement(plan));
+    Rng plan_rng = master.fork(fnv1a_64(plan.name()));
     for (std::size_t c = 0; c < cfg.clients_per_plan; ++c) {
-      LocationResult r;
-      r.plan = plan.name();
-      r.client = random_client_location(plan, rng);
-      const relay::RelayLink link = build_link(placement, r.client, cfg.testbed, rng);
-      r.schemes = evaluate_location(link, sopts);
-      r.category = categorize(r.schemes.baseline_snr_db, r.schemes.baseline_streams,
-                              cfg.testbed.antennas);
-      out.push_back(std::move(r));
+      LocationJob job;
+      job.placement = &placements.back();
+      job.client = random_client_location(plan, plan_rng);
+      job.rng = plan_rng.fork(c);
+      jobs.push_back(std::move(job));
     }
   }
+
+  // Phase 2 (parallel): each location evaluates independently from its own
+  // RNG stream and writes only its own slot of the pre-sized output.
+  std::vector<LocationResult> out(jobs.size());
+  parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        LocationJob& job = jobs[i];
+        LocationResult r;
+        r.plan = job.placement->plan.name();
+        r.client = job.client;
+        const relay::RelayLink link =
+            build_link(*job.placement, job.client, cfg.testbed, job.rng);
+        r.schemes = evaluate_location(link, sopts);
+        r.category = categorize(r.schemes.baseline_snr_db, r.schemes.baseline_streams,
+                                cfg.testbed.antennas);
+        out[i] = std::move(r);
+      },
+      cfg.threads);
   return out;
 }
 

@@ -35,6 +35,12 @@ struct ExperimentConfig {
   std::size_t clients_per_plan = 40;
   std::uint64_t seed = 1;
   bool evaluate_af = false;
+  /// Worker threads for the per-location evaluations. 0 = FF_THREADS env /
+  /// hardware default (see common/parallel.hpp). Results are bit-identical
+  /// at every thread count: all randomness is drawn in a serial phase that
+  /// assigns each location its own pre-forked RNG stream before the
+  /// parallel compute phase starts.
+  std::size_t threads = 0;
 };
 
 /// Run the full evaluation across FloorPlan::evaluation_set().
