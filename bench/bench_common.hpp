@@ -7,12 +7,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
+#include "eval/cli.hpp"
 #include "eval/experiment.hpp"
 #include "eval/stats.hpp"
 #include "eval/table.hpp"
@@ -21,6 +21,10 @@ namespace ffbench {
 
 using namespace ff;
 using namespace ff::eval;
+
+// The emitter lives in common/json_writer.hpp now (the telemetry exporter
+// shares it); the alias keeps the bench binaries' spelling.
+using ff::JsonWriter;
 
 // ------------------------------------------------------------- timing
 
@@ -71,7 +75,7 @@ inline std::uint64_t fnv1a_accumulate(std::uint64_t h, const void* bytes, std::s
 /// Checksum of every numeric field of an experiment's results. Two runs are
 /// bit-identical iff their checksums match — this is how the runtime bench
 /// proves the parallel engine's determinism contract holds.
-inline std::uint64_t results_checksum(const std::vector<LocationResult>& results) {
+inline std::uint64_t results_checksum(const ExperimentResults& results) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const auto& r : results) {
     h = fnv1a_accumulate(h, r.plan.data(), r.plan.size());
@@ -89,118 +93,21 @@ inline std::uint64_t results_checksum(const std::vector<LocationResult>& results
   return h;
 }
 
-// ------------------------------------------------------------- JSON writer
-
-/// Minimal JSON emitter for the machine-readable BENCH_*.json telemetry
-/// files (flat objects, arrays of objects, numbers and strings only).
-class JsonWriter {
- public:
-  JsonWriter& key(const std::string& k) {
-    comma();
-    os_ << '"' << k << "\":";
-    fresh_ = true;
-    return *this;
-  }
-  JsonWriter& value(double v) {
-    comma();
-    os_ << format_number(v);
-    return *this;
-  }
-  JsonWriter& value(std::uint64_t v) {
-    comma();
-    os_ << v;
-    return *this;
-  }
-  JsonWriter& value(int v) {
-    comma();
-    os_ << v;
-    return *this;
-  }
-  JsonWriter& value(bool v) {
-    comma();
-    os_ << (v ? "true" : "false");
-    return *this;
-  }
-  JsonWriter& value(const std::string& v) {
-    comma();
-    os_ << '"';
-    for (const char c : v)
-      if (c == '"' || c == '\\')
-        os_ << '\\' << c;
-      else
-        os_ << c;
-    os_ << '"';
-    return *this;
-  }
-  JsonWriter& begin_object() {
-    comma();
-    os_ << '{';
-    fresh_ = true;
-    return *this;
-  }
-  JsonWriter& end_object() {
-    os_ << '}';
-    fresh_ = false;
-    return *this;
-  }
-  JsonWriter& begin_array() {
-    comma();
-    os_ << '[';
-    fresh_ = true;
-    return *this;
-  }
-  JsonWriter& end_array() {
-    os_ << ']';
-    fresh_ = false;
-    return *this;
-  }
-
-  std::string str() const { return os_.str(); }
-
-  bool write_file(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) return false;
-    f << str() << '\n';
-    return static_cast<bool>(f);
-  }
-
- private:
-  static std::string format_number(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return buf;
-  }
-  void comma() {
-    if (!fresh_) os_ << ',';
-    fresh_ = false;
-  }
-
-  std::ostringstream os_;
-  bool fresh_ = true;
-};
+// ------------------------------------------------------------- experiments
 
 /// Default full-evaluation run (2x2 MIMO, all four floor plans), shared by
 /// Figs. 12/13/15/17. Deterministic.
-inline std::vector<LocationResult> standard_run(std::size_t clients_per_plan = 50,
-                                                bool with_af = false,
-                                                double cancellation_db = 110.0) {
-  ExperimentConfig cfg;
-  cfg.clients_per_plan = clients_per_plan;
-  cfg.seed = 20140817;  // SIGCOMM'14 started August 17
-  cfg.evaluate_af = with_af;
-  cfg.testbed.cancellation_db = cancellation_db;
-  return run_experiment(cfg);
-}
-
-/// Relative gains vs the half-duplex-mesh baseline (the paper's metric:
-/// locations where even the HD mesh gets nothing have undefined gain and
-/// are excluded, as in Sec. 5).
-inline std::vector<double> gains_vs_hd(const std::vector<LocationResult>& results,
-                                       double SchemeResult::*scheme) {
-  std::vector<double> out;
-  for (const auto& r : results)
-    if (r.schemes.hd_mesh_mbps > 0.0) out.push_back(r.schemes.*scheme / r.schemes.hd_mesh_mbps);
-  return out;
+inline ExperimentResults standard_run(std::size_t clients_per_plan = 50,
+                                      bool with_af = false,
+                                      double cancellation_db = 110.0,
+                                      MetricsRegistry* metrics = nullptr) {
+  // SIGCOMM'14 started August 17.
+  return run_experiment(ExperimentConfig::for_testbed(TestbedPreset::kMimo2x2)
+                            .with_clients(clients_per_plan)
+                            .with_seed(20140817)
+                            .with_af(with_af)
+                            .with_cancellation_db(cancellation_db)
+                            .with_metrics(metrics));
 }
 
 /// Print a CDF as a fixed-quantile table (one row per 5% step).

@@ -9,9 +9,9 @@ int main() {
   print_banner("Fig. 13 — absolute 2x2 MIMO PHY throughput (Mbps)");
 
   const auto results = standard_run();
-  const auto ap = extract(results, &SchemeResult::ap_only_mbps);
-  const auto hd = extract(results, &SchemeResult::hd_mesh_mbps);
-  const auto ff = extract(results, &SchemeResult::ff_mbps);
+  const auto ap = results.throughputs(Scheme::kApOnly);
+  const auto hd = results.throughputs(Scheme::kHdMesh);
+  const auto ff = results.throughputs(Scheme::kFastForward);
 
   print_cdf_columns({"AP only", "AP+HD mesh", "AP+FF relay"}, {ap, hd, ff});
 

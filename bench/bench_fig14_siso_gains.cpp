@@ -7,20 +7,18 @@ int main() {
   using namespace ffbench;
   print_banner("Fig. 14 — SISO relative throughput gains (pure construct-and-forward SNR)");
 
-  ExperimentConfig cfg;
-  cfg.clients_per_plan = 50;
-  cfg.seed = 20140817;
-  cfg.testbed.antennas = 1;
-  const auto results = run_experiment(cfg);
+  const auto results = run_experiment(ExperimentConfig::for_testbed(TestbedPreset::kSiso)
+                                          .with_clients(50)
+                                          .with_seed(20140817));
 
-  const auto ff = gains_vs_hd(results, &SchemeResult::ff_mbps);
-  const auto ap = gains_vs_hd(results, &SchemeResult::ap_only_mbps);
+  const auto ff = results.gains_vs_hd(Scheme::kFastForward);
+  const auto ap = results.gains_vs_hd(Scheme::kApOnly);
   std::vector<double> hd(ff.size(), 1.0);
 
   print_cdf_columns({"AP+FF relay", "AP only", "AP+HD mesh"}, {ff, ap, hd});
 
-  const auto ap_abs = extract(results, &SchemeResult::ap_only_mbps);
-  const auto ff_abs = extract(results, &SchemeResult::ff_mbps);
+  const auto ap_abs = results.throughputs(Scheme::kApOnly);
+  const auto ff_abs = results.throughputs(Scheme::kFastForward);
   std::printf("\nHeadline numbers (paper in brackets):\n");
   std::printf("  SISO FF vs HD mesh, median gain        : %.2fx   [1.6x]\n", median(ff));
   std::printf("  SISO FF vs HD mesh, 90th pct gain      : %.2fx   [~4x at the tail]\n",

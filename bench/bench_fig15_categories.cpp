@@ -18,11 +18,7 @@ int main() {
   std::vector<std::vector<double>> series;
   std::vector<std::string> names;
   for (const auto cat : cats) {
-    std::vector<double> g;
-    for (const auto& r : results)
-      if (r.category == cat && r.schemes.hd_mesh_mbps > 0.0)
-        g.push_back(r.schemes.ff_mbps / r.schemes.hd_mesh_mbps);
-    series.push_back(std::move(g));
+    series.push_back(results.by_category(cat).gains_vs_hd(Scheme::kFastForward));
     names.push_back(to_string(cat));
   }
 

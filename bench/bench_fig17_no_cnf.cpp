@@ -11,9 +11,9 @@ int main() {
 
   const auto results = standard_run(/*clients_per_plan=*/50, /*with_af=*/true);
 
-  const auto ff = gains_vs_hd(results, &SchemeResult::ff_mbps);
-  const auto af = gains_vs_hd(results, &SchemeResult::af_mbps);
-  const auto ap = gains_vs_hd(results, &SchemeResult::ap_only_mbps);
+  const auto ff = results.gains_vs_hd(Scheme::kFastForward);
+  const auto af = results.gains_vs_hd(Scheme::kAmplifyForward);
+  const auto ap = results.gains_vs_hd(Scheme::kApOnly);
 
   print_cdf_columns({"AP+FF relay", "AP+amplify-only", "AP only"}, {ff, af, ap});
 

@@ -11,8 +11,8 @@ int main() {
   Table t({"cancellation (dB)", "median FF gain vs HD", "median FF tput (Mbps)"});
   for (const double c : {100.0, 102.0, 104.0, 106.0, 108.0, 110.0}) {
     const auto results = standard_run(/*clients_per_plan=*/40, /*with_af=*/false, c);
-    const auto ff = gains_vs_hd(results, &SchemeResult::ff_mbps);
-    const auto ff_abs = extract(results, &SchemeResult::ff_mbps);
+    const auto ff = results.gains_vs_hd(Scheme::kFastForward);
+    const auto ff_abs = results.throughputs(Scheme::kFastForward);
     t.row({Table::num(c, 0), Table::num(median(ff), 2), Table::num(median(ff_abs), 1)});
   }
   t.print();

@@ -4,13 +4,19 @@
 // Emits machine-readable BENCH_runtime.json so perf PRs have a baseline to
 // compare against.
 //
-// Usage: bench_runtime [--clients N] [--out PATH] [--reps R]
+// With --metrics, every thread-count run also records telemetry into a
+// fresh MetricsRegistry and the runs are cross-checked: the ff-metrics-v1
+// JSON (excluding wall-clock timer values) must be byte-identical at every
+// thread count — the registry's own determinism contract. The 1-thread
+// run's full snapshot is written to the given path.
+//
+// Usage: bench_runtime [--clients N] [--out PATH] [--reps R] [--metrics PATH]
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "dsp/fft.hpp"
 #include "phy/frame.hpp"
 
@@ -22,18 +28,28 @@ struct ExperimentTiming {
   std::size_t threads = 0;
   double wall_ms = 0.0;
   std::uint64_t checksum = 0;
+  std::string metrics_canonical;  // to_json(false): timer values excluded
+  std::string metrics_full;       // to_json(true)
 };
 
-ExperimentTiming time_experiment(std::size_t clients, std::size_t threads) {
-  ExperimentConfig cfg;
-  cfg.clients_per_plan = clients;
-  cfg.seed = 20140817;  // same seed as standard_run()
-  cfg.threads = threads;
+ExperimentTiming time_experiment(std::size_t clients, std::size_t threads,
+                                 bool with_metrics) {
+  MetricsRegistry registry;
+  const auto cfg = ExperimentConfig::for_testbed(TestbedPreset::kMimo2x2)
+                       .with_clients(clients)
+                       .with_seed(20140817)  // same seed as standard_run()
+                       .with_threads(threads)
+                       .with_metrics(with_metrics ? &registry : nullptr);
   ExperimentTiming t;
   t.threads = threads;
-  std::vector<LocationResult> results;
+  ExperimentResults results;
   t.wall_ms = time_once_ms([&] { results = run_experiment(cfg); });
   t.checksum = results_checksum(results);
+  if (with_metrics) {
+    const MetricsSnapshot snap = registry.snapshot();
+    t.metrics_canonical = snap.to_json(/*include_timer_values=*/false);
+    t.metrics_full = snap.to_json();
+  }
   return t;
 }
 
@@ -120,20 +136,19 @@ std::vector<KernelTiming> time_kernels(int reps) {
 int main(int argc, char** argv) {
   std::size_t clients = 50;
   std::string out_path = "BENCH_runtime.json";
+  std::string metrics_path;
   int reps = 3;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--clients" && i + 1 < argc)
-      clients = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (arg == "--out" && i + 1 < argc)
-      out_path = argv[++i];
-    else if (arg == "--reps" && i + 1 < argc)
-      reps = std::atoi(argv[++i]);
-    else {
-      std::cerr << "usage: bench_runtime [--clients N] [--out PATH] [--reps R]\n";
-      return 2;
-    }
-  }
+  Cli cli("bench_runtime",
+          "Wall-time the standard evaluation run at 1/2/4/N threads with "
+          "bit-exactness checksums, plus hot micro-kernel timings.");
+  cli.add_option("--clients", &clients, "client locations per floor plan")
+      .add_option("--out", &out_path, "output JSON path")
+      .add_option("--reps", &reps, "best-of repetitions for the kernel timings")
+      .add_option("--metrics", &metrics_path,
+                  "record telemetry, cross-check it across thread counts, and "
+                  "write the 1-thread ff-metrics-v1 snapshot here");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bool with_metrics = !metrics_path.empty();
 
   const std::size_t hw_threads = ff::default_thread_count();
   std::vector<std::size_t> thread_counts{1, 2, 4};
@@ -144,11 +159,19 @@ int main(int argc, char** argv) {
               clients, hw_threads);
 
   std::vector<ExperimentTiming> timings;
-  for (const std::size_t t : thread_counts) timings.push_back(time_experiment(clients, t));
+  for (const std::size_t t : thread_counts)
+    timings.push_back(time_experiment(clients, t, with_metrics));
 
   bool deterministic = true;
   for (const auto& t : timings)
     if (t.checksum != timings.front().checksum) deterministic = false;
+
+  // Metrics determinism: identical snapshot bytes (timer values aside) no
+  // matter how the work was sharded. Vacuously true when metrics are off.
+  bool metrics_deterministic = true;
+  for (const auto& t : timings)
+    if (t.metrics_canonical != timings.front().metrics_canonical)
+      metrics_deterministic = false;
 
   Table table({"threads", "wall (ms)", "speedup vs 1T", "checksum"});
   char cs[32];
@@ -158,8 +181,12 @@ int main(int argc, char** argv) {
                Table::num(timings.front().wall_ms / t.wall_ms, 2), cs});
   }
   table.print();
-  std::printf("\nresults bit-identical across thread counts: %s\n\n",
+  std::printf("\nresults bit-identical across thread counts: %s\n",
               deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+  if (with_metrics)
+    std::printf("metrics snapshots byte-identical across thread counts: %s\n",
+                metrics_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+  std::printf("\n");
 
   const auto kernels = time_kernels(reps);
   Table ktable({"kernel", "batch", "best-of (ms)", "us/op"});
@@ -174,6 +201,8 @@ int main(int argc, char** argv) {
   json.key("clients_per_plan").value(clients);
   json.key("hardware_threads").value(hw_threads);
   json.key("deterministic").value(deterministic);
+  json.key("metrics_enabled").value(with_metrics);
+  json.key("metrics_deterministic").value(metrics_deterministic);
   json.key("experiment");
   json.begin_array();
   for (const auto& t : timings) {
@@ -204,5 +233,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s\n", out_path.c_str());
-  return deterministic ? 0 : 1;
+  if (with_metrics) {
+    std::ofstream mf(metrics_path, std::ios::binary);
+    if (mf) mf << timings.front().metrics_full;
+    if (!mf) {
+      std::cerr << "failed to write " << metrics_path << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  return deterministic && metrics_deterministic ? 0 : 1;
 }

@@ -1,0 +1,93 @@
+# telemetry-smoke: run bench_runtime --metrics on a tiny config and validate
+# the emitted ff-metrics-v1 JSON — it must parse, carry the schema tag, and
+# contain the documented required metrics (docs/OBSERVABILITY.md).
+#
+# Invoked by CTest as:
+#   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir> -P telemetry_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON), IN_LIST policy
+if(NOT BENCH_RUNTIME)
+  message(FATAL_ERROR "pass -DBENCH_RUNTIME=<path to bench_runtime>")
+endif()
+if(NOT WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(metrics_json ${WORK_DIR}/BENCH_metrics_smoke.json)
+execute_process(
+  COMMAND ${BENCH_RUNTIME} --clients 2 --reps 1
+          --out ${WORK_DIR}/BENCH_runtime_metrics_smoke.json
+          --metrics ${metrics_json}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_runtime --metrics failed (rc=${rc}); a nonzero exit "
+                      "also means a cross-thread determinism violation.\n${out}\n${err}")
+endif()
+
+file(READ ${metrics_json} doc)
+
+# string(JSON) both validates that the document parses and extracts fields.
+string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
+if(jerr)
+  message(FATAL_ERROR "metrics JSON does not parse: ${jerr}")
+endif()
+if(NOT schema STREQUAL "ff-metrics-v1")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-metrics-v1)")
+endif()
+
+foreach(section counters gauges histograms timers)
+  string(JSON n ERROR_VARIABLE jerr LENGTH "${doc}" ${section})
+  if(jerr)
+    message(FATAL_ERROR "metrics JSON missing '${section}' array: ${jerr}")
+  endif()
+endforeach()
+
+# Collect every metric name across the sections, then check the documented
+# required set for an experiment run is present.
+set(names "")
+foreach(section counters gauges histograms timers)
+  string(JSON n LENGTH "${doc}" ${section})
+  if(n GREATER 0)
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON name GET "${doc}" ${section} ${i} name)
+      list(APPEND names ${name})
+    endforeach()
+  endif()
+endforeach()
+
+foreach(required
+    eval.experiments
+    eval.locations
+    eval.category.low_snr_low_rank
+    eval.wins.ff
+    eval.median_mbps.ff
+    relay.design.ff
+    relay.design.gain_db
+    relay.cnf.split_error_db
+    eval.experiment.wall_us
+    eval.location.wall_us)
+  if(NOT required IN_LIST names)
+    message(FATAL_ERROR "required metric '${required}' missing from ${metrics_json}; "
+                        "present: ${names}")
+  endif()
+endforeach()
+
+# Each thread-count run records into a fresh registry and the written file
+# is the 1-thread run's snapshot, so eval.locations must be exactly
+# clients x plans = 2 x 4 = 8.
+string(JSON n LENGTH "${doc}" counters)
+math(EXPR last "${n} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name GET "${doc}" counters ${i} name)
+  if(name STREQUAL "eval.locations")
+    string(JSON v GET "${doc}" counters ${i} value)
+    if(NOT v EQUAL 8)
+      message(FATAL_ERROR "eval.locations = ${v}, expected 8 (2 clients x 4 plans)")
+    endif()
+  endif()
+endforeach()
+
+message(STATUS "telemetry smoke OK: ${metrics_json} valid, required metrics present")

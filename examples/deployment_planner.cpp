@@ -10,9 +10,9 @@
 //   ./examples/deployment_planner [plan]   (home | office | corridor | rooms)
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
 #include "common/rng.hpp"
+#include "eval/cli.hpp"
 #include "eval/experiment.hpp"
 #include "eval/heatmap.hpp"
 #include "eval/schemes.hpp"
@@ -23,18 +23,30 @@ using namespace ff;
 using namespace ff::eval;
 
 int main(int argc, char** argv) {
+  std::string plan_name = "home";
+  MetricsSink metrics;
+  Cli cli("deployment_planner",
+          "Grid-search the floor plan for the relay position that maximizes "
+          "network-wide FF throughput.");
+  cli.add_positional("plan", &plan_name, "floor plan: home | office | corridor | rooms");
+  metrics.register_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
   channel::FloorPlan plan = channel::FloorPlan::paper_home();
-  if (argc > 1) {
-    const std::string name = argv[1];
-    if (name == "office") plan = channel::FloorPlan::open_office();
-    else if (name == "corridor") plan = channel::FloorPlan::l_corridor();
-    else if (name == "rooms") plan = channel::FloorPlan::two_wide_rooms();
+  if (plan_name == "office") plan = channel::FloorPlan::open_office();
+  else if (plan_name == "corridor") plan = channel::FloorPlan::l_corridor();
+  else if (plan_name == "rooms") plan = channel::FloorPlan::two_wide_rooms();
+  else if (plan_name != "home") {
+    std::fprintf(stderr, "unknown plan '%s' (home | office | corridor | rooms)\n",
+                 plan_name.c_str());
+    return 2;
   }
   std::printf("Planning relay placement in '%s' (%.0f x %.0f m)\n", plan.name().c_str(),
               plan.width(), plan.height());
 
   TestbedConfig tb;
-  const auto opts = default_design_options(tb);
+  auto opts = default_design_options(tb);
+  opts.metrics = metrics.registry();
   Placement placement = make_placement(plan);
 
   // Fixed client set to evaluate every candidate against.
@@ -114,5 +126,5 @@ int main(int argc, char** argv) {
   };
   std::printf("\nMedian client throughput by relay position ('#' = best):\n%s",
               render_heatmap(plan, nearest, hm).c_str());
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

@@ -5,11 +5,11 @@
 // coverage summary. Useful as a deployment-planning tool: move the relay
 // and re-run to see the coverage change.
 //
-//   ./examples/home_coverage [relay_x relay_y]
+//   ./examples/home_coverage [relay_x relay_y] [--metrics out.json]
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/rng.hpp"
+#include "eval/cli.hpp"
 #include "eval/heatmap.hpp"
 #include "eval/experiment.hpp"
 #include "eval/schemes.hpp"
@@ -21,13 +21,23 @@ using namespace ff::eval;
 int main(int argc, char** argv) {
   const auto plan = channel::FloorPlan::paper_home();
   Placement placement = make_placement(plan);
-  if (argc == 3) {
-    placement.relay = {std::atof(argv[1]), std::atof(argv[2])};
-    std::printf("Relay moved to (%.1f, %.1f)\n", placement.relay.x, placement.relay.y);
+  double relay_x = placement.relay.x, relay_y = placement.relay.y;
+  MetricsSink metrics;
+  Cli cli("home_coverage",
+          "Coverage survey over the paper's home floor plan: AP-only vs AP+FF "
+          "heatmaps plus a service-tier summary. Move the relay to replan.");
+  cli.add_positional("relay_x", &relay_x, "relay x position (m)")
+      .add_positional("relay_y", &relay_y, "relay y position (m)");
+  metrics.register_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  if (relay_x != placement.relay.x || relay_y != placement.relay.y) {
+    placement.relay = {relay_x, relay_y};
+    std::printf("Relay moved to (%.1f, %.1f)\n", relay_x, relay_y);
   }
 
   TestbedConfig cfg;  // 2x2 MIMO
-  const auto opts = default_design_options(cfg);
+  auto opts = default_design_options(cfg);
+  opts.metrics = metrics.registry();
 
   struct Cell {
     double ap_snr, ff_snr;
@@ -84,5 +94,5 @@ int main(int argc, char** argv) {
   std::printf("  >= 58 Mbps : AP only %3d%%   AP+FF %3d%%\n", 100 * ap_hd / n,
               100 * ff_hd / n);
   std::printf("\nTip: re-run with a relay position, e.g.  ./home_coverage 4.5 3.2\n");
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

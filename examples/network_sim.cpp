@@ -4,10 +4,10 @@
 // detection on the downlink, STF fingerprinting on the uplink, reciprocity
 // reuse of the constructive filter, drifting channels).
 //
-//   ./examples/network_sim [n_clients] [duration_s]
+//   ./examples/network_sim [n_clients] [duration_s] [--seed N] [--metrics out.json]
 #include <cstdio>
-#include <cstdlib>
 
+#include "eval/cli.hpp"
 #include "eval/table.hpp"
 #include "net/network.hpp"
 
@@ -15,9 +15,17 @@ using namespace ff;
 
 int main(int argc, char** argv) {
   net::NetworkConfig cfg;
-  cfg.n_clients = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
-  cfg.duration_s = argc > 2 ? std::atof(argv[2]) : 1.0;
   cfg.seed = 7;
+  eval::MetricsSink metrics;
+  eval::Cli cli("network_sim",
+                "Packet-level simulation of a deployed FF network: one AP, one "
+                "relay, N unmodified clients with the full control plane.");
+  cli.add_positional("n_clients", &cfg.n_clients, "number of clients")
+      .add_positional("duration_s", &cfg.duration_s, "simulated seconds")
+      .add_option("--seed", &cfg.seed, "simulation RNG seed");
+  metrics.register_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  cfg.metrics = metrics.registry();
 
   std::printf("Simulating %zu clients for %.1f s (sounding every %.0f ms, packet every "
               "%.0f ms)...\n\n",
@@ -46,5 +54,5 @@ int main(int argc, char** argv) {
   std::printf("Relay assisted %zu packets, stayed silent on %zu "
               "(unidentified or stale channel book); %zu soundings.\n",
               report.relay_forwards, report.relay_silences, report.soundings);
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

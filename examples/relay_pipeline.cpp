@@ -10,7 +10,7 @@
 //   5. The client receives direct + relayed and decodes; compare SNR with
 //      and without the relay.
 //
-//   ./examples/relay_pipeline
+//   ./examples/relay_pipeline [--seed N] [--metrics out.json]
 #include <cstdio>
 
 #include "common/rng.hpp"
@@ -18,6 +18,7 @@
 #include "dsp/correlation.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/noise.hpp"
+#include "eval/cli.hpp"
 #include "eval/testbed.hpp"
 #include "eval/timedomain.hpp"
 #include "fullduplex/si_channel.hpp"
@@ -27,9 +28,18 @@
 
 using namespace ff;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = 7;
+  eval::MetricsSink metrics;
+  eval::Cli cli("relay_pipeline",
+                "Sample-level walk-through of the FF device on one packet: "
+                "identification, SI cancellation tuning, and forwarding.");
+  cli.add_option("--seed", &seed, "scenario RNG seed");
+  metrics.register_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
   const phy::OfdmParams params;
-  Rng rng(7);
+  Rng rng(seed);
 
   // ---- Scenario: the paper's home, client in the far bedroom.
   eval::TestbedConfig cfg;
@@ -80,12 +90,14 @@ int main() {
     CVec relay_tx(n, Complex{});
     for (std::size_t i = 2; i < n; ++i) relay_tx[i] = source[i - 2];
     dsp::set_mean_power(relay_tx, power_from_db(20.0));
-    const CVec probe = fd::inject_probe(rng, relay_tx, 30.0);
+    const CVec probe = fd::inject_probe(rng, relay_tx, 30.0, metrics.registry());
     const CVec si_sig = dsp::filter(si_fir, relay_tx);
     CVec port(n);
     const CVec thermal = dsp::awgn_dbm(rng, n, -90.0);
     for (std::size_t i = 0; i < n; ++i) port[i] = source[i] + si_sig[i] + thermal[i];
-    fd::CancellationStack stack;
+    fd::StackConfig stack_cfg;
+    stack_cfg.metrics = metrics.registry();
+    fd::CancellationStack stack(stack_cfg);
     stack.tune(relay_tx, probe, port);
     const CVec si_only = si_sig;  // measure on the SI component alone
     const CVec after_analog = stack.apply_analog_only(relay_tx, si_only);
@@ -97,7 +109,8 @@ int main() {
   }
 
   // ---- Stage 4+5: forward the packet and decode at the client.
-  const auto pipeline = eval::make_ff_pipeline(link, params, 0.0);
+  auto pipeline = eval::make_ff_pipeline(link, params, 0.0);
+  pipeline.metrics = metrics.registry();
   std::printf("[relay] forward pipeline: gain %.1f dB, %zu-tap CNF pre-filter, analog "
               "rotation %.0f deg, bulk delay %.0f ns\n",
               pipeline.gain_db, pipeline.prefilter.size(),
@@ -126,5 +139,5 @@ int main() {
   };
   show("[client] AP only    ", base);
   show("[client] AP+FF relay", relayed);
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

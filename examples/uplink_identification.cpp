@@ -6,7 +6,7 @@
 // fingerprints the channel imprint the known STF carries, matching it
 // against the per-client database it maintains from poll replies.
 //
-//   ./examples/uplink_identification
+//   ./examples/uplink_identification [--seed N] [--packets N]
 #include <cstdio>
 
 #include "channel/propagation.hpp"
@@ -14,16 +14,26 @@
 #include "common/units.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/noise.hpp"
+#include "eval/cli.hpp"
 #include "eval/testbed.hpp"
 #include "ident/stf_fingerprint.hpp"
 #include "phy/preamble.hpp"
 
 using namespace ff;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = 21;
+  int packets = 20;
+  eval::Cli cli("uplink_identification",
+                "STF channel-fingerprint sender identification (Sec. 6 / Fig. 20): "
+                "enroll four clients, then identify live uplink packets.");
+  cli.add_option("--seed", &seed, "channel and traffic RNG seed")
+      .add_option("--packets", &packets, "live packets to identify");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
   const phy::OfdmParams params;
   const double fs = params.sample_rate_hz;
-  Rng rng(21);
+  Rng rng(seed);
 
   const auto plan = channel::FloorPlan::paper_home();
   const channel::IndoorPropagation model(plan);
@@ -54,7 +64,7 @@ int main() {
   std::printf("%-8s %-12s %-10s %-10s %s\n", "packet", "true sender", "identified",
               "distance", "margin");
   int correct = 0, abstain = 0, wrong = 0;
-  const int kPackets = 20;
+  const int kPackets = packets;
   for (int pkt = 0; pkt < kPackets; ++pkt) {
     const int sender = static_cast<int>(rng.index(4));
     const auto match = fp.identify(receive_stf(sender, rng.uniform(20.0, 30.0)));

@@ -1,0 +1,102 @@
+// Minimal JSON emitter shared by the machine-readable telemetry files
+// (BENCH_*.json, metrics reports): flat objects, arrays of objects, numbers
+// and strings only. Numbers are formatted with %.6g, so a given double
+// always serializes to the same bytes — the determinism checks that diff
+// these files byte-for-byte rely on that.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ff {
+
+class JsonWriter {
+ public:
+  JsonWriter& key(const std::string& k) {
+    comma();
+    os_ << '"' << k << "\":";
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    os_ << format_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    os_ << '"';
+    for (const char c : v)
+      if (c == '"' || c == '\\')
+        os_ << '\\' << c;
+      else
+        os_ << c;
+    os_ << '"';
+    return *this;
+  }
+  JsonWriter& begin_object() {
+    comma();
+    os_ << '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    os_ << '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << str() << '\n';
+    return static_cast<bool>(f);
+  }
+
+ private:
+  static std::string format_number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  void comma() {
+    if (!fresh_) os_ << ',';
+    fresh_ = false;
+  }
+
+  std::ostringstream os_;
+  bool fresh_ = true;
+};
+
+}  // namespace ff

@@ -1,0 +1,168 @@
+// Lightweight metrics registry for the relay stack.
+//
+// The paper's evaluation hinges on internal quantities the subsystems
+// otherwise compute and throw away: self-interference residual per
+// cancellation stage (Sec. 3.3), tuner convergence, CNF design residuals
+// (Sec. 3.4), per-location link categories (Fig. 15). A MetricsRegistry
+// collects them as named metrics with hierarchical dotted names
+// (`relay.tuner.iterations`, `fd.digital.residual_dbm`,
+// `eval.location.wall_us`) and exports JSON/CSV reports.
+//
+// Injection, not globals: each subsystem's config struct carries a
+// `MetricsRegistry*` (default nullptr). A null pointer is a no-op — the
+// null-safe helpers in ff::metrics compile down to one branch, so the
+// deterministic compute phase stays pure and the hot path pays nothing
+// when observability is off.
+//
+// Thread-safety and determinism: each thread writes to its own shard
+// (created on first use); `snapshot()` merges shards with order-independent
+// rules and sorts metrics by name, so a report produced under the parallel
+// engine is byte-identical at any thread count:
+//
+//   * counters   — integer sums (associative and commutative);
+//   * gauges     — the maximum of the per-shard last-set values (use them
+//                  from serial code when last-write semantics matter);
+//   * histograms — exact sample sets, merged and sorted ascending before
+//                  any aggregate (sum/mean/percentiles) is computed, so
+//                  floating-point accumulation order is pinned;
+//   * timers     — histograms of wall-clock durations. Their VALUES are
+//                  inherently nondeterministic; exporters can exclude them
+//                  (`to_json(/*include_timer_values=*/false)`) so the rest
+//                  of a report can be diffed byte-for-byte.
+//
+// Histograms store every observation (8 bytes each). That is exact and
+// deterministic, and cheap at this codebase's scale (hundreds of
+// observations per experiment); counters — not histograms — belong on
+// per-sample hot loops.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ff {
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kTimer };
+
+std::string to_string(MetricKind k);
+
+/// One merged metric as of a snapshot. Histogram/timer aggregates are
+/// computed over the ascending-sorted sample set.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value, or number of observations
+  double value = 0.0;       // gauge value
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Deterministically merged view of a registry: sorted by name within each
+/// kind. `schema` tags the export format for downstream tooling.
+struct MetricsSnapshot {
+  static constexpr const char* kSchema = "ff-metrics-v1";
+
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+  std::vector<MetricValue> histograms;
+  std::vector<MetricValue> timers;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() && timers.empty();
+  }
+
+  /// JSON report (see docs/OBSERVABILITY.md for the schema). With
+  /// `include_timer_values = false` the timers section keeps only metric
+  /// names and observation counts — everything left is deterministic and
+  /// can be compared byte-for-byte across runs and thread counts.
+  std::string to_json(bool include_timer_values = true) const;
+
+  /// Flat CSV: name,kind,count,value,min,max,sum,mean,p50,p90,p99.
+  std::string to_csv() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Counter: add `delta` (registers the metric even when delta == 0).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Gauge: record the latest value (merged across shards by max).
+  void set(std::string_view name, double value);
+
+  /// Histogram: record one observation.
+  void observe(std::string_view name, double value);
+
+  /// Timer-kind histogram: record a wall-clock duration in microseconds.
+  void observe_duration_us(std::string_view name, double us);
+
+  /// Merge every shard into a deterministic snapshot.
+  MetricsSnapshot snapshot() const;
+
+  /// Drop all recorded values (shards stay registered to their threads).
+  void clear();
+
+  /// Scoped wall-clock timer: records into `registry` (nullptr = no-op,
+  /// not even a clock read) on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(MetricsRegistry* registry, std::string_view name)
+        : registry_(registry), name_(name) {
+      if (registry_) start_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer() {
+      if (!registry_) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      registry_->observe_duration_us(
+          name_, std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    MetricsRegistry* registry_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+ private:
+  struct Shard;
+
+  Shard& local_shard();
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Null-safe instrumentation helpers: the injected-pointer no-op path.
+/// `metrics::add(cfg.metrics, ...)` costs one predictable branch when no
+/// registry is injected.
+namespace metrics {
+
+inline void add(MetricsRegistry* r, std::string_view name, std::uint64_t delta = 1) {
+  if (r) r->add(name, delta);
+}
+inline void set(MetricsRegistry* r, std::string_view name, double value) {
+  if (r) r->set(name, value);
+}
+inline void observe(MetricsRegistry* r, std::string_view name, double value) {
+  if (r) r->observe(name, value);
+}
+
+}  // namespace metrics
+
+}  // namespace ff

@@ -1,0 +1,171 @@
+// Shared command-line surface for the examples and bench binaries.
+//
+// Before this existed every example hand-rolled its own argv loop (atoi on
+// positionals, ad-hoc flag matching, no --help). Cli centralizes that:
+// declare options bound to variables, call parse(), and get consistent
+// `--name value` / `--name=value` handling plus generated usage text.
+//
+// Two higher-level helpers cover the recurring shapes:
+//   * MetricsSink     — the `--metrics out.json` convention: owns a
+//     MetricsRegistry, hands out a pointer only when the user asked for
+//     metrics (so the default path stays the telemetry no-op), and writes
+//     the ff-metrics-v1 JSON on demand.
+//   * ExperimentCli   — the standard run_experiment knobs (testbed preset,
+//     --clients, --seed, --threads) plus a MetricsSink, building an
+//     ExperimentConfig via the fluent builder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "eval/experiment.hpp"
+
+namespace ff::eval {
+
+namespace cli_detail {
+
+bool parse_value(const std::string& text, std::string& out);
+bool parse_value(const std::string& text, double& out);
+bool parse_signed(const std::string& text, long long& out);
+bool parse_unsigned(const std::string& text, unsigned long long& out);
+
+/// Integral parse with range check, shared by every int-ish target type
+/// (keeps std::size_t and std::uint64_t from needing colliding overloads
+/// on LP64, where they are the same type).
+template <typename T>
+  requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+bool parse_value(const std::string& text, T& out) {
+  if constexpr (std::is_signed_v<T>) {
+    long long v = 0;
+    if (!parse_signed(text, v)) return false;
+    if (v < static_cast<long long>(std::numeric_limits<T>::min()) ||
+        v > static_cast<long long>(std::numeric_limits<T>::max()))
+      return false;
+    out = static_cast<T>(v);
+  } else {
+    unsigned long long v = 0;
+    if (!parse_unsigned(text, v)) return false;
+    if (v > static_cast<unsigned long long>(std::numeric_limits<T>::max())) return false;
+    out = static_cast<T>(v);
+  }
+  return true;
+}
+
+}  // namespace cli_detail
+
+/// Declarative argv parser. Options are matched as `--name value` or
+/// `--name=value`; flags take no value; positionals fill in declaration
+/// order. `--help` is built in.
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Bind `--name <value>` to *target (which also supplies the default
+  /// shown in usage). Any type with a cli_detail::parse_value overload.
+  template <typename T>
+  Cli& add_option(const std::string& name, T* target, const std::string& help) {
+    specs_.push_back(Spec{
+        name, help, /*is_flag=*/false,
+        [target](const std::string& v) { return cli_detail::parse_value(v, *target); }});
+    return *this;
+  }
+
+  /// Bind `--name` (no value) to *target = true.
+  Cli& add_flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Bind the next positional argument to *target. Positionals are
+  /// optional: trailing ones keep their defaults when omitted.
+  template <typename T>
+  Cli& add_positional(const std::string& name, T* target, const std::string& help) {
+    positionals_.push_back(Spec{
+        name, help, /*is_flag=*/false,
+        [target](const std::string& v) { return cli_detail::parse_value(v, *target); }});
+    return *this;
+  }
+
+  /// Parse argv. Returns true when the program should proceed; false when
+  /// it should exit immediately with exit_code() (after `--help`, or a
+  /// parse error that has already been reported on stderr).
+  bool parse(int argc, char** argv);
+
+  int exit_code() const { return exit_code_; }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    bool is_flag = false;
+    std::function<bool(const std::string&)> assign;
+  };
+
+  const Spec* find_option(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<Spec> positionals_;
+  int exit_code_ = 0;
+};
+
+/// The `--metrics out.json` convention: an owned registry that subsystems
+/// see only when the user asked for telemetry, so the default run keeps the
+/// zero-overhead null-registry path.
+class MetricsSink {
+ public:
+  /// Adds `--metrics` to the Cli.
+  void register_options(Cli& cli);
+
+  const std::string& path() const { return path_; }
+  bool enabled() const { return !path_.empty(); }
+
+  /// The injection pointer: the registry when --metrics was given, else
+  /// nullptr (subsystems then skip all recording).
+  MetricsRegistry* registry() { return enabled() ? &registry_ : nullptr; }
+
+  /// Write the snapshot as ff-metrics-v1 JSON to path(). No-op (returns
+  /// true) when metrics were not requested; reports failures on stderr.
+  bool write() const;
+
+ private:
+  std::string path_;
+  MetricsRegistry registry_;
+};
+
+/// The standard experiment surface shared by the figure benches and
+/// experiment-driven examples: testbed preset, client count, seed, threads,
+/// and the metrics sink.
+class ExperimentCli {
+ public:
+  ExperimentCli() = default;
+  explicit ExperimentCli(const ExperimentConfig& defaults) : defaults_(defaults) {}
+
+  /// Adds --preset, --clients, --seed, --threads and --metrics.
+  void register_options(Cli& cli);
+
+  /// Build the config: the defaults given at construction, overridden by
+  /// whatever the user passed, with the metrics sink wired in.
+  ExperimentConfig config();
+
+  MetricsSink& metrics_sink() { return sink_; }
+  MetricsRegistry* metrics() { return sink_.registry(); }
+
+  /// Write the metrics JSON if --metrics was given.
+  bool write_metrics() const { return sink_.write(); }
+
+ private:
+  ExperimentConfig defaults_{};
+  std::string preset_;           // "" = keep the defaults' testbed
+  std::size_t clients_ = 0;      // seeded from defaults_ in register_options
+  std::uint64_t seed_ = 0;
+  std::size_t threads_ = 0;      // 0 = auto (FF_THREADS / hardware)
+  MetricsSink sink_;
+};
+
+}  // namespace ff::eval

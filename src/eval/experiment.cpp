@@ -1,7 +1,11 @@
 #include "eval/experiment.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+#include "eval/stats.hpp"
 
 namespace ff::eval {
 
@@ -15,6 +19,16 @@ std::string to_string(LinkCategory c) {
   return "?";
 }
 
+std::string category_slug(LinkCategory c) {
+  switch (c) {
+    case LinkCategory::kLowSnrLowRank: return "low_snr_low_rank";
+    case LinkCategory::kMediumSnrLowRank: return "medium_snr_low_rank";
+    case LinkCategory::kHighSnrHighRank: return "high_snr_high_rank";
+    case LinkCategory::kOther: return "other";
+  }
+  return "unknown";
+}
+
 LinkCategory categorize(double baseline_snr_db, std::size_t baseline_streams,
                         std::size_t max_streams) {
   // Exhaustive partition mirroring Sec. 5.3: coverage-edge clients (low SNR
@@ -26,6 +40,86 @@ LinkCategory categorize(double baseline_snr_db, std::size_t baseline_streams,
   return LinkCategory::kHighSnrHighRank;
 }
 
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kApOnly: return "ap_only";
+    case Scheme::kHdMesh: return "hd_mesh";
+    case Scheme::kFastForward: return "ff";
+    case Scheme::kAmplifyForward: return "af";
+  }
+  return "?";
+}
+
+double scheme_mbps(const SchemeResult& r, Scheme s) {
+  switch (s) {
+    case Scheme::kApOnly: return r.ap_only_mbps;
+    case Scheme::kHdMesh: return r.hd_mesh_mbps;
+    case Scheme::kFastForward: return r.ff_mbps;
+    case Scheme::kAmplifyForward: return r.af_mbps;
+  }
+  return 0.0;
+}
+
+Scheme winner(const SchemeResult& r) {
+  Scheme best = Scheme::kApOnly;
+  double best_mbps = scheme_mbps(r, best);
+  for (const Scheme s : kAllSchemes) {
+    const double m = scheme_mbps(r, s);
+    if (m > best_mbps) {
+      best = s;
+      best_mbps = m;
+    }
+  }
+  return best;
+}
+
+TestbedConfig make_testbed(TestbedPreset preset) {
+  TestbedConfig tb;
+  switch (preset) {
+    case TestbedPreset::kMimo2x2: break;  // the defaults ARE the 2x2 testbed
+    case TestbedPreset::kSiso: tb.antennas = 1; break;
+  }
+  return tb;
+}
+
+std::vector<double> ExperimentResults::throughputs(Scheme s) const {
+  std::vector<double> out;
+  out.reserve(locations_.size());
+  for (const auto& r : locations_) out.push_back(scheme_mbps(r.schemes, s));
+  return out;
+}
+
+std::vector<double> ExperimentResults::gains_vs_hd(Scheme s) const {
+  std::vector<double> out;
+  out.reserve(locations_.size());
+  for (const auto& r : locations_) {
+    const double hd = r.schemes.hd_mesh_mbps;
+    if (hd > 0.0) out.push_back(scheme_mbps(r.schemes, s) / hd);
+  }
+  return out;
+}
+
+ExperimentResults ExperimentResults::by_category(LinkCategory c) const {
+  std::vector<LocationResult> subset;
+  for (const auto& r : locations_)
+    if (r.category == c) subset.push_back(r);
+  return ExperimentResults(std::move(subset));
+}
+
+ExperimentSummary ExperimentResults::summary() const {
+  ExperimentSummary s;
+  s.locations = locations_.size();
+  for (const auto& r : locations_) {
+    s.category_counts[static_cast<std::size_t>(r.category)]++;
+    s.wins[static_cast<std::size_t>(winner(r.schemes))]++;
+  }
+  for (const Scheme scheme : kAllSchemes) {
+    const auto t = throughputs(scheme);
+    s.median_mbps[static_cast<std::size_t>(scheme)] = t.empty() ? 0.0 : median(t);
+  }
+  return s;
+}
+
 relay::DesignOptions default_design_options(const TestbedConfig& cfg) {
   relay::DesignOptions opts;
   opts.f_grid_hz = cfg.ofdm.used_subcarrier_freqs();
@@ -34,10 +128,41 @@ relay::DesignOptions default_design_options(const TestbedConfig& cfg) {
   return opts;
 }
 
-std::vector<LocationResult> run_experiment(const ExperimentConfig& cfg) {
+namespace {
+
+/// Serial post-pass: aggregate tallies that describe the WHOLE experiment.
+/// Runs after the parallel phase so recording order — and therefore the
+/// snapshot — is independent of the thread schedule.
+void record_experiment_metrics(const ExperimentConfig& cfg,
+                               const ExperimentResults& results) {
+  MetricsRegistry* m = cfg.metrics;
+  metrics::add(m, "eval.experiments");
+  metrics::add(m, "eval.locations", results.size());
+  const ExperimentSummary s = results.summary();
+  for (std::size_t c = 0; c < s.category_counts.size(); ++c)
+    metrics::add(m, "eval.category." + category_slug(static_cast<LinkCategory>(c)),
+                 s.category_counts[c]);
+  for (const Scheme scheme : kAllSchemes) {
+    const auto i = static_cast<std::size_t>(scheme);
+    // AF wins/medians are only meaningful when AF was evaluated.
+    if (scheme == Scheme::kAmplifyForward && !cfg.evaluate_af) continue;
+    metrics::add(m, "eval.wins." + to_string(scheme), s.wins[i]);
+    metrics::set(m, "eval.median_mbps." + to_string(scheme), s.median_mbps[i]);
+  }
+}
+
+}  // namespace
+
+ExperimentResults run_experiment(const ExperimentConfig& cfg) {
+  MetricsRegistry::ScopedTimer experiment_timer(cfg.metrics, "eval.experiment.wall_us");
+
   SchemeOptions sopts;
   sopts.evaluate_af = cfg.evaluate_af;
   sopts.design = default_design_options(cfg.testbed);
+  // Design metrics flow through the same sink. They are recorded from the
+  // parallel phase, but every record is an order-independent merge (counter
+  // sums, sample sets), so the snapshot stays thread-count-invariant.
+  sopts.design.metrics = cfg.metrics;
 
   // Phase 1 (serial): draw every client location and fork one RNG stream per
   // location, in a fixed order. This pins all randomness up front, so the
@@ -73,6 +198,7 @@ std::vector<LocationResult> run_experiment(const ExperimentConfig& cfg) {
   parallel_for(
       jobs.size(),
       [&](std::size_t i) {
+        MetricsRegistry::ScopedTimer location_timer(cfg.metrics, "eval.location.wall_us");
         LocationJob& job = jobs[i];
         LocationResult r;
         r.plan = job.placement->plan.name();
@@ -85,9 +211,19 @@ std::vector<LocationResult> run_experiment(const ExperimentConfig& cfg) {
         out[i] = std::move(r);
       },
       cfg.threads);
-  return out;
+
+  ExperimentResults results(std::move(out));
+  if (cfg.metrics) record_experiment_metrics(cfg, results);
+  return results;
 }
 
+// Deprecated shims: kept one release so out-of-tree callers keep building.
+// Their definitions would trip their own [[deprecated]] warning under GCC,
+// so the loops are duplicated instead of delegating.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 std::vector<double> extract(const std::vector<LocationResult>& results,
                             double SchemeResult::*field) {
   std::vector<double> out;
@@ -95,5 +231,15 @@ std::vector<double> extract(const std::vector<LocationResult>& results,
   for (const auto& r : results) out.push_back(r.schemes.*field);
   return out;
 }
+
+std::vector<double> extract(const ExperimentResults& results, double SchemeResult::*field) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(r.schemes.*field);
+  return out;
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace ff::eval

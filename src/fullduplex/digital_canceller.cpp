@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "dsp/correlation.hpp"
 #include "linalg/matrix.hpp"
 
@@ -84,6 +85,8 @@ DigitalCanceller::DigitalCanceller(DigitalCancellerConfig cfg) : cfg_(cfg) {}
 
 void DigitalCanceller::train(CSpan tx, CSpan residual) {
   taps_ = estimate_fir_ls_fast(tx, residual, cfg_.taps, cfg_.lookahead, cfg_.ridge);
+  metrics::add(cfg_.metrics, "fd.digital.trainings");
+  metrics::set(cfg_.metrics, "fd.digital.taps", static_cast<double>(cfg_.taps));
 }
 
 CVec DigitalCanceller::cancel(CSpan tx, CSpan rx) const {

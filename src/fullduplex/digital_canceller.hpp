@@ -16,6 +16,10 @@
 
 #include "common/types.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::fd {
 
 /// Least-squares FIR estimation: find h (length `taps`, with `lookahead`
@@ -36,6 +40,9 @@ struct DigitalCancellerConfig {
   std::size_t taps = 120;       // the paper's 120-tap causal filter
   std::size_t lookahead = 0;    // 0 = causal (FF); >0 = prior-work buffering
   double ridge = 1e-9;
+  /// Optional metrics sink: train() counts fits and records the configured
+  /// tap budget (`fd.digital.trainings`, `fd.digital.taps`). Default off.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Trains on a (tx, residual) record and then subtracts its reconstruction

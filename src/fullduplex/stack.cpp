@@ -1,6 +1,8 @@
 #include "fullduplex/stack.hpp"
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
+#include "dsp/correlation.hpp"
 #include "dsp/fir.hpp"
 
 namespace ff::fd {
@@ -14,8 +16,21 @@ StackConfig::StackConfig() {
   }
 }
 
+namespace {
+
+/// The stack's registry flows into its digital stage unless the caller
+/// already injected a distinct one there.
+DigitalCancellerConfig propagate_metrics(DigitalCancellerConfig d, MetricsRegistry* m) {
+  if (!d.metrics) d.metrics = m;
+  return d;
+}
+
+}  // namespace
+
 CancellationStack::CancellationStack(StackConfig cfg)
-    : cfg_(std::move(cfg)), analog_(cfg_.analog), digital_(cfg_.digital) {}
+    : cfg_(std::move(cfg)),
+      analog_(cfg_.analog),
+      digital_(propagate_metrics(cfg_.digital, cfg_.metrics)) {}
 
 void CancellationStack::tune(CSpan tx, CSpan probe, CSpan rx) {
   FF_CHECK(tx.size() == rx.size() && probe.size() == rx.size());
@@ -46,6 +61,17 @@ void CancellationStack::tune(CSpan tx, CSpan probe, CSpan rx) {
   const CVec after_analog = apply_analog_only(tx, rx);
   digital_.train(tx, after_analog);
   tuned_ = true;
+
+  if (cfg_.metrics) {
+    metrics::add(cfg_.metrics, "fd.stack.tunes");
+    metrics::observe(cfg_.metrics, "fd.rx.pre_cancel_dbm", dsp::mean_power_db(rx));
+    metrics::observe(cfg_.metrics, "fd.analog.residual_dbm",
+                     dsp::mean_power_db(after_analog));
+    // The digital stage's training-record residual costs one extra cancel()
+    // pass, paid only when a registry is injected.
+    metrics::observe(cfg_.metrics, "fd.digital.residual_dbm",
+                     dsp::mean_power_db(digital_.cancel(tx, after_analog)));
+  }
 }
 
 CVec CancellationStack::apply_analog_only(CSpan tx, CSpan rx) const {

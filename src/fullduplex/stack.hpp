@@ -10,6 +10,10 @@
 #include "fullduplex/si_channel.hpp"
 #include "fullduplex/tuner.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::fd {
 
 struct StackConfig {
@@ -21,6 +25,11 @@ struct StackConfig {
   /// Baseband frequency grid for analog tuning (filled from OFDM subcarriers
   /// by callers; defaults to 56 HT20 tones).
   std::vector<double> f_grid_hz;
+  /// Optional metrics sink (common/telemetry.hpp). When set, tune() records
+  /// the per-stage residual powers (`fd.analog.residual_dbm`,
+  /// `fd.digital.residual_dbm`) measured on the training record. nullptr
+  /// (the default) records nothing.
+  MetricsRegistry* metrics = nullptr;
 
   StackConfig();
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/fir.hpp"
@@ -10,7 +11,8 @@
 
 namespace ff::fd {
 
-CVec inject_probe(Rng& rng, CMutSpan tx, double level_below_signal_db) {
+CVec inject_probe(Rng& rng, CMutSpan tx, double level_below_signal_db,
+                  MetricsRegistry* metrics) {
   const double sig_power = dsp::mean_power(tx);
   const double probe_power = sig_power * power_from_db(-level_below_signal_db);
   CVec probe(tx.size());
@@ -18,6 +20,8 @@ CVec inject_probe(Rng& rng, CMutSpan tx, double level_below_signal_db) {
     probe[i] = rng.cgaussian(probe_power);
     tx[i] += probe[i];
   }
+  ff::metrics::add(metrics, "fd.probe.injections");
+  ff::metrics::set(metrics, "fd.probe.level_below_signal_db", level_below_signal_db);
   return probe;
 }
 
@@ -26,7 +30,7 @@ CVec estimate_si_fir_probe(CSpan probe, CSpan rx, std::size_t taps) {
 }
 
 CVec estimate_si_fir_probe_iterative(CSpan probe, CSpan tx, CSpan rx, std::size_t taps,
-                                     int iterations) {
+                                     int iterations, MetricsRegistry* metrics) {
   FF_CHECK(tx.size() == rx.size() && probe.size() == rx.size());
   // Convergence condition: each round shrinks the estimation error by
   // roughly (taps / N) * (P_tx / P_probe); the record must be long enough
@@ -37,7 +41,9 @@ CVec estimate_si_fir_probe_iterative(CSpan probe, CSpan tx, CSpan rx, std::size_
   double best_power = dsp::mean_power(rx);
   CVec residual(rx.begin(), rx.end());
   int stall = 0;
+  int executed = 0;
   for (int it = 0; it < iterations; ++it) {
+    ++executed;
     const CVec delta = estimate_si_fir_probe(probe, residual, taps);
     for (std::size_t k = 0; k < taps; ++k) h[k] += delta[k];
     const CVec recon = dsp::filter(h, tx);
@@ -51,6 +57,9 @@ CVec estimate_si_fir_probe_iterative(CSpan probe, CSpan tx, CSpan rx, std::size_
       break;  // diverging or converged — keep the best setting seen
     }
   }
+  ff::metrics::add(metrics, "relay.tuner.calls");
+  ff::metrics::add(metrics, "relay.tuner.iterations", static_cast<std::uint64_t>(executed));
+  ff::metrics::observe(metrics, "relay.tuner.residual_dbm", db_from_power(best_power));
   return best_h;
 }
 

@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "fullduplex/si_channel.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::fd {
 
 struct ProbeConfig {
@@ -22,8 +26,10 @@ struct ProbeConfig {
 };
 
 /// Add probe noise to a transmit stream. Returns the noise that was added
-/// (the tuner correlates against it).
-CVec inject_probe(Rng& rng, CMutSpan tx, double level_below_signal_db);
+/// (the tuner correlates against it). With a registry, each injection is
+/// counted (`fd.probe.injections`) alongside its configured level.
+CVec inject_probe(Rng& rng, CMutSpan tx, double level_below_signal_db,
+                  MetricsRegistry* metrics = nullptr);
 
 /// Estimate the (discretized, alignment-grid) SI channel FIR by least
 /// squares of `rx` against the known injected `probe` only.
@@ -35,9 +41,12 @@ CVec estimate_si_fir_probe(CSpan probe, CSpan rx, std::size_t taps);
 /// transmitted stream, so the probe regression sees less interference and
 /// the estimate sharpens. Iteration stops early when the residual stops
 /// improving; the record must be long enough that taps/N * P_tx/P_probe < 1
-/// or the first estimate is the best one obtainable.
+/// or the first estimate is the best one obtainable. A registry records the
+/// convergence behaviour (`relay.tuner.iterations`, the executed round
+/// count, and `relay.tuner.residual_dbm`, the best residual power reached).
 CVec estimate_si_fir_probe_iterative(CSpan probe, CSpan tx, CSpan rx, std::size_t taps,
-                                     int iterations = 12);
+                                     int iterations = 12,
+                                     MetricsRegistry* metrics = nullptr);
 
 /// The biased NAIVE estimator for comparison: frequency-domain division of
 /// rx by the full transmitted stream (what prior-work tuning would do).

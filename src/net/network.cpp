@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/noise.hpp"
@@ -111,6 +112,7 @@ double NetworkReport::total_ul_gain() const {
 
 NetworkReport run_network(const NetworkConfig& cfg) {
   FF_CHECK(cfg.n_clients >= 1);
+  MetricsRegistry::ScopedTimer run_timer(cfg.metrics, "net.run.wall_us");
   Rng rng(cfg.seed);
 
   eval::TestbedConfig tb = cfg.testbed;
@@ -262,6 +264,29 @@ NetworkReport run_network(const NetworkConfig& cfg) {
       c.ul_ap_only_mbps /= static_cast<double>(c.ul_packets);
       c.ul_with_ff_mbps /= static_cast<double>(c.ul_packets);
     }
+  }
+  if (cfg.metrics) {
+    // Mirror the report's control-plane tallies into the shared sink so a
+    // --metrics run captures the relay's forwarding behaviour alongside the
+    // DSP-layer metrics. The simulation is serial, so counters recorded
+    // here are trivially deterministic.
+    metrics::add(cfg.metrics, "net.runs");
+    metrics::add(cfg.metrics, "net.soundings", report.soundings);
+    metrics::add(cfg.metrics, "net.relay.forwards", report.relay_forwards);
+    metrics::add(cfg.metrics, "net.relay.silences", report.relay_silences);
+    std::size_t dl = 0, ul = 0, dl_hit = 0, ul_hit = 0, ul_miss = 0;
+    for (const auto& c : report.clients) {
+      dl += c.dl_packets;
+      ul += c.ul_packets;
+      dl_hit += c.dl_identified;
+      ul_hit += c.ul_identified;
+      ul_miss += c.ul_misidentified;
+    }
+    metrics::add(cfg.metrics, "net.packets.dl", dl);
+    metrics::add(cfg.metrics, "net.packets.ul", ul);
+    metrics::add(cfg.metrics, "net.ident.dl_hits", dl_hit);
+    metrics::add(cfg.metrics, "net.ident.ul_hits", ul_hit);
+    metrics::add(cfg.metrics, "net.ident.ul_misses", ul_miss);
   }
   return report;
 }

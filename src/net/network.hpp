@@ -32,6 +32,10 @@
 #include "net/drift.hpp"
 #include "relay/channel_book.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::net {
 
 struct NetworkConfig {
@@ -45,6 +49,10 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   channel::FloorPlan plan = channel::FloorPlan::paper_home();
   eval::TestbedConfig testbed{};      // antennas forced to 1 by the simulator
+  /// Optional metrics sink: run_network records sounding/forward/silence
+  /// counters (`net.soundings`, `net.relay.forwards`, `net.relay.silences`),
+  /// identification tallies, and the whole-run wall clock. Default nullptr.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ClientReport {

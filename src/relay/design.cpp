@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 
 namespace ff::relay {
@@ -142,6 +143,17 @@ RelayDesign design_ff_relay(const RelayLink& link, const DesignOptions& opts) {
     d.relay_noise_mw =
         relay_noise_at_dest(link, d.filter, a_eff, effective_relay_noise_mw(link, tx_dbm));
   }
+  if (opts.metrics) {
+    metrics::add(opts.metrics, "relay.design.ff");
+    metrics::observe(opts.metrics, "relay.design.gain_db", d.amp.gain_db);
+    if (opts.use_realized_split && !opts.f_grid_hz.empty()) {
+      metrics::observe(opts.metrics, "relay.cnf.split_error_db", d.split_error_db);
+      const std::size_t k = d.filter.empty() ? 0 : d.filter[0].rows();
+      metrics::add(opts.metrics, "relay.cnf.splits", link.siso() ? 1 : k * k);
+      metrics::set(opts.metrics, "relay.cnf.prefilter_taps",
+                   static_cast<double>(opts.split.prefilter_taps));
+    }
+  }
   return d;
 }
 
@@ -166,6 +178,8 @@ RelayDesign design_af_relay(const RelayLink& link, const DesignOptions& opts) {
     d.relay_noise_mw =
         relay_noise_at_dest(link, d.filter, a, effective_relay_noise_mw(link, tx_dbm));
   }
+  metrics::add(opts.metrics, "relay.design.af");
+  if (opts.metrics) metrics::observe(opts.metrics, "relay.design.gain_db", d.amp.gain_db);
   return d;
 }
 

@@ -12,6 +12,10 @@
 #include "relay/cnf_design.hpp"
 #include "relay/digital_prefilter.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::relay {
 
 /// Per-subcarrier channel state for one source-relay-destination triple.
@@ -58,6 +62,12 @@ struct DesignOptions {
   CnfSplitConfig split{};
   /// Baseband frequency of each subcarrier (needed for the split design).
   std::vector<double> f_grid_hz;
+  /// Optional metrics sink: each design records its counter
+  /// (`relay.design.ff` / `relay.design.af`), the amplification decision
+  /// (`relay.design.gain_db`), and — when the realized split runs — the
+  /// CNF approximation residual (`relay.cnf.split_error_db`) plus the split
+  /// fit count and tap budget. Default nullptr records nothing.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Design a FastForward construct-and-forward relay for the link.

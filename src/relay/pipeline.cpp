@@ -1,6 +1,7 @@
 #include "relay/pipeline.hpp"
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 
 namespace ff::relay {
@@ -14,6 +15,12 @@ ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
       delay_line_(std::max<std::size_t>(delay_fifo_len(), 1), Complex{}),
       gain_linear_(amplitude_from_db(cfg_.gain_db)) {
   FF_CHECK(!cfg_.prefilter.empty());
+  if (cfg_.metrics) {
+    metrics::add(cfg_.metrics, "relay.pipeline.instances");
+    metrics::observe(cfg_.metrics, "relay.pipeline.max_delay_s", max_delay_s());
+    metrics::set(cfg_.metrics, "relay.pipeline.prefilter_taps",
+                 static_cast<double>(cfg_.prefilter.size()));
+  }
 }
 
 std::size_t ForwardPipeline::delay_fifo_len() const {
@@ -51,6 +58,8 @@ CVec ForwardPipeline::process(CSpan rx) {
   CVec out;
   out.reserve(rx.size());
   for (const Complex s : rx) out.push_back(push(s));
+  // Counted per batch, not per push(): the sample loop stays metrics-free.
+  metrics::add(cfg_.metrics, "relay.pipeline.samples", rx.size());
   return out;
 }
 

@@ -21,6 +21,10 @@
 #include "dsp/fir.hpp"
 #include "phy/params.hpp"
 
+namespace ff {
+class MetricsRegistry;
+}
+
 namespace ff::relay {
 
 struct PipelineConfig {
@@ -38,6 +42,10 @@ struct PipelineConfig {
   /// filters ARE where the converter latency lives. It is what keeps
   /// amplified out-of-band receiver noise from reaching the antenna.
   CVec tx_filter{};
+  /// Optional metrics sink: construction records the pipeline's worst-case
+  /// forward delay (`relay.pipeline.max_delay_s`) and prefilter tap count;
+  /// process() counts forwarded samples. Default nullptr records nothing.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Streaming forward-path processor. Push received (already SI-cancelled)

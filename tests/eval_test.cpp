@@ -136,8 +136,8 @@ TEST(Schemes, HdMeshNeverWorseThanApOnly) {
 TEST(Schemes, FfBeatsHdMeshOnAggregate) {
   const ExperimentConfig cfg{.clients_per_plan = 12, .seed = 6};
   const auto results = run_experiment(cfg);
-  const auto ff = extract(results, &SchemeResult::ff_mbps);
-  const auto hd = extract(results, &SchemeResult::hd_mesh_mbps);
+  const auto ff = results.throughputs(Scheme::kFastForward);
+  const auto hd = results.throughputs(Scheme::kHdMesh);
   EXPECT_GT(median(ff), median(hd));
 }
 

@@ -1,0 +1,158 @@
+// Telemetry registry: correctness of the metric kinds, the null no-op path,
+// and the headline contract — snapshots are byte-identical no matter how the
+// recording work was sharded across threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Telemetry, CountersSumDeltas) {
+  MetricsRegistry reg;
+  reg.add("a.count");
+  reg.add("a.count", 4);
+  reg.add("b.count", 0);  // registers at zero
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[0].count, 5u);
+  EXPECT_EQ(snap.counters[1].name, "b.count");
+  EXPECT_EQ(snap.counters[1].count, 0u);
+}
+
+TEST(Telemetry, GaugesKeepLastSetValue) {
+  MetricsRegistry reg;
+  reg.set("g", 3.0);
+  reg.set("g", -1.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -1.5);
+}
+
+TEST(Telemetry, HistogramAggregatesAreExact) {
+  MetricsRegistry reg;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) reg.observe("h", v);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.min, 1.0);
+  EXPECT_EQ(h.max, 5.0);
+  EXPECT_EQ(h.sum, 15.0);
+  EXPECT_EQ(h.mean, 3.0);
+  EXPECT_EQ(h.p50, 3.0);   // nearest-rank
+  EXPECT_EQ(h.p90, 5.0);
+  EXPECT_EQ(h.p99, 5.0);
+}
+
+TEST(Telemetry, SnapshotSortsByNameWithinEachKind) {
+  MetricsRegistry reg;
+  reg.add("z.last");
+  reg.add("a.first");
+  reg.observe("m.middle", 1.0);
+  reg.observe("b.before", 1.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "b.before");
+  EXPECT_EQ(snap.histograms[1].name, "m.middle");
+}
+
+TEST(Telemetry, NullRegistryHelpersAreNoOps) {
+  // The injected-pointer convention: all helpers must accept nullptr.
+  metrics::add(nullptr, "x");
+  metrics::set(nullptr, "x", 1.0);
+  metrics::observe(nullptr, "x", 1.0);
+  MetricsRegistry::ScopedTimer t(nullptr, "x");  // must not read the clock
+  SUCCEED();
+}
+
+TEST(Telemetry, ScopedTimerRecordsAnObservation) {
+  MetricsRegistry reg;
+  { MetricsRegistry::ScopedTimer t(&reg, "t.wall_us"); }
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].name, "t.wall_us");
+  EXPECT_EQ(snap.timers[0].count, 1u);
+  EXPECT_GE(snap.timers[0].min, 0.0);
+}
+
+TEST(Telemetry, ClearDropsAllValues) {
+  MetricsRegistry reg;
+  reg.add("c");
+  reg.observe("h", 1.0);
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Telemetry, JsonHasSchemaAndSections) {
+  MetricsRegistry reg;
+  reg.add("c", 2);
+  reg.set("g", 1.25);
+  reg.observe("h", -0.0);  // -0 must serialize as 0
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"schema\":\"ff-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"timers\":"), std::string::npos);
+  EXPECT_EQ(json.find("-0"), std::string::npos);
+}
+
+TEST(Telemetry, CsvHasHeaderAndRows) {
+  MetricsRegistry reg;
+  reg.add("c", 2);
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_NE(csv.find("name,kind,count,value,min,max,sum,mean,p50,p90,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("c,counter,2"), std::string::npos);
+}
+
+/// Record a deterministic workload from `threads` workers and return the
+/// canonical (timer-values-excluded) JSON.
+std::string sharded_report(std::size_t threads) {
+  MetricsRegistry reg;
+  parallel_for(
+      64,
+      [&](std::size_t i) {
+        MetricsRegistry::ScopedTimer t(&reg, "work.wall_us");
+        reg.add("work.items");
+        reg.add("work.bytes", i);
+        reg.observe("work.value", static_cast<double>(i) * 0.25 - 4.0);
+        if (i % 7 == 0) reg.observe("work.sparse", static_cast<double>(i));
+        reg.set("work.gauge", 42.0);
+      },
+      threads);
+  return reg.snapshot().to_json(/*include_timer_values=*/false);
+}
+
+TEST(Telemetry, MergedOutputIsThreadCountInvariant) {
+  // The acceptance criterion of the subsystem: identical bytes (timer
+  // values aside) whether the observations came from 1, 2 or 4 shards.
+  const std::string one = sharded_report(1);
+  const std::string two = sharded_report(2);
+  const std::string four = sharded_report(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // And the canonical form still carries the timer's observation count.
+  EXPECT_NE(one.find("\"work.wall_us\""), std::string::npos);
+  EXPECT_NE(one.find("\"count\":64"), std::string::npos);
+}
+
+TEST(Telemetry, SnapshotMergesAcrossShards) {
+  MetricsRegistry reg;
+  parallel_for(8, [&](std::size_t) { reg.add("n"); }, 4);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].count, 8u);
+}
+
+}  // namespace
+}  // namespace ff
