@@ -7,6 +7,7 @@
 #include <random>
 #include <string_view>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace ff {
@@ -34,8 +35,10 @@ class Rng {
   /// Uniform in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n). `n` must be positive: n == 0 would build a
+  /// uniform_int_distribution with hi < lo, whose behavior is undefined.
   std::size_t index(std::size_t n) {
+    FF_CHECK_MSG(n > 0, "Rng::index needs a non-empty range");
     return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
   }
 

@@ -13,6 +13,10 @@ namespace ff::dsp {
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 std::size_t next_power_of_two(std::size_t n) {
+  // A zero request is always an upstream bug: the "next" power of two of
+  // nothing would be 1, which then builds a size-1 plan FftPlan rejects
+  // with a message pointing at the wrong layer.
+  FF_CHECK_MSG(n > 0, "next_power_of_two needs a positive size");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -80,12 +84,14 @@ void FftPlan::inverse(CMutSpan data) const {
 }
 
 CVec fft(CSpan x) {
+  FF_CHECK_MSG(!x.empty(), "fft: input must be non-empty");
   CVec out(x.begin(), x.end());
   FftPlan::cached(out.size()).forward(out);
   return out;
 }
 
 CVec ifft(CSpan x) {
+  FF_CHECK_MSG(!x.empty(), "ifft: input must be non-empty");
   CVec out(x.begin(), x.end());
   FftPlan::cached(out.size()).inverse(out);
   return out;

@@ -9,6 +9,8 @@
 namespace ff::dsp {
 
 CVec awgn(Rng& rng, std::size_t n, double power_mw) {
+  FF_CHECK_MSG(std::isfinite(power_mw) && power_mw >= 0.0,
+               "awgn noise power must be finite and non-negative, got " << power_mw);
   CVec out(n);
   for (auto& s : out) s = rng.cgaussian(power_mw);
   return out;

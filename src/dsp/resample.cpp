@@ -10,6 +10,9 @@ namespace ff::dsp {
 
 CVec resample_kernel(std::size_t factor, std::size_t half_width) {
   FF_CHECK(factor >= 1);
+  FF_CHECK_MSG(half_width >= 1,
+               "resample half_width must be >= 1: a zero-width kernel degenerates to "
+               "a passthrough that leaves the stuffed zeros in the output");
   const auto span = static_cast<long>(half_width * factor);
   CVec taps;
   taps.reserve(static_cast<std::size_t>(2 * span + 1));

@@ -1,6 +1,7 @@
 #include "eval/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +30,10 @@ bool parse_value(const std::string& text, double& out) {
   char* end = nullptr;
   const double v = std::strtod(text.c_str(), &end);
   if (!consumed(text, end)) return false;
+  // Every option bound to a double is a finite physical parameter; "inf"
+  // and "nan" are valid strtod spellings but never valid configurations,
+  // and overflow ("1e999" -> HUGE_VAL, ERANGE) is caught by consumed().
+  if (!std::isfinite(v)) return false;
   out = v;
   return true;
 }

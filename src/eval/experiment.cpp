@@ -1,6 +1,7 @@
 #include "eval/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
@@ -154,6 +155,11 @@ void record_experiment_metrics(const ExperimentConfig& cfg,
 }  // namespace
 
 ExperimentResults run_experiment(const ExperimentConfig& cfg) {
+  FF_CHECK_MSG(cfg.clients_per_plan > 0,
+               "ExperimentConfig.clients_per_plan must be positive — an experiment "
+               "with no clients has no results to aggregate");
+  FF_CHECK_MSG(std::isfinite(cfg.testbed.cancellation_db),
+               "TestbedConfig.cancellation_db must be finite");
   MetricsRegistry::ScopedTimer experiment_timer(cfg.metrics, "eval.experiment.wall_us");
 
   SchemeOptions sopts;

@@ -1,0 +1,92 @@
+#include "eval/faults.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/telemetry.hpp"
+
+namespace ff::eval {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  FF_CHECK_MSG(std::isfinite(rate) && rate >= 0.0 && rate <= 1.0,
+               "FaultConfig." << name << " must be a rate in [0, 1], got " << rate);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  check_rate(cfg_.sample_drop_rate, "sample_drop_rate");
+  check_rate(cfg_.sample_corrupt_rate, "sample_corrupt_rate");
+  check_rate(cfg_.sample_nan_rate, "sample_nan_rate");
+  check_rate(cfg_.sounding_failure_rate, "sounding_failure_rate");
+  FF_CHECK_MSG(std::isfinite(cfg_.corrupt_amplitude) && cfg_.corrupt_amplitude >= 0.0,
+               "FaultConfig.corrupt_amplitude must be finite and non-negative");
+  FF_CHECK_MSG(std::isfinite(cfg_.estimate_sigma) && cfg_.estimate_sigma >= 0.0,
+               "FaultConfig.estimate_sigma must be finite and non-negative");
+}
+
+std::uint64_t FaultInjector::expected_count(std::uint64_t n, double rate) {
+  return static_cast<std::uint64_t>(static_cast<double>(n) * rate);
+}
+
+bool FaultInjector::Schedule::step(double rate) {
+  ++seen;
+  if (expected_count(seen, rate) > fired) {
+    ++fired;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::apply(CMutSpan x) {
+  const std::uint64_t dropped0 = drop_.fired;
+  const std::uint64_t corrupted0 = corrupt_.fired;
+  const std::uint64_t poisoned0 = nan_.fired;
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (auto& s : x) {
+    // Each class keeps its own schedule; the value RNG is only advanced on
+    // a corruption hit, so drop/NaN rates never shift the corruption noise.
+    if (drop_.step(cfg_.sample_drop_rate)) s = Complex{};
+    if (corrupt_.step(cfg_.sample_corrupt_rate))
+      s = rng_.cgaussian(cfg_.corrupt_amplitude * cfg_.corrupt_amplitude);
+    if (nan_.step(cfg_.sample_nan_rate)) s = Complex{kNan, kNan};
+  }
+  samples_seen_ += x.size();
+  if (MetricsRegistry* m = cfg_.metrics) {
+    metrics::add(m, "fd.faults.samples", x.size());
+    metrics::add(m, "fd.faults.samples_dropped", drop_.fired - dropped0);
+    metrics::add(m, "fd.faults.samples_corrupted", corrupt_.fired - corrupted0);
+    metrics::add(m, "fd.faults.samples_poisoned", nan_.fired - poisoned0);
+  }
+}
+
+CVec FaultInjector::apply_copy(CSpan x) {
+  CVec out(x.begin(), x.end());
+  apply(out);
+  return out;
+}
+
+CVec FaultInjector::perturb_estimate(CSpan h) {
+  CVec out(h.begin(), h.end());
+  if (cfg_.estimate_sigma > 0.0) {
+    for (auto& tap : out)
+      tap *= Complex{1.0, 0.0} + cfg_.estimate_sigma * rng_.cgaussian();
+    estimates_perturbed_ += out.size();
+    metrics::add(cfg_.metrics, "fd.faults.estimates_perturbed", out.size());
+  }
+  return out;
+}
+
+bool FaultInjector::sounding_fails() {
+  const bool failed = sounding_.step(cfg_.sounding_failure_rate);
+  if (MetricsRegistry* m = cfg_.metrics) {
+    metrics::add(m, "fd.faults.soundings");
+    if (failed) metrics::add(m, "fd.faults.sounding_failures");
+  }
+  return failed;
+}
+
+}  // namespace ff::eval

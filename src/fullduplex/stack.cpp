@@ -1,5 +1,7 @@
 #include "fullduplex/stack.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/telemetry.hpp"
 #include "dsp/correlation.hpp"
@@ -32,8 +34,26 @@ CancellationStack::CancellationStack(StackConfig cfg)
       analog_(cfg_.analog),
       digital_(propagate_metrics(cfg_.digital, cfg_.metrics)) {}
 
+namespace {
+
+/// Training records must be finite: a single NaN would propagate through
+/// the least-squares estimates into every tap of both cancellation stages
+/// and silently zero the relay's isolation. Fail crisply instead.
+void check_finite_record(CSpan x, const char* name) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    FF_CHECK_MSG(std::isfinite(x[i].real()) && std::isfinite(x[i].imag()),
+                 "CancellationStack::tune: non-finite sample in " << name << "["
+                                                                  << i << "]");
+}
+
+}  // namespace
+
 void CancellationStack::tune(CSpan tx, CSpan probe, CSpan rx) {
+  FF_CHECK_MSG(!rx.empty(), "CancellationStack::tune needs a non-empty record");
   FF_CHECK(tx.size() == rx.size() && probe.size() == rx.size());
+  check_finite_record(tx, "tx");
+  check_finite_record(probe, "probe");
+  check_finite_record(rx, "rx");
 
   // Stage 1 — analog. Bootstrap the SI estimate from the Gaussian probe
   // (regressing against the probe only avoids the correlated-relay-signal

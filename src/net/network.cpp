@@ -112,6 +112,15 @@ double NetworkReport::total_ul_gain() const {
 
 NetworkReport run_network(const NetworkConfig& cfg) {
   FF_CHECK(cfg.n_clients >= 1);
+  FF_CHECK_MSG(std::isfinite(cfg.duration_s) && cfg.duration_s > 0.0,
+               "NetworkConfig.duration_s must be positive and finite");
+  FF_CHECK_MSG(std::isfinite(cfg.sounding_interval_s) && cfg.sounding_interval_s > 0.0,
+               "NetworkConfig.sounding_interval_s must be positive and finite");
+  FF_CHECK_MSG(std::isfinite(cfg.packet_interval_s) && cfg.packet_interval_s > 0.0,
+               "NetworkConfig.packet_interval_s must be positive and finite — a zero "
+               "interval would spin the event loop forever");
+  FF_CHECK_MSG(cfg.downlink_fraction >= 0.0 && cfg.downlink_fraction <= 1.0,
+               "NetworkConfig.downlink_fraction must be in [0, 1]");
   MetricsRegistry::ScopedTimer run_timer(cfg.metrics, "net.run.wall_us");
   Rng rng(cfg.seed);
 
@@ -168,22 +177,33 @@ NetworkReport run_network(const NetworkConfig& cfg) {
     if (t - last_sounding >= cfg.sounding_interval_s) {
       last_sounding = t;
       ++report.soundings;
-      const CVec h_sr_true = responses(sr.now(), freqs);
-      for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
-        const CVec h_sd_true = responses(clients[c].sd.now(), freqs);
-        const CVec h_rd_true =
-            responses(clients[c].rd.now(), freqs, tb.relay_chain_delay_s);
-        // Client's CSI report of the AP->client channel, snooped by the relay.
-        book.update_source_client(c + 1, estimate(h_sd_true, cfg.csi_noise_db, rng), t);
-        // The relay measures relay<->client from the poll reply...
-        book.update_relay_client(c + 1, estimate(h_rd_true, cfg.csi_noise_db, rng), t);
-        // ...and AP->relay from the AP's own sounding packet.
-        book.update_source_relay(c + 1, estimate(h_sr_true, cfg.csi_noise_db, rng), t);
-        // Fingerprint enrollment from the identified poll reply.
-        CVec stf_rx = clients[c].rd.now().apply(stf, params.sample_rate_hz);
-        const double p = dsp::mean_power(stf_rx);
-        dsp::add_awgn(rng, stf_rx, p * power_from_db(-35.0));
-        fingerprinter.enroll_from_stf(c + 1, stf_rx);
+      if (cfg.faults && cfg.faults->sounding_fails()) {
+        // The round collided: no CSI reaches the book, which keeps aging
+        // toward staleness — the relay falls back to silence, not a crash.
+        ++report.soundings_lost;
+      } else {
+        // Snooped/estimated CSI, optionally degraded by the fault injector.
+        const auto snoop = [&](const CVec& h_true) {
+          CVec e = estimate(h_true, cfg.csi_noise_db, rng);
+          return cfg.faults ? cfg.faults->perturb_estimate(e) : e;
+        };
+        const CVec h_sr_true = responses(sr.now(), freqs);
+        for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
+          const CVec h_sd_true = responses(clients[c].sd.now(), freqs);
+          const CVec h_rd_true =
+              responses(clients[c].rd.now(), freqs, tb.relay_chain_delay_s);
+          // Client's CSI report of the AP->client channel, snooped by the relay.
+          book.update_source_client(c + 1, snoop(h_sd_true), t);
+          // The relay measures relay<->client from the poll reply...
+          book.update_relay_client(c + 1, snoop(h_rd_true), t);
+          // ...and AP->relay from the AP's own sounding packet.
+          book.update_source_relay(c + 1, snoop(h_sr_true), t);
+          // Fingerprint enrollment from the identified poll reply.
+          CVec stf_rx = clients[c].rd.now().apply(stf, params.sample_rate_hz);
+          const double p = dsp::mean_power(stf_rx);
+          dsp::add_awgn(rng, stf_rx, p * power_from_db(-35.0));
+          fingerprinter.enroll_from_stf(c + 1, stf_rx);
+        }
       }
     }
 
@@ -272,6 +292,7 @@ NetworkReport run_network(const NetworkConfig& cfg) {
     // here are trivially deterministic.
     metrics::add(cfg.metrics, "net.runs");
     metrics::add(cfg.metrics, "net.soundings", report.soundings);
+    metrics::add(cfg.metrics, "net.soundings_lost", report.soundings_lost);
     metrics::add(cfg.metrics, "net.relay.forwards", report.relay_forwards);
     metrics::add(cfg.metrics, "net.relay.silences", report.relay_silences);
     std::size_t dl = 0, ul = 0, dl_hit = 0, ul_hit = 0, ul_miss = 0;

@@ -26,6 +26,7 @@
 
 #include "channel/floorplan.hpp"
 #include "common/rng.hpp"
+#include "eval/faults.hpp"
 #include "eval/testbed.hpp"
 #include "ident/pn_detector.hpp"
 #include "ident/stf_fingerprint.hpp"
@@ -53,6 +54,12 @@ struct NetworkConfig {
   /// counters (`net.soundings`, `net.relay.forwards`, `net.relay.silences`),
   /// identification tallies, and the whole-run wall clock. Default nullptr.
   MetricsRegistry* metrics = nullptr;
+  /// Optional fault injector (eval/faults.hpp): sounding rounds for which
+  /// sounding_fails() fires are lost outright (no CSI reaches the relay's
+  /// book, estimates age toward staleness) and every snooped estimate is
+  /// perturbed by estimate_sigma. The relay's correct response to both is
+  /// silence, never a crash. Default nullptr = clean control plane.
+  eval::FaultInjector* faults = nullptr;
 };
 
 struct ClientReport {
@@ -71,6 +78,7 @@ struct ClientReport {
 struct NetworkReport {
   std::vector<ClientReport> clients;
   std::size_t soundings = 0;
+  std::size_t soundings_lost = 0;  // rounds killed by the fault injector
   std::size_t relay_forwards = 0;  // packets the relay actually assisted
   std::size_t relay_silences = 0;  // packets it (correctly) stayed out of
 

@@ -65,9 +65,27 @@ double relay_rx_power_dbm(const RelayLink& link) {
   return link.source_power_dbm + (g > 0.0 ? db_from_power(g) : -400.0);
 }
 
+namespace {
+
+/// Shared precondition audit for both relay policies: a link with
+/// inconsistent per-subcarrier stacks or non-finite powers would otherwise
+/// fail deep inside the linear algebra with an unrelated message — or not
+/// fail at all and emit a garbage design.
+void check_link(const RelayLink& link) {
+  FF_CHECK_MSG(link.subcarriers() > 0, "RelayLink needs at least one subcarrier");
+  FF_CHECK_MSG(
+      link.h_sr.size() == link.subcarriers() && link.h_rd.size() == link.subcarriers(),
+      "RelayLink per-subcarrier stacks disagree: h_sd=" << link.h_sd.size()
+          << " h_sr=" << link.h_sr.size() << " h_rd=" << link.h_rd.size());
+  FF_CHECK_MSG(std::isfinite(link.source_power_dbm) && std::isfinite(link.dest_noise_dbm) &&
+                   std::isfinite(link.relay_noise_dbm) && std::isfinite(link.cancellation_db),
+               "RelayLink powers must be finite");
+}
+
+}  // namespace
+
 RelayDesign design_ff_relay(const RelayLink& link, const DesignOptions& opts) {
-  FF_CHECK(link.subcarriers() > 0);
-  FF_CHECK(link.h_sr.size() == link.subcarriers() && link.h_rd.size() == link.subcarriers());
+  check_link(link);
 
   RelayDesign d;
   d.policy = RelayPolicy::kConstructForward;
@@ -158,7 +176,7 @@ RelayDesign design_ff_relay(const RelayLink& link, const DesignOptions& opts) {
 }
 
 RelayDesign design_af_relay(const RelayLink& link, const DesignOptions& opts) {
-  FF_CHECK(link.subcarriers() > 0);
+  check_link(link);
   RelayDesign d;
   d.policy = RelayPolicy::kAmplifyForward;
   d.amp = decide_amplification_blind(link.cancellation_db, relay_rx_power_dbm(link),

@@ -1,5 +1,7 @@
 #include "relay/pipeline.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/telemetry.hpp"
 #include "common/units.hpp"
@@ -15,6 +17,14 @@ ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
       delay_line_(std::max<std::size_t>(delay_fifo_len(), 1), Complex{}),
       gain_linear_(amplitude_from_db(cfg_.gain_db)) {
   FF_CHECK(!cfg_.prefilter.empty());
+  FF_CHECK_MSG(std::isfinite(cfg_.sample_rate_hz) && cfg_.sample_rate_hz > 0.0,
+               "PipelineConfig.sample_rate_hz must be positive and finite, got "
+                   << cfg_.sample_rate_hz);
+  FF_CHECK_MSG(std::isfinite(cfg_.cfo_hz), "PipelineConfig.cfo_hz must be finite");
+  FF_CHECK_MSG(std::isfinite(cfg_.gain_db), "PipelineConfig.gain_db must be finite");
+  FF_CHECK_MSG(std::isfinite(cfg_.analog_rotation.real()) &&
+                   std::isfinite(cfg_.analog_rotation.imag()),
+               "PipelineConfig.analog_rotation must be finite");
   if (cfg_.metrics) {
     metrics::add(cfg_.metrics, "relay.pipeline.instances");
     metrics::observe(cfg_.metrics, "relay.pipeline.max_delay_s", max_delay_s());
@@ -37,6 +47,11 @@ double ForwardPipeline::max_delay_s() const {
 }
 
 Complex ForwardPipeline::push(Complex rx) {
+  if (cfg_.scrub_nonfinite &&
+      (!std::isfinite(rx.real()) || !std::isfinite(rx.imag()))) {
+    rx = Complex{};
+    ++scrubbed_;
+  }
   // CFO remove -> digital CNF -> CFO restore -> amplify -> analog CNF
   // -> DAC/TX reconstruction filter.
   Complex s = cfo_remove_.push(rx);
@@ -55,11 +70,14 @@ Complex ForwardPipeline::push(Complex rx) {
 }
 
 CVec ForwardPipeline::process(CSpan rx) {
+  const std::uint64_t scrubbed_before = scrubbed_;
   CVec out;
   out.reserve(rx.size());
   for (const Complex s : rx) out.push_back(push(s));
   // Counted per batch, not per push(): the sample loop stays metrics-free.
   metrics::add(cfg_.metrics, "relay.pipeline.samples", rx.size());
+  if (scrubbed_ > scrubbed_before)
+    metrics::add(cfg_.metrics, "relay.pipeline.scrubbed", scrubbed_ - scrubbed_before);
   return out;
 }
 

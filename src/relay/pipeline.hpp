@@ -42,6 +42,13 @@ struct PipelineConfig {
   /// filters ARE where the converter latency lives. It is what keeps
   /// amplified out-of-band receiver noise from reaching the antenna.
   CVec tx_filter{};
+  /// Scrub non-finite input samples, forwarding 0 in their place. A single
+  /// NaN from a glitching converter would otherwise live in the FIR delay
+  /// lines forever and poison every later output; zeroing is what real
+  /// front-ends do (a clamped/blanked sample) and bounds the damage to the
+  /// filter memory around the glitch. Scrubbed samples are counted as
+  /// `relay.pipeline.scrubbed` when metrics is set.
+  bool scrub_nonfinite = true;
   /// Optional metrics sink: construction records the pipeline's worst-case
   /// forward delay (`relay.pipeline.max_delay_s`) and prefilter tap count;
   /// process() counts forwarded samples. Default nullptr records nothing.
@@ -69,6 +76,9 @@ class ForwardPipeline {
   Complex push(Complex rx);
   CVec process(CSpan rx);
 
+  /// Non-finite input samples zeroed so far (see PipelineConfig::scrub_nonfinite).
+  std::uint64_t scrubbed_samples() const { return scrubbed_; }
+
   void reset();
 
  private:
@@ -82,6 +92,7 @@ class ForwardPipeline {
   CVec delay_line_;      // bulk delay FIFO
   std::size_t delay_pos_ = 0;
   double gain_linear_;
+  std::uint64_t scrubbed_ = 0;
 };
 
 }  // namespace ff::relay

@@ -1,0 +1,103 @@
+// Tests for the shared CLI option parser (eval/cli.hpp), focused on the
+// numeric-parse edge cases: physical parameters must be finite, overflow
+// must be rejected, and errno handling must not leak across calls.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "eval/cli.hpp"
+
+namespace ff::eval {
+namespace {
+
+double parse_double_or_nan(const std::string& text) {
+  double v = -12345.0;
+  return cli_detail::parse_value(text, v) ? v : -12345.0;
+}
+
+TEST(CliParseDouble, AcceptsOrdinaryValues) {
+  double v = 0.0;
+  EXPECT_TRUE(cli_detail::parse_value(std::string("3.25"), v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(cli_detail::parse_value(std::string("-110"), v));
+  EXPECT_DOUBLE_EQ(v, -110.0);
+  EXPECT_TRUE(cli_detail::parse_value(std::string("2e6"), v));
+  EXPECT_DOUBLE_EQ(v, 2e6);
+  // Hex floats are an intentional strtod feature and parse to finite values.
+  EXPECT_TRUE(cli_detail::parse_value(std::string("0x1p4"), v));
+  EXPECT_DOUBLE_EQ(v, 16.0);
+}
+
+TEST(CliParseDouble, RejectsNonFinite) {
+  // "inf"/"nan" are valid strtod spellings but never valid physical
+  // parameters (a --cancellation-db of inf would silently zero all noise).
+  for (const char* text : {"inf", "-inf", "infinity", "nan", "nan(0)", "NAN"}) {
+    double v = 0.0;
+    EXPECT_FALSE(cli_detail::parse_value(std::string(text), v)) << text;
+  }
+}
+
+TEST(CliParseDouble, RejectsOverflowViaErange) {
+  // 1e999 overflows to HUGE_VAL with errno = ERANGE.
+  double v = 0.0;
+  EXPECT_FALSE(cli_detail::parse_value(std::string("1e999"), v));
+  EXPECT_FALSE(cli_detail::parse_value(std::string("-1e999"), v));
+}
+
+TEST(CliParseDouble, StaleErrnoDoesNotPoisonParse) {
+  errno = ERANGE;  // left over from an unrelated earlier call
+  double v = 0.0;
+  EXPECT_TRUE(cli_detail::parse_value(std::string("1.5"), v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(CliParseDouble, RejectsTrailingGarbageAndEmpty) {
+  EXPECT_EQ(parse_double_or_nan("1.5x"), -12345.0);
+  EXPECT_EQ(parse_double_or_nan(""), -12345.0);
+  EXPECT_EQ(parse_double_or_nan("  "), -12345.0);
+}
+
+TEST(CliParseUnsigned, RejectsSignsAndOverflow) {
+  unsigned long long v = 0;
+  EXPECT_FALSE(cli_detail::parse_unsigned(std::string("-1"), v));
+  EXPECT_FALSE(cli_detail::parse_unsigned(std::string("+1"), v));
+  EXPECT_TRUE(cli_detail::parse_unsigned(std::string("42"), v));
+  EXPECT_EQ(v, 42ull);
+  // 2^64 overflows with ERANGE.
+  EXPECT_FALSE(cli_detail::parse_unsigned(std::string("18446744073709551616"), v));
+}
+
+TEST(Cli, NonFiniteOptionValueFailsParse) {
+  double snr = 10.0;
+  Cli cli("test", "test program");
+  cli.add_option("--snr", &snr, "snr in dB");
+  char arg0[] = "test";
+  char arg1[] = "--snr=nan";
+  char* argv[] = {arg0, arg1};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_EQ(cli.exit_code(), 2);
+  EXPECT_DOUBLE_EQ(snr, 10.0);  // target untouched on failure
+}
+
+TEST(Cli, ParsesMixedOptionsAndFlags) {
+  double db = 0.0;
+  std::size_t n = 0;
+  bool flag = false;
+  Cli cli("test", "test program");
+  cli.add_option("--db", &db, "a dB value")
+      .add_option("--n", &n, "a count")
+      .add_flag("--fast", &flag, "go fast");
+  char arg0[] = "test";
+  char arg1[] = "--db=-30.5";
+  char arg2[] = "--n";
+  char arg3[] = "17";
+  char arg4[] = "--fast";
+  char* argv[] = {arg0, arg1, arg2, arg3, arg4};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(db, -30.5);
+  EXPECT_EQ(n, 17u);
+  EXPECT_TRUE(flag);
+}
+
+}  // namespace
+}  // namespace ff::eval

@@ -104,6 +104,47 @@ TEST(Fft, ShiftInvertsItself) {
   }
 }
 
+TEST(Fft, ShiftRoundTripsBothOrdersAtOddLengths) {
+  // At odd lengths fftshift and ifftshift are NOT self-inverse (the halves
+  // differ by one element), so both compositions must be checked — and they
+  // must be exact permutations, not approximate.
+  Rng rng(61);
+  for (const std::size_t n : {1u, 3u, 5u, 9u, 15u, 17u, 63u}) {
+    CVec x(n);
+    for (auto& v : x) v = rng.cgaussian();
+    const CVec a = dsp::ifftshift(dsp::fftshift(x));
+    const CVec b = dsp::fftshift(dsp::ifftshift(x));
+    ASSERT_EQ(a.size(), n);
+    ASSERT_EQ(b.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], x[i]) << "ifftshift(fftshift) at n=" << n << " i=" << i;
+      EXPECT_EQ(b[i], x[i]) << "fftshift(ifftshift) at n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Fft, FftshiftCentersDcAtOddLengths) {
+  // x[0] (the DC bin) must land on the centre element floor(n/2), matching
+  // the numpy/matlab convention the spectrum code assumes.
+  for (const std::size_t n : {3u, 5u, 7u, 9u, 15u}) {
+    CVec x(n, Complex{});
+    x[0] = Complex{1.0, 0.0};
+    const CVec shifted = dsp::fftshift(x);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(shifted[i], (i == n / 2 ? Complex{1.0, 0.0} : Complex{}))
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Fft, ConvolveEmptyInputReturnsEmpty) {
+  // Pins fft_convolve's early return: an empty operand never reaches the
+  // plan layer (where next_power_of_two(0) would now throw).
+  const CVec a{Complex{1.0, 0.0}, Complex{2.0, 0.0}};
+  EXPECT_TRUE(dsp::fft_convolve(a, CVec{}).empty());
+  EXPECT_TRUE(dsp::fft_convolve(CVec{}, a).empty());
+  EXPECT_TRUE(dsp::fft_convolve(CVec{}, CVec{}).empty());
+}
+
 TEST(Fft, RejectsNonPowerOfTwo) {
   EXPECT_THROW(dsp::FftPlan(12), std::logic_error);
   EXPECT_THROW(dsp::FftPlan(0), std::logic_error);
@@ -356,6 +397,42 @@ TEST(Resample, FactorOneIsIdentity) {
   const CVec x = dsp::awgn(rng, 32, 1.0);
   const CVec up = dsp::upsample(x, 1);
   for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(up[i], x[i]);
+}
+
+TEST(Resample, FactorOneDownsampleIsIdentity) {
+  Rng rng(19);
+  const CVec x = dsp::awgn(rng, 32, 1.0);
+  const CVec down = dsp::downsample(x, 1);
+  ASSERT_EQ(down.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(down[i], x[i]);
+}
+
+TEST(Resample, SingleSampleInputZeroStuffs) {
+  // One input sample still produces exactly `factor` output samples. The
+  // causal interpolation filter delays the kernel peak past the output
+  // window, so all that is visible is the kernel's leading (near-zero)
+  // taps scaled by the sample — finite and bounded by the input, never a
+  // surprise length or an out-of-range read.
+  const std::size_t factor = 4;
+  const CVec x{Complex{2.0, -1.0}};
+  const CVec up = dsp::upsample(x, factor);
+  ASSERT_EQ(up.size(), factor);
+  for (const auto& v : up) {
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+    EXPECT_LE(std::abs(v), std::abs(x[0]) * 1.1);
+  }
+}
+
+TEST(Resample, SingleSampleRoundTrip) {
+  const CVec x{Complex{1.0, 1.0}};
+  const CVec down = dsp::downsample(dsp::upsample(x, 2), 2);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_TRUE(std::isfinite(down[0].real()) && std::isfinite(down[0].imag()));
+}
+
+TEST(Resample, EmptyInputStaysEmpty) {
+  EXPECT_TRUE(dsp::upsample(CVec{}, 4).empty());
+  EXPECT_TRUE(dsp::downsample(CVec{}, 4).empty());
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Regression tests for the correctness-hardening precondition sweep: every
+// entry point that used to misbehave silently (or with a confusing message
+// from a deeper layer) on degenerate input now fails crisply with FF_CHECK.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/resample.hpp"
+#include "eval/experiment.hpp"
+#include "fullduplex/stack.hpp"
+#include "net/network.hpp"
+#include "relay/design.hpp"
+#include "relay/pipeline.hpp"
+
+namespace ff {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ------------------------------------------------------------------ rng
+
+TEST(RngValidation, IndexOfZeroThrowsInsteadOfUb) {
+  // Regression: index(0) used to build uniform_int_distribution(0, SIZE_MAX)
+  // via wraparound — undefined behavior that happened to return garbage.
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::logic_error);
+}
+
+TEST(RngValidation, IndexCoversSmallRanges) {
+  Rng rng(2);
+  EXPECT_EQ(rng.index(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.index(5), 5u);
+}
+
+// ------------------------------------------------------------------ dsp
+
+TEST(DspValidation, FftRejectsEmptyInputExplicitly) {
+  // Regression: fft({}) used to reach FftPlan::cached(0) and fail with a
+  // "power of two" message pointing at the wrong layer.
+  EXPECT_THROW(dsp::fft(CVec{}), std::logic_error);
+  EXPECT_THROW(dsp::ifft(CVec{}), std::logic_error);
+}
+
+TEST(DspValidation, NextPowerOfTwoRejectsZero) {
+  EXPECT_THROW(dsp::next_power_of_two(0), std::logic_error);
+  EXPECT_EQ(dsp::next_power_of_two(1), 1u);
+}
+
+TEST(DspValidation, ResampleRejectsZeroHalfWidth) {
+  Rng rng(3);
+  const CVec x = dsp::awgn(rng, 16, 1.0);
+  EXPECT_THROW(dsp::upsample(x, 2, 0), std::logic_error);
+  EXPECT_THROW(dsp::downsample(x, 2, 0), std::logic_error);
+}
+
+TEST(DspValidation, AwgnRejectsNegativeOrNonFinitePower) {
+  Rng rng(4);
+  EXPECT_THROW(dsp::awgn(rng, 8, -1.0), std::logic_error);
+  EXPECT_THROW(dsp::awgn(rng, 8, kNan), std::logic_error);
+  EXPECT_THROW(dsp::awgn(rng, 8, kInf), std::logic_error);
+}
+
+// ---------------------------------------------------------------- relay
+
+TEST(RelayValidation, PipelineRejectsNonFiniteConfig) {
+  relay::PipelineConfig cfg;
+  cfg.sample_rate_hz = 0.0;
+  EXPECT_THROW(relay::ForwardPipeline{cfg}, std::logic_error);
+  cfg = {};
+  cfg.gain_db = kInf;
+  EXPECT_THROW(relay::ForwardPipeline{cfg}, std::logic_error);
+  cfg = {};
+  cfg.cfo_hz = kNan;
+  EXPECT_THROW(relay::ForwardPipeline{cfg}, std::logic_error);
+  cfg = {};
+  cfg.analog_rotation = Complex{kNan, 0.0};
+  EXPECT_THROW(relay::ForwardPipeline{cfg}, std::logic_error);
+}
+
+TEST(RelayValidation, DesignRejectsInconsistentOrNonFiniteLink) {
+  relay::RelayLink link;
+  EXPECT_THROW(relay::design_ff_relay(link), std::logic_error);  // no subcarriers
+
+  link.h_sd.assign(4, linalg::Matrix::identity(1));
+  link.h_sr.assign(3, linalg::Matrix::identity(1));  // mismatched stack
+  link.h_rd.assign(4, linalg::Matrix::identity(1));
+  EXPECT_THROW(relay::design_ff_relay(link), std::logic_error);
+  EXPECT_THROW(relay::design_af_relay(link, {}), std::logic_error);
+
+  link.h_sr.assign(4, linalg::Matrix::identity(1));
+  link.cancellation_db = kNan;
+  EXPECT_THROW(relay::design_ff_relay(link), std::logic_error);
+}
+
+// ----------------------------------------------------------- fullduplex
+
+TEST(FullduplexValidation, TuneRejectsEmptyAndMismatchedRecords) {
+  fd::CancellationStack stack;
+  EXPECT_THROW(stack.tune(CVec{}, CVec{}, CVec{}), std::logic_error);
+  const CVec a(8, Complex{1.0, 0.0});
+  const CVec b(7, Complex{1.0, 0.0});
+  EXPECT_THROW(stack.tune(a, b, a), std::logic_error);
+}
+
+// ----------------------------------------------------------------- eval
+
+TEST(EvalValidation, ExperimentRejectsDegenerateConfig) {
+  auto cfg = eval::ExperimentConfig::for_testbed(eval::TestbedPreset::kSiso);
+  cfg.clients_per_plan = 0;
+  EXPECT_THROW(eval::run_experiment(cfg), std::logic_error);
+  cfg.clients_per_plan = 1;
+  cfg.testbed.cancellation_db = kInf;
+  EXPECT_THROW(eval::run_experiment(cfg), std::logic_error);
+}
+
+// ------------------------------------------------------------------ net
+
+TEST(NetValidation, NetworkRejectsDegenerateConfig) {
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.0;
+  EXPECT_THROW(net::run_network(cfg), std::logic_error);
+  cfg = {};
+  cfg.packet_interval_s = 0.0;
+  EXPECT_THROW(net::run_network(cfg), std::logic_error);
+  cfg = {};
+  cfg.sounding_interval_s = kNan;
+  EXPECT_THROW(net::run_network(cfg), std::logic_error);
+  cfg = {};
+  cfg.downlink_fraction = 1.5;
+  EXPECT_THROW(net::run_network(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ff
