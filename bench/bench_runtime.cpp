@@ -10,15 +10,30 @@
 // thread count — the registry's own determinism contract. The 1-thread
 // run's full snapshot is written to the given path.
 //
+// The stream_relay kernel times the streaming element-graph runtime
+// (src/stream/) pushing a full relay session — packet source, direct and
+// relayed paths, superposition — through bounded blocks, and cross-checks
+// that the output checksum is identical across block sizes and thread
+// counts (the runtime's block-size/thread invariance contract). Knobs:
+// --block-size / --duration / --backpressure / --threads (eval::StreamCli,
+// shared with examples/streaming_relay).
+//
 // Usage: bench_runtime [--clients N] [--out PATH] [--reps R] [--metrics PATH]
+//                      [--block-size N] [--duration S] [--backpressure B]
 #include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "channel/floorplan.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
+#include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "eval/timedomain.hpp"
 #include "phy/frame.hpp"
+#include "stream/elements.hpp"
+#include "stream/graph.hpp"
+#include "stream/scheduler.hpp"
 
 namespace {
 
@@ -131,6 +146,115 @@ std::vector<KernelTiming> time_kernels(int reps) {
   return out;
 }
 
+// --------------------------------------------------------------- streaming
+
+/// Everything the stream_relay sessions share: one time-domain link, the FF
+/// pipeline designed for it, and the packet schedule sized from --duration.
+struct StreamSetup {
+  TimeDomainLink link;
+  relay::PipelineConfig pipeline;
+  ff::stream::PacketSourceConfig packets;
+  double fs_hi = 0.0;
+};
+
+StreamSetup make_stream_setup(double duration_s) {
+  constexpr std::size_t kOversample = 4;  // the evaluator's converter rate
+  const TestbedConfig tb;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = make_placement(plan);
+  Rng rng(20140817);
+
+  StreamSetup s;
+  s.link = build_td_link(placement, {6.0, 4.0}, tb, rng);
+  s.fs_hi = tb.ofdm.sample_rate_hz * static_cast<double>(kOversample);
+  s.pipeline = make_ff_pipeline(s.link, tb.ofdm, /*extra_latency_s=*/0.0);
+
+  s.packets.params = tb.ofdm;
+  s.packets.mcs_index = 3;
+  s.packets.payload_bits = 600;
+  s.packets.gap_samples = 400 * kOversample;
+  s.packets.oversample = kOversample;
+  s.packets.seed = 20140817;
+  const phy::Transmitter tx(tb.ofdm);
+  const std::size_t stride =
+      tx.modulate(std::vector<std::uint8_t>(s.packets.payload_bits, 0),
+                  {.mcs_index = s.packets.mcs_index})
+              .size() *
+          kOversample +
+      s.packets.gap_samples;
+  const auto want = static_cast<std::size_t>(duration_s * s.fs_hi);
+  s.packets.n_packets = std::max<std::size_t>(1, want / stride);
+  return s;
+}
+
+struct StreamRun {
+  std::uint64_t samples = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// One full streaming session: packet source -> tee -> {direct channel,
+/// S->R channel -> relay pipeline -> R->D channel} -> superposition -> sink.
+/// The same graph shape as examples/streaming_relay, self-checked here via
+/// an FNV-1a checksum of the output stream.
+StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
+                          std::size_t backpressure, std::size_t threads) {
+  namespace st = ff::stream;
+  const std::size_t cap = backpressure;
+  st::Graph g;
+  auto* src = g.emplace<st::PacketSource>("src", s.packets, block_size);
+  auto* cfo = g.emplace<st::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi);
+  auto* tee = g.emplace<st::Tee>("tee", 2);
+
+  st::ChannelElementConfig sd;
+  sd.channel = s.link.sd;
+  sd.sample_rate_hz = s.fs_hi;
+  sd.noise_power = power_from_db(s.link.dest_noise_dbm) * 4.0;
+  sd.seed = s.packets.seed ^ 0xD5;
+  auto* chan_sd = g.emplace<st::ChannelElement>("chan_sd", sd);
+  auto* q = g.emplace<st::Queue>("q");
+
+  st::ChannelElementConfig sr;
+  sr.channel = s.link.sr;
+  sr.sample_rate_hz = s.fs_hi;
+  sr.noise_power = power_from_db(s.link.relay_noise_dbm) * 4.0;
+  sr.seed = s.packets.seed ^ 0x5F;
+  auto* chan_sr = g.emplace<st::ChannelElement>("chan_sr", sr);
+  auto* relay = g.emplace<st::PipelineElement>("relay", s.pipeline);
+
+  st::ChannelElementConfig rd;
+  rd.channel = s.link.rd;
+  rd.sample_rate_hz = s.fs_hi;
+  rd.seed = s.packets.seed ^ 0xFD;
+  auto* chan_rd = g.emplace<st::ChannelElement>("chan_rd", rd);
+
+  auto* add = g.emplace<st::Add2>("add");
+  auto* sink = g.emplace<st::AccumulatorSink>("sink");
+
+  g.connect(*src, 0, *cfo, 0, cap);
+  g.connect(*cfo, 0, *tee, 0, cap);
+  g.connect(*tee, 0, *chan_sd, 0, cap);
+  g.connect(*chan_sd, 0, *q, 0, cap);
+  g.connect(*q, 0, *add, 0, cap);
+  g.connect(*tee, 1, *chan_sr, 0, cap);
+  g.connect(*chan_sr, 0, *relay, 0, cap);
+  g.connect(*relay, 0, *chan_rd, 0, cap);
+  g.connect(*chan_rd, 0, *add, 1, cap);
+  g.connect(*add, 0, *sink, 0, cap);
+
+  st::SchedulerConfig sc;
+  sc.threads = threads;
+  st::Scheduler(g, sc).run();
+
+  StreamRun r;
+  r.blocks = sink->blocks_seen();
+  const CVec out = sink->take();
+  r.samples = out.size();
+  r.checksum = fnv1a_accumulate(0xCBF29CE484222325ULL, out.data(),
+                                out.size() * sizeof(Complex));
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,16 +262,22 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_runtime.json";
   std::string metrics_path;
   int reps = 3;
+  StreamCli stream_cli;
   Cli cli("bench_runtime",
           "Wall-time the standard evaluation run at 1/2/4/N threads with "
-          "bit-exactness checksums, plus hot micro-kernel timings.");
+          "bit-exactness checksums, plus hot micro-kernel timings and the "
+          "stream_relay element-graph session.");
   cli.add_option("--clients", &clients, "client locations per floor plan")
       .add_option("--out", &out_path, "output JSON path")
       .add_option("--reps", &reps, "best-of repetitions for the kernel timings")
       .add_option("--metrics", &metrics_path,
                   "record telemetry, cross-check it across thread counts, and "
                   "write the 1-thread ff-metrics-v1 snapshot here");
+  // --threads here scopes to the stream session; the experiment sweep is
+  // fixed at 1/2/4/N by design.
+  stream_cli.register_options(cli, /*with_metrics_option=*/false);
   if (!cli.parse(argc, argv)) return cli.exit_code();
+  if (!stream_cli.validate()) return 2;
   const bool with_metrics = !metrics_path.empty();
 
   const std::size_t hw_threads = ff::default_thread_count();
@@ -188,12 +318,50 @@ int main(int argc, char** argv) {
                 metrics_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
   std::printf("\n");
 
-  const auto kernels = time_kernels(reps);
+  auto kernels = time_kernels(reps);
+
+  // ---- stream_relay: the streaming runtime pushing a full relay session.
+  const StreamSetup setup = make_stream_setup(stream_cli.duration_s());
+  StreamRun stream_run;
+  const double stream_ms = time_best_ms(
+      [&] {
+        stream_run = run_stream_once(setup, stream_cli.block_size(),
+                                     stream_cli.backpressure(), stream_cli.threads());
+      },
+      reps);
+  kernels.push_back(
+      {"stream_relay", stream_ms, static_cast<std::size_t>(stream_run.blocks)});
+
+  // The runtime's invariance contract: the output stream is bit-identical
+  // for any block size and thread count (tests/stream_test.cpp proves it on
+  // synthetic graphs; this re-proves it on the full relay session).
+  bool stream_deterministic = true;
+  const struct { std::size_t block_size, threads; } variants[] = {
+      {64, 1}, {4096, 1}, {stream_cli.block_size(), 4}};
+  for (const auto& v : variants) {
+    const StreamRun r =
+        run_stream_once(setup, v.block_size, stream_cli.backpressure(), v.threads);
+    if (r.checksum != stream_run.checksum || r.samples != stream_run.samples)
+      stream_deterministic = false;
+  }
+
   Table ktable({"kernel", "batch", "best-of (ms)", "us/op"});
   for (const auto& k : kernels)
     ktable.row({k.name, std::to_string(k.items), Table::num(k.wall_ms, 3),
                 Table::num(1e3 * k.wall_ms / static_cast<double>(k.items), 3)});
   ktable.print();
+
+  const double stream_msps = static_cast<double>(stream_run.samples) / (1e3 * stream_ms);
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(stream_run.checksum));
+  std::printf("\nstream_relay: %llu samples in %llu blocks of %zu "
+              "(%.1f Msamples/s, %.2f us/block, checksum %s)\n",
+              static_cast<unsigned long long>(stream_run.samples),
+              static_cast<unsigned long long>(stream_run.blocks),
+              stream_cli.block_size(), stream_msps,
+              1e3 * stream_ms / static_cast<double>(stream_run.blocks), cs);
+  std::printf("stream output bit-identical across block sizes and threads: %s\n",
+              stream_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
 
   JsonWriter json;
   json.begin_object();
@@ -226,6 +394,22 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("stream");
+  json.begin_object();
+  json.key("block_size").value(stream_cli.block_size());
+  json.key("backpressure_blocks").value(stream_cli.backpressure());
+  json.key("threads").value(stream_cli.threads());
+  json.key("duration_s").value(stream_cli.duration_s());
+  json.key("samples").value(static_cast<std::size_t>(stream_run.samples));
+  json.key("blocks").value(static_cast<std::size_t>(stream_run.blocks));
+  json.key("best_of_ms").value(stream_ms);
+  json.key("samples_per_sec").value(1e6 * stream_msps);
+  json.key("us_per_block").value(1e3 * stream_ms / static_cast<double>(stream_run.blocks));
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(stream_run.checksum));
+  json.key("checksum").value(std::string(cs));
+  json.key("deterministic").value(stream_deterministic);
+  json.end_object();
   json.end_object();
 
   if (!json.write_file(out_path)) {
@@ -242,5 +426,5 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", metrics_path.c_str());
   }
-  return deterministic && metrics_deterministic ? 0 : 1;
+  return deterministic && metrics_deterministic && stream_deterministic ? 0 : 1;
 }

@@ -1,0 +1,84 @@
+# streaming-smoke: run bench_runtime with a short stream session and
+# validate the stream_relay entries in the emitted ff-bench-runtime-v1 JSON:
+# the kernels array must carry a stream_relay row, the top-level "stream"
+# object must report throughput and per-block latency, and its determinism
+# flag (output checksum identical across block sizes and thread counts) must
+# be true. bench_runtime exits non-zero on a violation, which is also caught.
+#
+# Invoked by CTest as:
+#   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir> -P streaming_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+if(NOT BENCH_RUNTIME)
+  message(FATAL_ERROR "pass -DBENCH_RUNTIME=<path to bench_runtime>")
+endif()
+if(NOT WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(bench_json ${WORK_DIR}/BENCH_runtime_streaming_smoke.json)
+execute_process(
+  COMMAND ${BENCH_RUNTIME} --clients 2 --reps 1
+          --duration 5e-4 --block-size 64 --backpressure 4
+          --out ${bench_json}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_runtime failed (rc=${rc}); a nonzero exit also "
+                      "means a determinism violation.\n${out}\n${err}")
+endif()
+
+file(READ ${bench_json} doc)
+
+string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
+if(jerr)
+  message(FATAL_ERROR "bench JSON does not parse: ${jerr}")
+endif()
+if(NOT schema STREQUAL "ff-bench-runtime-v1")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v1)")
+endif()
+
+# The kernels array must contain a stream_relay row with a positive timing.
+string(JSON n ERROR_VARIABLE jerr LENGTH "${doc}" kernels)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing 'kernels' array: ${jerr}")
+endif()
+set(found_row FALSE)
+math(EXPR last "${n} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name GET "${doc}" kernels ${i} name)
+  if(name STREQUAL "stream_relay")
+    set(found_row TRUE)
+    string(JSON ms GET "${doc}" kernels ${i} best_of_ms)
+    if(NOT ms GREATER 0)
+      message(FATAL_ERROR "stream_relay best_of_ms = ${ms}, expected > 0")
+    endif()
+  endif()
+endforeach()
+if(NOT found_row)
+  message(FATAL_ERROR "no stream_relay row in the kernels array of ${bench_json}")
+endif()
+
+# The top-level stream object: config echoed back, throughput + per-block
+# latency present and positive, determinism flag true.
+foreach(field samples blocks samples_per_sec us_per_block)
+  string(JSON v ERROR_VARIABLE jerr GET "${doc}" stream ${field})
+  if(jerr)
+    message(FATAL_ERROR "stream object missing '${field}': ${jerr}")
+  endif()
+  if(NOT v GREATER 0)
+    message(FATAL_ERROR "stream.${field} = ${v}, expected > 0")
+  endif()
+endforeach()
+string(JSON bs GET "${doc}" stream block_size)
+if(NOT bs EQUAL 64)
+  message(FATAL_ERROR "stream.block_size = ${bs}, expected the requested 64")
+endif()
+string(JSON det GET "${doc}" stream deterministic)
+if(NOT det STREQUAL "ON")
+  message(FATAL_ERROR "stream.deterministic = ${det}: the session output was "
+                      "not bit-identical across block sizes / thread counts")
+endif()
+
+message(STATUS "streaming smoke OK: stream_relay row and stream object valid in ${bench_json}")

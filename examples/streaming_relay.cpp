@@ -1,0 +1,196 @@
+// Streaming relay session: the time-domain link of eval/timedomain.hpp
+// rebuilt as an online element graph (src/stream/), processing IQ in
+// bounded blocks instead of materialized whole-session vectors.
+//
+//   packets ── cfo ── tee ──────────── direct channel ── queue ──┐
+//                      │                                         add ── sink
+//                      └── S->R channel ── relay pipeline ── R->D channel ┘
+//
+// The relay pipeline is the FF design for this link (make_ff_pipeline: CNF
+// split, CFO remove/restore, noise-aware gain), running at the 4x converter
+// oversampling rate. The destination stream is collected and decoded with
+// the standard WiFi receiver, so the run ends with a real CRC verdict.
+//
+// Everything is deterministic: the output stream — and every stream.*
+// counter — is bit-identical for any --block-size and --threads choice
+// (tests/stream_test.cpp holds the runtime to that), so the knobs trade
+// latency and memory against overhead without touching the physics.
+//
+// Usage: streaming_relay [--block-size N] [--duration S] [--backpressure B]
+//                        [--threads T] [--seed S] [--metrics out.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "channel/floorplan.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/resample.hpp"
+#include "eval/cli.hpp"
+#include "eval/testbed.hpp"
+#include "eval/timedomain.hpp"
+#include "phy/frame.hpp"
+#include "stream/elements.hpp"
+#include "stream/graph.hpp"
+#include "stream/scheduler.hpp"
+
+using namespace ff;
+
+namespace {
+
+constexpr std::size_t kOversample = 4;  // the evaluator's converter rate
+
+// Two-sided interpolation lead for sub-sample path delays, matching the
+// batch evaluator (eval/timedomain.cpp): the direct path gets twice the
+// lead so both arrival paths share identical total alignment.
+constexpr double kAlignSamples = 16.0;
+
+struct PacketShape {
+  std::size_t stride;      // samples per staged packet (incl. gap), hi rate
+  double mean_power;       // over the modulated part, before any gain
+};
+
+/// Shape of one staged packet at the oversampled rate (the payload bits
+/// don't change the length or, to first order, the power).
+PacketShape packet_shape(const stream::PacketSourceConfig& pc) {
+  const phy::Transmitter tx(pc.params);
+  const std::vector<std::uint8_t> payload(pc.payload_bits, 0);
+  phy::TxOptions txo;
+  txo.mcs_index = pc.mcs_index;
+  txo.signature_client = pc.signature_client;
+  const CVec hi = dsp::upsample(tx.modulate(payload, txo), pc.oversample);
+  return {hi.size() + pc.gap_samples, dsp::mean_power(hi)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::StreamCli stream_cli;
+  std::uint64_t seed = 20140817;
+  int mcs = 3;
+  eval::Cli cli("streaming_relay",
+                "Run one FastForward downlink as a streaming element graph: "
+                "packets flow through the direct path and the relay's forward "
+                "pipeline in bounded blocks, are superposed at the client, and "
+                "decoded.");
+  stream_cli.register_options(cli);
+  cli.add_option("--seed", &seed, "link/payload RNG seed");
+  cli.add_option("--mcs", &mcs, "packet MCS index");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  if (!stream_cli.validate()) return 2;
+
+  // ---- the link (same construction as the batch time-domain evaluator).
+  const eval::TestbedConfig tb;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  Rng rng(seed);
+  const channel::Point client{6.0, 4.0};
+  eval::TimeDomainLink link = eval::build_td_link(placement, client, tb, rng);
+  const double fs_hi = tb.ofdm.sample_rate_hz * static_cast<double>(kOversample);
+
+  relay::PipelineConfig pipeline_cfg =
+      eval::make_ff_pipeline(link, tb.ofdm, /*extra_latency_s=*/0.0);
+
+  // ---- session sizing from --duration.
+  stream::PacketSourceConfig pc;
+  pc.params = tb.ofdm;
+  pc.mcs_index = mcs;
+  pc.payload_bits = 600;
+  pc.gap_samples = 400 * kOversample;
+  pc.oversample = kOversample;
+  pc.seed = seed;
+  const PacketShape shape = packet_shape(pc);
+  const auto want_samples =
+      static_cast<std::size_t>(stream_cli.duration_s() * fs_hi);
+  pc.n_packets = std::max<std::size_t>(1, want_samples / shape.stride);
+
+  // ---- the graph.
+  const double align_s = kAlignSamples / fs_hi;
+  const std::size_t cap = stream_cli.backpressure();
+  stream::Graph g;
+  auto* src = g.emplace<stream::PacketSource>("src", pc, stream_cli.block_size());
+  // Transmit power: one-tap FIR scaling the unit-power packets up to the
+  // AP's power (power_from_db, the evaluator's relative-dB convention).
+  const double tx_amp = std::sqrt(power_from_db(link.source_power_dbm) / shape.mean_power);
+  auto* txgain = g.emplace<stream::FirElement>("txgain", CVec{Complex{tx_amp, 0.0}});
+  // The source oscillator's offset relative to the destination clock.
+  auto* cfo = g.emplace<stream::CfoElement>("src_cfo", link.source_cfo_hz, fs_hi);
+  auto* tee = g.emplace<stream::Tee>("tee", 2);
+
+  stream::ChannelElementConfig sd;
+  sd.channel = link.sd;
+  sd.sample_rate_hz = fs_hi;
+  sd.delay_ref_s = -2.0 * align_s;  // double lead: shared with relay path's 2 hops
+  // Destination thermal floor, defined over the 20 MHz channel and scaled to
+  // the 4x simulation bandwidth; adding it on one branch of a sum is the
+  // same as adding it at the sink.
+  sd.noise_power = power_from_db(link.dest_noise_dbm) * kOversample;
+  sd.seed = seed ^ 0xD5;
+  auto* chan_sd = g.emplace<stream::ChannelElement>("chan_sd", sd);
+  auto* q = g.emplace<stream::Queue>("q");
+
+  stream::ChannelElementConfig sr;
+  sr.channel = link.sr;
+  sr.sample_rate_hz = fs_hi;
+  sr.delay_ref_s = -align_s;
+  sr.noise_power = power_from_db(link.relay_noise_dbm) * kOversample;
+  sr.seed = seed ^ 0x5F;
+  auto* chan_sr = g.emplace<stream::ChannelElement>("chan_sr", sr);
+
+  pipeline_cfg.metrics = stream_cli.metrics();
+  auto* relay = g.emplace<stream::PipelineElement>("relay", pipeline_cfg);
+
+  stream::ChannelElementConfig rd;
+  rd.channel = link.rd;
+  rd.sample_rate_hz = fs_hi;
+  rd.delay_ref_s = -align_s;
+  rd.seed = seed ^ 0xFD;
+  auto* chan_rd = g.emplace<stream::ChannelElement>("chan_rd", rd);
+
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+
+  g.connect(*src, 0, *txgain, 0, cap);
+  g.connect(*txgain, 0, *cfo, 0, cap);
+  g.connect(*cfo, 0, *tee, 0, cap);
+  g.connect(*tee, 0, *chan_sd, 0, cap);
+  g.connect(*chan_sd, 0, *q, 0, cap);
+  g.connect(*q, 0, *add, 0, cap);
+  g.connect(*tee, 1, *chan_sr, 0, cap);
+  g.connect(*chan_sr, 0, *relay, 0, cap);
+  g.connect(*relay, 0, *chan_rd, 0, cap);
+  g.connect(*chan_rd, 0, *add, 1, cap);
+  g.connect(*add, 0, *sink, 0, cap);
+
+  stream::SchedulerConfig sc;
+  sc.threads = stream_cli.threads();
+  sc.metrics = stream_cli.metrics();
+  stream::Scheduler scheduler(g, sc);
+  const std::uint64_t rounds = scheduler.run();
+
+  const CVec rx_hi = sink->take();
+  std::printf("streamed %zu packets, %zu samples at %.0f Msps "
+              "(%zu-sample blocks, queue depth %zu, %zu threads, %llu rounds)\n",
+              pc.n_packets, rx_hi.size(), fs_hi / 1e6, stream_cli.block_size(),
+              cap, sc.threads, static_cast<unsigned long long>(rounds));
+  std::printf("relay forward delay: %.1f ns worst-case; scrubbed samples: %llu\n",
+              relay->pipeline().max_delay_s() * 1e9,
+              static_cast<unsigned long long>(relay->pipeline().scrubbed_samples()));
+
+  // ---- decode the first packet at the client (back at the PHY rate).
+  const CVec rx20 = dsp::downsample(rx_hi, kOversample);
+  const phy::Receiver rx(tb.ofdm);
+  if (const auto result = rx.receive(rx20)) {
+    std::printf("client decode: crc=%s mcs=%d snr=%.1f dB cfo=%.1f kHz "
+                "(source cfo %.1f kHz)\n",
+                result->crc_ok ? "OK" : "FAIL", result->mcs_index, result->snr_db,
+                result->cfo_hz / 1e3, link.source_cfo_hz / 1e3);
+  } else {
+    std::printf("client decode: no packet found\n");
+  }
+
+  if (!stream_cli.write_metrics()) return 1;
+  return 0;
+}

@@ -24,8 +24,21 @@ Complex CfoRotator::push(Complex x) {
 
 CVec CfoRotator::process(CSpan x) {
   CVec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
+  process_into(x, out);
   return out;
+}
+
+void CfoRotator::process_into(CSpan x, CMutSpan out) {
+  FF_CHECK_MSG(out.size() == x.size(),
+               "CfoRotator::process_into needs out.size() == x.size(), got "
+                   << out.size() << " vs " << x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
+}
+
+void CfoRotator::set_cfo(double cfo_hz, double sample_rate_hz) {
+  FF_CHECK(sample_rate_hz > 0.0);
+  cfo_hz_ = cfo_hz;
+  step_rad_ = kTwoPi * cfo_hz / sample_rate_hz;
 }
 
 CVec apply_cfo(CSpan x, double cfo_hz, double sample_rate_hz, double initial_phase_rad) {

@@ -24,6 +24,17 @@ class CfoRotator {
   /// Rotate a block (stateful).
   CVec process(CSpan x);
 
+  /// Rotate a block into a caller-owned buffer (stateful). `out` must be
+  /// exactly x.size() samples and may alias `x` — the streaming runtime's
+  /// allocation-free block path.
+  void process_into(CSpan x, CMutSpan out);
+
+  /// Retune the oscillator frequency while keeping the accumulated phase —
+  /// a real oscillator drifts continuously, it never phase-jumps. This is
+  /// the retune path for long-running streams; constructing a fresh rotator
+  /// instead would reset the phase and glitch the stream.
+  void set_cfo(double cfo_hz, double sample_rate_hz);
+
   /// Current accumulated phase (radians).
   double phase() const { return phase_; }
 

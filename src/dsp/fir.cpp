@@ -24,10 +24,16 @@ Complex FirFilter::push(Complex x) {
 }
 
 CVec FirFilter::process(CSpan x) {
-  CVec out;
-  out.reserve(x.size());
-  for (const Complex s : x) out.push_back(push(s));
+  CVec out(x.size());
+  process_into(x, out);
   return out;
+}
+
+void FirFilter::process_into(CSpan x, CMutSpan out) {
+  FF_CHECK_MSG(out.size() == x.size(),
+               "FirFilter::process_into needs out.size() == x.size(), got "
+                   << out.size() << " vs " << x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
 }
 
 void FirFilter::reset() {
@@ -38,7 +44,15 @@ void FirFilter::reset() {
 void FirFilter::set_taps(CVec taps) {
   FF_CHECK(!taps.empty());
   if (taps.size() != taps_.size()) {
-    delay_.assign(taps.size(), Complex{});
+    // Carry the input history across the resize: slot k of the delay line
+    // holds x[n-k], so copy newest-first and zero-pad beyond the old depth.
+    // (Clearing it instead — the old behavior — restarted every resized
+    // filter from a cold delay line mid-stream.)
+    CVec resized(taps.size(), Complex{});
+    const std::size_t keep = std::min(taps.size(), delay_.size());
+    for (std::size_t k = 0; k < keep; ++k)
+      resized[k] = delay_[(head_ + k) % delay_.size()];
+    delay_ = std::move(resized);
     head_ = 0;
   }
   taps_ = std::move(taps);

@@ -23,11 +23,21 @@ class FirFilter {
   /// Filter a whole block (stateful: continues from previous pushes).
   CVec process(CSpan x);
 
+  /// Filter a whole block into a caller-owned buffer (stateful). `out` must
+  /// be exactly x.size() samples and may alias `x` (in-place filtering):
+  /// each input sample is copied into the delay line before its output slot
+  /// is written. This is the allocation-free path the streaming hot loop
+  /// uses to reuse one buffer per block.
+  void process_into(CSpan x, CMutSpan out);
+
   /// Reset the delay line to zeros (taps are kept).
   void reset();
 
-  /// Replace the taps. The delay line is resized and cleared if the tap
-  /// count changed, preserved otherwise (live retuning, as in the canceller).
+  /// Replace the taps (live retuning, as in the canceller and the drifting
+  /// streaming channel). The input history is preserved: when the tap count
+  /// changes, the most recent min(old, new) samples carry over into the
+  /// resized delay line (older history is zero-padded), so a retune in the
+  /// middle of a stream never re-introduces a cold-start transient.
   void set_taps(CVec taps);
 
   const CVec& taps() const { return taps_; }

@@ -204,4 +204,34 @@ ExperimentConfig ExperimentCli::config() {
       sink_.registry());
 }
 
+void StreamCli::register_options(Cli& cli, bool with_metrics_option) {
+  cli.add_option("--block-size", &block_size_,
+                 "samples per stream block (output is block-size invariant; "
+                 "this only trades latency against per-block overhead)");
+  cli.add_option("--duration", &duration_s_, "session length in seconds");
+  cli.add_option("--backpressure", &backpressure_,
+                 "bounded-channel capacity in blocks (smaller = tighter "
+                 "memory bound, more producer stalls)");
+  cli.add_option("--threads", &threads_,
+                 "scheduler worker threads (0 = FF_THREADS / hardware)");
+  if (with_metrics_option) sink_.register_options(cli);
+}
+
+bool StreamCli::validate() const {
+  bool ok = true;
+  if (block_size_ == 0) {
+    std::fprintf(stderr, "--block-size must be >= 1\n");
+    ok = false;
+  }
+  if (!std::isfinite(duration_s_) || duration_s_ <= 0.0) {
+    std::fprintf(stderr, "--duration must be positive and finite\n");
+    ok = false;
+  }
+  if (backpressure_ == 0) {
+    std::fprintf(stderr, "--backpressure must be >= 1 block\n");
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace ff::eval

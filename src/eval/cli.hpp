@@ -168,4 +168,38 @@ class ExperimentCli {
   MetricsSink sink_;
 };
 
+/// The streaming-runtime surface shared by examples/streaming_relay and
+/// bench_runtime's stream_relay kernel: how the session is blocked
+/// (--block-size), how long it runs (--duration), how deep the bounded
+/// queues are (--backpressure), scheduler threads, and the metrics sink.
+class StreamCli {
+ public:
+  /// Adds --block-size, --duration, --backpressure, --threads, --metrics.
+  /// Hosts that already own a --metrics option (bench_runtime) pass
+  /// with_metrics_option = false to keep the option name unambiguous.
+  void register_options(Cli& cli, bool with_metrics_option = true);
+
+  /// Range-check the parsed values (block size and queue capacity >= 1,
+  /// duration positive and finite). Reports violations on stderr; callers
+  /// exit non-zero when this returns false.
+  bool validate() const;
+
+  std::size_t block_size() const { return block_size_; }
+  double duration_s() const { return duration_s_; }
+  /// Bounded-channel capacity in blocks (the backpressure depth).
+  std::size_t backpressure() const { return backpressure_; }
+  std::size_t threads() const { return threads_; }
+
+  MetricsSink& metrics_sink() { return sink_; }
+  MetricsRegistry* metrics() { return sink_.registry(); }
+  bool write_metrics() const { return sink_.write(); }
+
+ private:
+  std::size_t block_size_ = 256;
+  double duration_s_ = 5e-3;
+  std::size_t backpressure_ = 8;
+  std::size_t threads_ = 1;
+  MetricsSink sink_;
+};
+
 }  // namespace ff::eval

@@ -70,15 +70,21 @@ Complex ForwardPipeline::push(Complex rx) {
 }
 
 CVec ForwardPipeline::process(CSpan rx) {
+  CVec out(rx.size());
+  process_into(rx, out);
+  return out;
+}
+
+void ForwardPipeline::process_into(CSpan rx, CMutSpan out) {
+  FF_CHECK_MSG(out.size() == rx.size(),
+               "ForwardPipeline::process_into needs out.size() == rx.size(), got "
+                   << out.size() << " vs " << rx.size());
   const std::uint64_t scrubbed_before = scrubbed_;
-  CVec out;
-  out.reserve(rx.size());
-  for (const Complex s : rx) out.push_back(push(s));
+  for (std::size_t i = 0; i < rx.size(); ++i) out[i] = push(rx[i]);
   // Counted per batch, not per push(): the sample loop stays metrics-free.
   metrics::add(cfg_.metrics, "relay.pipeline.samples", rx.size());
   if (scrubbed_ > scrubbed_before)
     metrics::add(cfg_.metrics, "relay.pipeline.scrubbed", scrubbed_ - scrubbed_before);
-  return out;
 }
 
 void ForwardPipeline::reset() {
@@ -88,6 +94,9 @@ void ForwardPipeline::reset() {
   tx_filter_.reset();
   std::fill(delay_line_.begin(), delay_line_.end(), Complex{});
   delay_pos_ = 0;
+  // A reset pipeline should report like a fresh one; leaving the scrub count
+  // behind double-counted glitches across experiment repetitions.
+  scrubbed_ = 0;
 }
 
 }  // namespace ff::relay

@@ -76,9 +76,16 @@ class ForwardPipeline {
   Complex push(Complex rx);
   CVec process(CSpan rx);
 
+  /// Process a block into a caller-owned buffer (stateful). `out` must be
+  /// exactly rx.size() samples and may alias `rx`: the streaming runtime's
+  /// allocation-free block path. Metrics accounting matches process().
+  void process_into(CSpan rx, CMutSpan out);
+
   /// Non-finite input samples zeroed so far (see PipelineConfig::scrub_nonfinite).
   std::uint64_t scrubbed_samples() const { return scrubbed_; }
 
+  /// Return to the freshly-constructed state: clears every delay line, both
+  /// CFO phases, and the scrubbed-sample count.
   void reset();
 
  private:

@@ -1,0 +1,37 @@
+// The unit of data flow in the streaming runtime: a fixed-size chunk of IQ
+// samples stamped with its position on the stream timeline.
+//
+// The paper's relay is a streaming device — it forwards each sample within
+// ~1 µs while sounding, retuning and signature detection happen concurrently.
+// The batch evaluator materializes whole packets as vectors; the streaming
+// runtime instead moves Blocks through an element graph (element.hpp), so a
+// session of arbitrary duration runs in bounded memory. Block boundaries are
+// a transport artifact, never a semantic one: every element is required to
+// produce the same sample stream no matter how it is blocked (the invariance
+// tests/stream_test.cpp asserts for sizes 1/7/64/4096).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ff::stream {
+
+/// Block flags (a small bitset so future markers don't change the layout).
+enum BlockFlags : std::uint32_t {
+  kBlockFirst = 1u << 0,  ///< first block of the stream
+  kBlockLast = 1u << 1,   ///< final block — nothing follows
+};
+
+/// A chunk of contiguous IQ samples plus its stream time.
+struct Block {
+  CVec samples;
+  std::uint64_t start = 0;   ///< stream index of samples[0] (sample clock)
+  std::uint32_t flags = 0;   ///< BlockFlags
+
+  std::uint64_t end() const { return start + samples.size(); }
+  bool first() const { return flags & kBlockFirst; }
+  bool last() const { return flags & kBlockLast; }
+};
+
+}  // namespace ff::stream

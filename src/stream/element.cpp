@@ -1,0 +1,179 @@
+#include "stream/element.hpp"
+
+#include "common/check.hpp"
+
+namespace ff::stream {
+
+Element::Element(std::string name, std::size_t n_inputs, std::size_t n_outputs)
+    : name_(std::move(name)), inputs_(n_inputs, nullptr), outputs_(n_outputs, nullptr) {
+  FF_CHECK_MSG(!name_.empty(), "stream elements need a non-empty name");
+}
+
+Block Element::pop(std::size_t port) {
+  Channel& ch = *inputs_[port];
+  FF_CHECK_MSG(!ch.fifo.empty(), "pop on empty input " << port << " of " << name_);
+  Block b = std::move(ch.fifo.front());
+  ch.fifo.pop_front();
+  return b;
+}
+
+void Element::emit(std::size_t port, Block&& block) {
+  Channel& ch = *outputs_[port];
+  FF_CHECK_MSG(!ch.closed, name_ << " emitted on closed output " << port);
+  FF_CHECK_MSG(!ch.full(), name_ << " emitted on full output " << port
+                                 << " (missing out_ready check)");
+  if (metrics_) {
+    metrics_->add(m_blocks_);
+    metrics_->add(m_samples_, block.samples.size());
+  }
+  ch.fifo.push_back(std::move(block));
+  ++ch.blocks_total;
+  if (ch.fifo.size() > ch.depth_peak) ch.depth_peak = ch.fifo.size();
+}
+
+void Element::close_outputs() {
+  for (Channel* ch : outputs_) ch->closed = true;
+}
+
+bool Element::outputs_closed() const {
+  for (const Channel* ch : outputs_)
+    if (!ch->closed) return false;
+  return true;
+}
+
+void Element::note_stall() {
+  ++stalls_;
+  if (metrics_) metrics_->add(m_stalls_);
+}
+
+void Element::note_consumed(const Block& block) {
+  if (!metrics_) return;
+  metrics_->add(m_blocks_);
+  metrics_->add(m_samples_, block.samples.size());
+}
+
+void Element::attach_input(std::size_t port, Channel* ch) {
+  FF_CHECK_MSG(port < inputs_.size(),
+               name_ << " has no input port " << port << " (" << inputs_.size() << " ports)");
+  FF_CHECK_MSG(inputs_[port] == nullptr,
+               "input " << port << " of " << name_ << " is already connected");
+  inputs_[port] = ch;
+}
+
+void Element::attach_output(std::size_t port, Channel* ch) {
+  FF_CHECK_MSG(port < outputs_.size(),
+               name_ << " has no output port " << port << " (" << outputs_.size() << " ports)");
+  FF_CHECK_MSG(outputs_[port] == nullptr,
+               "output " << port << " of " << name_ << " is already connected");
+  outputs_[port] = ch;
+}
+
+void Element::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (!metrics_) return;
+  const std::string prefix = "stream." + name_ + ".";
+  m_blocks_ = prefix + "blocks";
+  m_samples_ = prefix + "samples";
+  m_block_us_ = prefix + "block_us";
+  m_stalls_ = prefix + "stalls";
+}
+
+// ------------------------------------------------------------------ Source
+
+Source::Source(std::string name, std::size_t block_size)
+    : Element(std::move(name), 0, 1), block_size_(block_size) {
+  FF_CHECK_MSG(block_size_ > 0, "Source block_size must be >= 1");
+}
+
+bool Source::work() {
+  bool moved = false;
+  while (!exhausted() && out_ready(0)) {
+    Block b;
+    {
+      MetricsRegistry::ScopedTimer timer(metrics(), block_timer_name());
+      b.samples = generate();
+    }
+    FF_CHECK_MSG(!b.samples.empty(), name() << "::generate returned no samples");
+    FF_CHECK_MSG(b.samples.size() <= block_size_,
+                 name() << "::generate overflowed the block size");
+    b.start = pos_;
+    if (pos_ == 0) b.flags |= kBlockFirst;
+    pos_ += b.samples.size();
+    if (exhausted()) b.flags |= kBlockLast;
+    emit(0, std::move(b));
+    moved = true;
+  }
+  if (!exhausted() && !out_ready(0)) note_stall();
+  if (exhausted()) close_outputs();
+  return moved;
+}
+
+// --------------------------------------------------------------- Transform
+
+bool Transform::work() {
+  bool moved = false;
+  while (in_available(0) && out_ready(0)) {
+    Block b = pop(0);
+    {
+      MetricsRegistry::ScopedTimer timer(metrics(), block_timer_name());
+      process(b);
+    }
+    emit(0, std::move(b));
+    moved = true;
+  }
+  if (in_available(0) && !out_ready(0)) note_stall();
+  if (in_drained(0)) close_outputs();
+  return moved;
+}
+
+// ---------------------------------------------------------------- Combine2
+
+bool Combine2::work() {
+  bool moved = false;
+  while (in_available(0) && in_available(1) && out_ready(0)) {
+    Block a = pop(0);
+    const Block b = pop(1);
+    FF_CHECK_MSG(a.start == b.start && a.samples.size() == b.samples.size(),
+                 name() << ": misaligned input streams (block [" << a.start << ", "
+                        << a.end() << ") vs [" << b.start << ", " << b.end()
+                        << ")); combiners need block-aligned inputs");
+    {
+      MetricsRegistry::ScopedTimer timer(metrics(), block_timer_name());
+      process(a, b);
+    }
+    a.flags |= b.flags;
+    emit(0, std::move(a));
+    moved = true;
+  }
+  if (in_available(0) && in_available(1) && !out_ready(0)) note_stall();
+  if (in_drained(0) && in_drained(1)) close_outputs();
+  // One side closed while the other still has samples queued or coming is a
+  // misaligned graph; fail crisply instead of hanging the scheduler.
+  FF_CHECK_MSG(!(in_drained(0) && in_available(1)) && !(in_drained(1) && in_available(0)),
+               name() << ": one input stream ended before the other");
+  return moved;
+}
+
+// ---------------------------------------------------------------- SinkBase
+
+SinkBase::SinkBase(std::string name, std::size_t max_blocks_per_work)
+    : Element(std::move(name), 1, 0), max_blocks_per_work_(max_blocks_per_work) {}
+
+bool SinkBase::work() {
+  bool moved = false;
+  std::size_t taken = 0;
+  while (in_available(0) &&
+         (max_blocks_per_work_ == 0 || taken < max_blocks_per_work_)) {
+    const Block b = pop(0);
+    {
+      MetricsRegistry::ScopedTimer timer(metrics(), block_timer_name());
+      consume(b);
+    }
+    note_consumed(b);
+    ++taken;
+    moved = true;
+  }
+  return moved;
+}
+
+}  // namespace ff::stream

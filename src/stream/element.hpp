@@ -1,0 +1,194 @@
+// Element model of the streaming runtime (Click-style modular dataflow).
+//
+// An Element is a stateful processing stage with numbered input and output
+// ports. Ports are wired point-to-point through bounded Channels (FIFOs of
+// Blocks) owned by the Graph; an element never sees its neighbours, only its
+// channels. Each scheduling opportunity the Scheduler calls work(), which
+// moves as many blocks as the channels allow and returns whether anything
+// moved. A full output channel is backpressure: the element simply leaves
+// its input queued and reports a stall — nothing is ever dropped.
+//
+// Determinism contract (what makes multi-threaded runs bit-identical):
+//   * an element touches only its own state and its own channels;
+//   * a channel has exactly one producer and one consumer, and the Graph's
+//     level schedule never runs both in the same parallel region;
+//   * all randomness is owned per-element and consumed in sample order.
+// Under that contract the sample stream an element emits depends only on
+// the graph and its configuration — not on thread count, and (for the
+// provided elements, which wrap push()-style stateful kernels) not on how
+// the stream is cut into blocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "stream/block.hpp"
+
+namespace ff::stream {
+
+class Element;
+
+/// Bounded single-producer single-consumer FIFO connecting two ports.
+/// Capacity is in blocks; a full channel stalls the producer (backpressure),
+/// a closed channel tells the consumer no more blocks will ever arrive.
+struct Channel {
+  std::deque<Block> fifo;
+  std::size_t capacity = 8;
+  bool closed = false;
+
+  // Occupancy bookkeeping for the stream.* telemetry.
+  std::uint64_t blocks_total = 0;
+  std::size_t depth_peak = 0;
+
+  // Wiring (set by Graph::connect; used for validation and metric names).
+  Element* producer = nullptr;
+  Element* consumer = nullptr;
+  std::size_t producer_port = 0;
+  std::size_t consumer_port = 0;
+
+  bool full() const { return fifo.size() >= capacity; }
+  bool empty() const { return fifo.empty(); }
+  /// Nothing queued and nothing coming: the consumer is finished with it.
+  bool drained() const { return closed && fifo.empty(); }
+};
+
+class Element {
+ public:
+  Element(std::string name, std::size_t n_inputs, std::size_t n_outputs);
+  virtual ~Element() = default;
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t n_inputs() const { return inputs_.size(); }
+  std::size_t n_outputs() const { return outputs_.size(); }
+
+  /// One scheduling opportunity: move whatever the channels allow without
+  /// blocking. Returns true when any block was consumed or emitted.
+  virtual bool work() = 0;
+
+  /// Blocks this element stalled on a full output (backpressure events).
+  std::uint64_t stalls() const { return stalls_; }
+
+ protected:
+  // ---- channel access for concrete elements -------------------------
+  bool in_available(std::size_t port) const { return !inputs_[port]->empty(); }
+  /// Upstream closed and everything consumed: this input is finished.
+  bool in_drained(std::size_t port) const { return inputs_[port]->drained(); }
+  /// Output can accept a block right now.
+  bool out_ready(std::size_t port) const {
+    return !outputs_[port]->full() && !outputs_[port]->closed;
+  }
+  Block pop(std::size_t port);
+  /// Emit a block (counts stream.<name>.blocks / .samples when metrics on).
+  void emit(std::size_t port, Block&& block);
+  /// Close every output channel (idempotent): end of this element's stream.
+  void close_outputs();
+  bool outputs_closed() const;
+  /// Record one backpressure stall (input ready but output full).
+  void note_stall();
+  /// Count a consumed block for elements with no outputs (sinks count here
+  /// what emit() would have counted).
+  void note_consumed(const Block& block);
+
+  MetricsRegistry* metrics() const { return metrics_; }
+  /// Per-block processing timer name (empty until metrics are attached).
+  const std::string& block_timer_name() const { return m_block_us_; }
+
+ private:
+  friend class Graph;
+  friend class Scheduler;
+
+  void attach_input(std::size_t port, Channel* ch);
+  void attach_output(std::size_t port, Channel* ch);
+  /// Install the telemetry sink and precompute this element's metric names
+  /// (so the hot loop never builds strings). nullptr disables recording.
+  void set_metrics(MetricsRegistry* metrics);
+
+  std::string name_;
+  std::vector<Channel*> inputs_;
+  std::vector<Channel*> outputs_;
+  std::uint64_t stalls_ = 0;
+
+  MetricsRegistry* metrics_ = nullptr;
+  std::string m_blocks_;    // stream.<name>.blocks
+  std::string m_samples_;   // stream.<name>.samples
+  std::string m_block_us_;  // stream.<name>.block_us
+  std::string m_stalls_;    // stream.<name>.stalls
+};
+
+/// Convenience base for 0-in/1-out sources. Concrete sources implement
+/// exhausted() and next_block(); the base drives the emit loop, stamps
+/// stream positions and first/last flags, and closes the output.
+class Source : public Element {
+ public:
+  Source(std::string name, std::size_t block_size);
+
+  bool work() final;
+
+  std::size_t block_size() const { return block_size_; }
+  /// Samples emitted so far (the stream clock).
+  std::uint64_t produced() const { return pos_; }
+
+ protected:
+  /// True once the source will produce no further samples.
+  virtual bool exhausted() const = 0;
+  /// Produce the next up-to-block_size() samples (called only when
+  /// !exhausted()). May return fewer than block_size() samples (e.g. the
+  /// stream tail); must not return an empty vector.
+  virtual CVec generate() = 0;
+
+ private:
+  std::size_t block_size_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Convenience base for 1-in/1-out transforms: pops a block, processes it
+/// in place (stateful kernels keep their own delay lines, so block
+/// boundaries are invisible), re-emits it, and propagates end-of-stream.
+class Transform : public Element {
+ public:
+  explicit Transform(std::string name) : Element(std::move(name), 1, 1) {}
+
+  bool work() final;
+
+ protected:
+  virtual void process(Block& block) = 0;
+};
+
+/// Convenience base for aligned 2-in/1-out combiners (adders, cancellers).
+/// Pops one block from each input — the streams must be block-aligned,
+/// which holds whenever both derive from the same source through
+/// length-preserving elements — and emits one combined block.
+class Combine2 : public Element {
+ public:
+  explicit Combine2(std::string name) : Element(std::move(name), 2, 1) {}
+
+  bool work() final;
+
+ protected:
+  /// Combine `b` into `a` (a is re-emitted).
+  virtual void process(Block& a, const Block& b) = 0;
+};
+
+/// Convenience base for 1-in/0-out sinks. `max_blocks_per_work` throttles
+/// consumption (0 = drain everything offered) — a deliberately slow sink is
+/// how the backpressure tests saturate a graph.
+class SinkBase : public Element {
+ public:
+  SinkBase(std::string name, std::size_t max_blocks_per_work = 0);
+
+  bool work() final;
+
+ protected:
+  virtual void consume(const Block& block) = 0;
+
+ private:
+  std::size_t max_blocks_per_work_;
+};
+
+}  // namespace ff::stream

@@ -1,0 +1,243 @@
+#include "stream/elements.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "dsp/resample.hpp"
+
+namespace ff::stream {
+
+// ---------------------------------------------------------------- sources
+
+VectorSource::VectorSource(std::string name, CVec data, std::size_t block_size)
+    : Source(std::move(name), block_size), data_(std::move(data)) {
+  FF_CHECK_MSG(!data_.empty(), "VectorSource needs a non-empty record");
+}
+
+CVec VectorSource::generate() {
+  const std::size_t n = std::min(block_size(), data_.size() - offset_);
+  CVec out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+           data_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += n;
+  return out;
+}
+
+PacketSource::PacketSource(std::string name, PacketSourceConfig cfg, std::size_t block_size)
+    : Source(std::move(name), block_size),
+      cfg_(cfg),
+      tx_(cfg.params),
+      rng_(cfg.seed) {
+  FF_CHECK_MSG(cfg_.n_packets > 0, "PacketSource needs at least one packet");
+  FF_CHECK_MSG(cfg_.payload_bits > 0, "PacketSource needs a non-empty payload");
+  FF_CHECK_MSG(cfg_.oversample >= 1, "PacketSource oversample must be >= 1");
+}
+
+void PacketSource::stage_next_packet() {
+  phy::TxOptions txo;
+  txo.mcs_index = cfg_.mcs_index;
+  txo.signature_client = cfg_.signature_client;
+  std::vector<std::uint8_t> payload(cfg_.payload_bits);
+  for (auto& b : payload) b = rng_.bernoulli(0.5) ? 1 : 0;
+  staging_ = tx_.modulate(payload, txo);
+  if (cfg_.oversample > 1) staging_ = dsp::upsample(staging_, cfg_.oversample);
+  staging_.resize(staging_.size() + cfg_.gap_samples, Complex{});
+  offset_ = 0;
+  ++packets_done_;
+}
+
+CVec PacketSource::generate() {
+  if (offset_ >= staging_.size()) stage_next_packet();
+  const std::size_t n = std::min(block_size(), staging_.size() - offset_);
+  CVec out(staging_.begin() + static_cast<std::ptrdiff_t>(offset_),
+           staging_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += n;
+  return out;
+}
+
+// -------------------------------------------------------------- transforms
+
+FirElement::FirElement(std::string name, CVec taps)
+    : Transform(std::move(name)), fir_(std::move(taps)) {}
+
+void FirElement::process(Block& block) {
+  fir_.process_into(block.samples, block.samples);
+}
+
+CfoElement::CfoElement(std::string name, double cfo_hz, double sample_rate_hz)
+    : Transform(std::move(name)), rot_(cfo_hz, sample_rate_hz) {}
+
+void CfoElement::process(Block& block) {
+  rot_.process_into(block.samples, block.samples);
+}
+
+PipelineElement::PipelineElement(std::string name, relay::PipelineConfig cfg)
+    : Transform(std::move(name)), pipeline_(std::move(cfg)) {}
+
+void PipelineElement::process(Block& block) {
+  pipeline_.process_into(block.samples, block.samples);
+}
+
+ChannelElement::ChannelElement(std::string name, ChannelElementConfig cfg)
+    : Transform(std::move(name)),
+      cfg_(std::move(cfg)),
+      drift_(cfg_.channel, cfg_.coherence_time_s > 0.0 ? cfg_.coherence_time_s : 1.0),
+      fir_(cfg_.channel.empty()
+               ? CVec{Complex{}}
+               : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                     cfg_.sinc_half_width)),
+      noise_rng_(Rng(cfg_.seed).fork(fnv1a_64("noise"))),
+      drift_rng_(Rng(cfg_.seed).fork(fnv1a_64("drift"))) {
+  FF_CHECK_MSG(cfg_.sample_rate_hz > 0.0, "ChannelElement needs a positive sample rate");
+  FF_CHECK_MSG(cfg_.noise_power >= 0.0, "ChannelElement noise_power must be >= 0");
+  FF_CHECK_MSG(cfg_.coherence_time_s >= 0.0,
+               "ChannelElement coherence_time_s must be >= 0");
+}
+
+void ChannelElement::process(Block& block) {
+  // Sample-at-a-time so retunes land at exact stream positions and the
+  // noise/drift RNG draws are consumed in sample order — block boundaries
+  // never change what any draw is used for.
+  const std::size_t interval = cfg_.retune_interval_samples;
+  for (auto& s : block.samples) {
+    if (drifting() && pos_ > 0 && pos_ % interval == 0) {
+      const double dt = static_cast<double>(interval) / cfg_.sample_rate_hz;
+      drift_.advance(dt, drift_rng_);
+      // Drift moves amplitudes, not delays: the FIR length is unchanged and
+      // set_taps keeps the delay-line history (no retune transient).
+      fir_.set_taps(drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                        cfg_.sinc_half_width));
+      ++retunes_;
+    }
+    s = fir_.push(s);
+    if (cfg_.noise_power > 0.0) s += noise_rng_.cgaussian(cfg_.noise_power);
+    ++pos_;
+  }
+}
+
+FaultElement::FaultElement(std::string name, eval::FaultConfig cfg)
+    : Transform(std::move(name)), injector_(cfg) {}
+
+void FaultElement::process(Block& block) { injector_.apply(block.samples); }
+
+GateElement::GateElement(std::string name, ident::PnSignatureDetector detector,
+                         std::size_t window)
+    : Transform(std::move(name)), detector_(std::move(detector)), window_(window) {
+  FF_CHECK_MSG(window_ > 0, "GateElement needs a positive decision window");
+  buffer_.reserve(window_);
+}
+
+void GateElement::process(Block& block) {
+  for (auto& s : block.samples) {
+    if (!decided_) {
+      buffer_.push_back(s);
+      if (buffer_.size() == window_) {
+        decision_ = detector_.detect(buffer_);
+        pass_ = decision_.has_value();
+        decided_ = true;
+        buffer_.clear();
+        buffer_.shrink_to_fit();
+      }
+      // Window samples are always forwarded muted — the decision they feed
+      // only affects samples after the window.
+      s = Complex{};
+      continue;
+    }
+    if (!pass_) s = Complex{};
+  }
+}
+
+// --------------------------------------------------------------- plumbing
+
+Tee::Tee(std::string name, std::size_t n_outputs) : Element(std::move(name), 1, n_outputs) {
+  FF_CHECK_MSG(n_outputs >= 2, "Tee needs at least two outputs (use a wire otherwise)");
+}
+
+bool Tee::work() {
+  const std::size_t n = n_outputs();
+  bool moved = false;
+  for (;;) {
+    if (!in_available(0)) break;
+    bool all_ready = true;
+    for (std::size_t p = 0; p < n; ++p) all_ready &= out_ready(p);
+    if (!all_ready) {
+      note_stall();
+      break;
+    }
+    Block b = pop(0);
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      Block copy;
+      copy.samples = b.samples;
+      copy.start = b.start;
+      copy.flags = b.flags;
+      emit(p, std::move(copy));
+    }
+    emit(n - 1, std::move(b));
+    moved = true;
+  }
+  if (in_drained(0)) close_outputs();
+  return moved;
+}
+
+void Add2::process(Block& a, const Block& b) {
+  for (std::size_t i = 0; i < a.samples.size(); ++i) a.samples[i] += b.samples[i];
+}
+
+CVec CancellerElement::or_zero_tap(CVec taps) {
+  if (taps.empty()) taps.push_back(Complex{});
+  return taps;
+}
+
+CancellerElement::CancellerElement(std::string name, CVec analog_fir, CVec digital_taps)
+    : Combine2(std::move(name)),
+      analog_(or_zero_tap(std::move(analog_fir))),
+      digital_(or_zero_tap(std::move(digital_taps))) {}
+
+CancellerElement::CancellerElement(std::string name, const fd::CancellationStack& stack)
+    : CancellerElement(std::move(name), stack.analog_fir(), stack.digital().taps()) {
+  FF_CHECK_MSG(stack.tuned(), "CancellerElement needs a tuned CancellationStack");
+  FF_CHECK_MSG(stack.digital().added_delay_samples() == 0,
+               "CancellerElement needs a causal digital stage (lookahead 0); "
+               "a non-causal canceller buffers future tx and cannot stream");
+}
+
+void CancellerElement::process(Block& rx, const Block& tx) {
+  // Two explicit subtractions, analog first: the batch reference
+  // (stack.apply) computes (rx - analog) - digital, and matching that
+  // association is what makes streaming == batch BIT-identical, not merely
+  // close — floating-point subtraction does not re-associate.
+  for (std::size_t i = 0; i < rx.samples.size(); ++i) {
+    const Complex t = tx.samples[i];
+    const Complex analog = analog_.push(t);
+    const Complex digital = digital_.push(t);
+    rx.samples[i] = (rx.samples[i] - analog) - digital;
+  }
+}
+
+// ------------------------------------------------------------------ sinks
+
+AccumulatorSink::AccumulatorSink(std::string name, std::size_t max_blocks_per_work)
+    : SinkBase(std::move(name), max_blocks_per_work) {}
+
+void AccumulatorSink::consume(const Block& block) {
+  FF_CHECK_MSG(block.start == samples_.size(),
+               name() << " received out-of-order block: starts at " << block.start
+                      << ", expected " << samples_.size());
+  samples_.insert(samples_.end(), block.samples.begin(), block.samples.end());
+  ++blocks_seen_;
+}
+
+NullSink::NullSink(std::string name, std::size_t max_blocks_per_work)
+    : SinkBase(std::move(name), max_blocks_per_work) {}
+
+void NullSink::consume(const Block& block) {
+  for (const Complex s : block.samples) power_acc_ += std::norm(s);
+  samples_seen_ += block.samples.size();
+}
+
+double NullSink::mean_power() const {
+  return samples_seen_ == 0 ? 0.0 : power_acc_ / static_cast<double>(samples_seen_);
+}
+
+}  // namespace ff::stream

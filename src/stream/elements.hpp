@@ -1,0 +1,327 @@
+// The element library: concrete sources, transforms, combiners and sinks
+// that wrap the simulator's stateful components for the streaming runtime.
+//
+// Every element here keeps the block-size invariance contract (block.hpp):
+// the wrapped kernels are push()-style with internal delay lines, and any
+// position-dependent behaviour (channel retunes, fault schedules, gate
+// decisions) happens at exact sample indices — never "once per block". A
+// stream cut into blocks of 1 and of 4096 therefore produces bit-identical
+// samples, which tests/stream_test.cpp asserts against the batch path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "channel/cfo.hpp"
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "eval/faults.hpp"
+#include "fullduplex/stack.hpp"
+#include "ident/pn_detector.hpp"
+#include "net/drift.hpp"
+#include "phy/frame.hpp"
+#include "relay/pipeline.hpp"
+#include "stream/element.hpp"
+
+namespace ff::stream {
+
+// ---------------------------------------------------------------- sources
+
+/// Replays a fixed sample record (a captured trace, a precomputed packet)
+/// as a stream of `block_size` blocks.
+class VectorSource : public Source {
+ public:
+  VectorSource(std::string name, CVec data, std::size_t block_size);
+
+ protected:
+  bool exhausted() const override { return offset_ >= data_.size(); }
+  CVec generate() override;
+
+ private:
+  CVec data_;
+  std::size_t offset_ = 0;
+};
+
+struct PacketSourceConfig {
+  phy::OfdmParams params{};
+  int mcs_index = 0;
+  std::size_t payload_bits = 256;
+  std::size_t n_packets = 1;
+  /// Idle (zero) samples appended after every packet, the last included —
+  /// the inter-frame gap, and room for downstream filter tails.
+  std::size_t gap_samples = 160;
+  /// Non-zero = prepend this client's PN signature (Sec. 6 downlink form).
+  std::uint32_t signature_client = 0;
+  /// Upsampling factor applied per packet (the time-domain evaluator's
+  /// converter oversampling; 4 = 80 Msps for the 20 MHz PHY). gap_samples
+  /// count at the upsampled rate. Per-packet upsampling keeps generation —
+  /// and therefore the stream — independent of the block size.
+  std::size_t oversample = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a deterministic sequence of modulated packets with random
+/// payloads, lazily one packet at a time (a session of N packets never
+/// holds more than one packet of staging memory).
+class PacketSource : public Source {
+ public:
+  PacketSource(std::string name, PacketSourceConfig cfg, std::size_t block_size);
+
+  const PacketSourceConfig& config() const { return cfg_; }
+
+ protected:
+  bool exhausted() const override {
+    return packets_done_ == cfg_.n_packets && offset_ >= staging_.size();
+  }
+  CVec generate() override;
+
+ private:
+  void stage_next_packet();
+
+  PacketSourceConfig cfg_;
+  phy::Transmitter tx_;
+  Rng rng_;
+  CVec staging_;
+  std::size_t offset_ = 0;
+  std::size_t packets_done_ = 0;
+};
+
+// -------------------------------------------------------------- transforms
+
+/// Stateful FIR filtering (dsp::FirFilter): the delay line spans block
+/// boundaries, so streaming equals one batch dsp::filter() call bit-for-bit.
+class FirElement : public Transform {
+ public:
+  FirElement(std::string name, CVec taps);
+
+  const dsp::FirFilter& filter() const { return fir_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  dsp::FirFilter fir_;
+};
+
+/// Phase-continuous CFO rotation (channel::CfoRotator).
+class CfoElement : public Transform {
+ public:
+  CfoElement(std::string name, double cfo_hz, double sample_rate_hz);
+
+  const channel::CfoRotator& rotator() const { return rot_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  channel::CfoRotator rot_;
+};
+
+/// The relay's forward path (relay::ForwardPipeline) as a stream stage:
+/// CFO remove -> digital CNF -> CFO restore -> amplify -> analog CNF ->
+/// TX filter / bulk delay, all stateful across blocks.
+class PipelineElement : public Transform {
+ public:
+  PipelineElement(std::string name, relay::PipelineConfig cfg);
+
+  const relay::ForwardPipeline& pipeline() const { return pipeline_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  relay::ForwardPipeline pipeline_;
+};
+
+struct ChannelElementConfig {
+  channel::MultipathChannel channel;
+  double sample_rate_hz = 20e6;
+  /// Timeline origin subtracted from path delays before discretization
+  /// (must be <= the channel's min delay; see MultipathChannel::to_fir).
+  double delay_ref_s = 0.0;
+  std::size_t sinc_half_width = 16;
+  /// Per-sample complex noise power E[|n|^2] added after the channel
+  /// (thermal floor at the receiver). 0 = noiseless.
+  double noise_power = 0.0;
+  /// Channel coherence time for AR(1) drift (net::DriftingChannel).
+  /// 0 = static channel, no drift.
+  double coherence_time_s = 0.0;
+  /// Re-discretize the drifting channel every this many samples. The
+  /// retune happens at exact stream positions (multiples of the interval),
+  /// so drift is block-size invariant. 0 = never retune (static FIR).
+  std::size_t retune_interval_samples = 0;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Multipath propagation as a stream stage: the channel discretized to a
+/// stateful FIR, optional AWGN, and optional AR(1) tap drift with retunes
+/// at exact sample positions. Drift changes amplitudes, never delays, so
+/// the FIR length is constant and set_taps() keeps the delay-line history
+/// across retunes (no re-discretization transient).
+class ChannelElement : public Transform {
+ public:
+  ChannelElement(std::string name, ChannelElementConfig cfg);
+
+  const ChannelElementConfig& config() const { return cfg_; }
+  /// Retunes performed so far (drift steps applied to the FIR).
+  std::uint64_t retunes() const { return retunes_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  bool drifting() const {
+    return cfg_.coherence_time_s > 0.0 && cfg_.retune_interval_samples > 0;
+  }
+
+  ChannelElementConfig cfg_;
+  net::DriftingChannel drift_;
+  dsp::FirFilter fir_;
+  Rng noise_rng_;
+  Rng drift_rng_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+/// Deterministic front-end faults (eval::FaultInjector) applied in stream
+/// order; the injector's schedules are already batch-invariant by design.
+class FaultElement : public Transform {
+ public:
+  FaultElement(std::string name, eval::FaultConfig cfg);
+
+  const eval::FaultInjector& injector() const { return injector_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  eval::FaultInjector injector_;
+};
+
+/// PN-signature gating (Sec. 6): the relay mutes its forward path until it
+/// recognizes a registered client's signature in the first `window` samples
+/// of the stream. The detect decision is made exactly once, at sample index
+/// `window` (or end-of-stream if shorter) — a sample-exact decision point,
+/// so gating is block-size invariant. Before the decision the output is
+/// muted (zeros); after it, samples pass iff a signature matched.
+class GateElement : public Transform {
+ public:
+  GateElement(std::string name, ident::PnSignatureDetector detector, std::size_t window);
+
+  /// The decision, once made (empty optional before, and forever when no
+  /// signature matched).
+  const std::optional<ident::PnDetection>& decision() const { return decision_; }
+  bool decided() const { return decided_; }
+
+ protected:
+  void process(Block& block) override;
+
+ private:
+  ident::PnSignatureDetector detector_;
+  std::size_t window_;
+  CVec buffer_;          // first `window` samples, for the one detect() call
+  bool decided_ = false;
+  bool pass_ = false;
+  std::optional<ident::PnDetection> decision_;
+};
+
+// --------------------------------------------------------------- plumbing
+
+/// Explicit buffering stage (Click's Queue): passes blocks through
+/// untouched; its purpose is the bounded channels on either side. Wire it
+/// with small capacities to study backpressure, large ones to decouple a
+/// bursty producer from a slow consumer.
+class Queue : public Transform {
+ public:
+  explicit Queue(std::string name) : Transform(std::move(name)) {}
+
+ protected:
+  void process(Block&) override {}
+};
+
+/// Copies each input block to every output (the stream equivalent of a
+/// signal splitter — e.g. the over-the-air signal reaching both the direct
+/// path and the relay). Pops only when every output can accept the copy,
+/// so one slow branch backpressures the other.
+class Tee : public Element {
+ public:
+  Tee(std::string name, std::size_t n_outputs);
+
+  bool work() override;
+};
+
+/// Aligned sample-wise sum of two streams (superposition at a receiver).
+class Add2 : public Combine2 {
+ public:
+  explicit Add2(std::string name) : Combine2(std::move(name)) {}
+
+ protected:
+  void process(Block& a, const Block& b) override;
+};
+
+/// Streaming two-stage self-interference cancellation: input 0 is the
+/// receive stream, input 1 the (known) transmit stream; the output is
+///   rx[n] - (analog_fir * tx)[n] - (digital_taps * tx)[n],
+/// i.e. fd::CancellationStack::apply() restated with stateful FIRs so it
+/// runs online. Requires a causal digital stage (lookahead 0) — the paper's
+/// whole point (Sec. 3.3) is that the causal canceller needs no future tx.
+class CancellerElement : public Combine2 {
+ public:
+  /// From raw tap sets (empty digital taps = analog stage only).
+  CancellerElement(std::string name, CVec analog_fir, CVec digital_taps);
+
+  /// From a tuned stack (FF_CHECKs tuned() and a causal digital stage).
+  CancellerElement(std::string name, const fd::CancellationStack& stack);
+
+ protected:
+  void process(Block& rx, const Block& tx) override;
+
+ private:
+  static CVec or_zero_tap(CVec taps);
+
+  dsp::FirFilter analog_;
+  dsp::FirFilter digital_;
+};
+
+// ------------------------------------------------------------------ sinks
+
+/// Collects the stream back into one contiguous vector, asserting the
+/// blocks arrive in order and gap-free. `max_blocks_per_work` (see
+/// SinkBase) throttles consumption for backpressure tests.
+class AccumulatorSink : public SinkBase {
+ public:
+  explicit AccumulatorSink(std::string name, std::size_t max_blocks_per_work = 0);
+
+  const CVec& samples() const { return samples_; }
+  CVec take() { return std::move(samples_); }
+  std::uint64_t blocks_seen() const { return blocks_seen_; }
+
+ protected:
+  void consume(const Block& block) override;
+
+ private:
+  CVec samples_;
+  std::uint64_t blocks_seen_ = 0;
+};
+
+/// Counts samples and accumulates mean power without storing the stream —
+/// the bounded-memory sink for long sessions.
+class NullSink : public SinkBase {
+ public:
+  explicit NullSink(std::string name, std::size_t max_blocks_per_work = 0);
+
+  std::uint64_t samples_seen() const { return samples_seen_; }
+  /// Mean |x|^2 over everything consumed (0 before any sample).
+  double mean_power() const;
+
+ protected:
+  void consume(const Block& block) override;
+
+ private:
+  std::uint64_t samples_seen_ = 0;
+  double power_acc_ = 0.0;
+};
+
+}  // namespace ff::stream

@@ -1,0 +1,83 @@
+// Graph builder and validator for the streaming runtime.
+//
+// A Graph owns its Elements and the Channels wired between them. connect()
+// joins an output port to an input port through a bounded channel;
+// validate() then checks the wiring is complete (every port connected
+// exactly once), names are unique (they key the stream.* metrics), and the
+// graph is acyclic — and computes the level schedule the Scheduler runs:
+// level(e) = 0 for sources, else 1 + max(level of upstream). Because every
+// channel crosses from a lower level to a strictly higher one, elements
+// within one level share no state and can run concurrently.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "stream/element.hpp"
+
+namespace ff::stream {
+
+class Graph {
+ public:
+  /// Default per-channel capacity (blocks) when connect() is not told one.
+  static constexpr std::size_t kDefaultChannelCapacity = 8;
+
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Take ownership of an element; returns a handle for connect() calls.
+  template <typename E>
+  E* add(std::unique_ptr<E> element) {
+    E* raw = element.get();
+    elements_.push_back(std::move(element));
+    invalidate();
+    return raw;
+  }
+
+  /// Construct an element in place: g.emplace<VectorSource>("src", data, 64).
+  template <typename E, typename... Args>
+  E* emplace(Args&&... args) {
+    return add(std::make_unique<E>(std::forward<Args>(args)...));
+  }
+
+  /// Wire `from`'s output port to `to`'s input port through a bounded
+  /// channel of `capacity` blocks (>= 1). Each port connects exactly once.
+  void connect(Element& from, std::size_t out_port, Element& to, std::size_t in_port,
+               std::size_t capacity = kDefaultChannelCapacity);
+
+  /// Check wiring, name uniqueness and acyclicity; build the level
+  /// schedule. Throws (FF_CHECK) with the offending element named on any
+  /// violation. Idempotent; Scheduler::run calls it if needed.
+  void validate();
+  bool validated() const { return validated_; }
+
+  std::size_t n_elements() const { return elements_.size(); }
+  std::size_t n_channels() const { return channels_.size(); }
+
+  /// Every channel closed and empty: the run is complete.
+  bool finished() const;
+
+  /// The level schedule (valid after validate()): levels in topological
+  /// order, elements within a level in insertion order.
+  const std::vector<std::vector<Element*>>& levels() const { return levels_; }
+  const std::vector<std::unique_ptr<Channel>>& channels() const { return channels_; }
+
+  /// Install a telemetry sink on every element (nullptr = record nothing).
+  void set_metrics(MetricsRegistry* metrics);
+
+ private:
+  void invalidate() {
+    validated_ = false;
+    levels_.clear();
+  }
+
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::vector<Element*>> levels_;
+  bool validated_ = false;
+};
+
+}  // namespace ff::stream

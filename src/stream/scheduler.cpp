@@ -1,0 +1,60 @@
+#include "stream/scheduler.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace ff::stream {
+
+Scheduler::Scheduler(Graph& graph, SchedulerConfig cfg) : graph_(graph), cfg_(cfg) {}
+
+std::uint64_t Scheduler::run() {
+  graph_.validate();
+  graph_.set_metrics(cfg_.metrics);
+  const std::size_t threads = cfg_.threads == 0 ? default_thread_count() : cfg_.threads;
+
+  // Per-element result slots so parallel bodies never share a flag.
+  std::vector<char> moved_slots;
+
+  std::uint64_t rounds = 0;
+  for (;;) {
+    bool any_moved = false;
+    for (const auto& level : graph_.levels()) {
+      if (threads > 1 && level.size() > 1) {
+        moved_slots.assign(level.size(), 0);
+        parallel_for(
+            level.size(),
+            [&](std::size_t i) { moved_slots[i] = level[i]->work() ? 1 : 0; },
+            threads);
+        for (const char m : moved_slots) any_moved |= (m != 0);
+      } else {
+        for (Element* e : level) any_moved |= e->work();
+      }
+    }
+    ++rounds;
+    if (graph_.finished()) break;
+    FF_CHECK_MSG(any_moved,
+                 "stream graph stalled after " << rounds
+                                               << " rounds: no element can make progress "
+                                                  "(undrained channel with a blocked "
+                                                  "producer — check queue capacities)");
+    FF_CHECK_MSG(cfg_.max_rounds == 0 || rounds < cfg_.max_rounds,
+                 "stream graph exceeded max_rounds = " << cfg_.max_rounds);
+  }
+
+  if (cfg_.metrics) {
+    cfg_.metrics->add("stream.scheduler.rounds", rounds);
+    // Peak queue occupancy per channel, keyed by the consuming port. The
+    // schedule is thread-count independent, so these gauges are too.
+    for (const auto& ch : graph_.channels()) {
+      const std::string name = "stream." + ch->consumer->name() + ".in" +
+                               std::to_string(ch->consumer_port) + ".depth_peak";
+      cfg_.metrics->set(name, static_cast<double>(ch->depth_peak));
+    }
+  }
+  return rounds;
+}
+
+}  // namespace ff::stream

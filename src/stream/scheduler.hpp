@@ -1,0 +1,53 @@
+// Deterministic round-robin scheduler for element graphs.
+//
+// Execution proceeds in rounds. Within a round every level of the graph is
+// visited in topological order and each element gets one work()
+// opportunity; within one level the elements share no state (graph.hpp), so
+// with threads > 1 a level runs under common/parallel's worker pool. The
+// round/level structure — and therefore every element's state trajectory —
+// is a function of the graph alone, so output streams and stream.* metric
+// values are bit-identical at any thread count. The run ends when every
+// channel is closed and drained; a round that moves nothing earlier than
+// that is a stuck graph and fails crisply.
+//
+// Telemetry (when a registry is injected): per-element block/sample
+// counters and per-block latency timers recorded by the elements
+// themselves, per-channel peak-occupancy gauges
+// (stream.<consumer>.in<port>.depth_peak), stall counters, and
+// stream.scheduler.rounds. Never record thread counts — reports must stay
+// byte-comparable across them (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+
+#include "stream/graph.hpp"
+
+namespace ff::stream {
+
+struct SchedulerConfig {
+  /// Worker threads for level execution. 1 = fully serial; 0 = the
+  /// common/parallel default (FF_THREADS / hardware concurrency).
+  std::size_t threads = 1;
+  /// Optional telemetry sink, installed on every element for the run.
+  MetricsRegistry* metrics = nullptr;
+  /// Safety valve for misconfigured (e.g. unbounded-source) graphs:
+  /// abort after this many rounds. 0 = no limit.
+  std::uint64_t max_rounds = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Graph& graph, SchedulerConfig cfg = {});
+
+  /// Run the graph to completion (every source exhausted, every channel
+  /// drained). Returns the number of rounds executed.
+  std::uint64_t run();
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  Graph& graph_;
+  SchedulerConfig cfg_;
+};
+
+}  // namespace ff::stream

@@ -307,5 +307,37 @@ TEST(Cfo, PhaseContinuityAcrossBlocks) {
   EXPECT_NEAR(std::remainder(std::arg(yb[0]) - expected, kTwoPi), 0.0, 1e-9);
 }
 
+TEST(Cfo, ProcessIntoMatchesProcessAndSupportsAliasing) {
+  Rng rng(41);
+  CVec x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  channel::CfoRotator a(17e3, 20e6), b(17e3, 20e6);
+  const CVec expected = a.process(x);
+  CVec inplace = x;
+  b.process_into(inplace, inplace);
+  EXPECT_EQ(inplace, expected);
+  CVec wrong(x.size() - 1);
+  EXPECT_THROW(b.process_into(x, wrong), std::logic_error);
+}
+
+TEST(Cfo, SetCfoRetunesWithPhaseContinuity) {
+  const double fs = 20e6;
+  channel::CfoRotator rot(25e3, fs);
+  const CVec ones(50, Complex{1.0, 0.0});
+  rot.process(ones);
+
+  // Retune mid-stream: the accumulated phase must carry over — the output
+  // from here on equals a fresh rotator at the new frequency whose initial
+  // phase is exactly where the old one left off.
+  const double phase_at_switch = rot.phase();
+  rot.set_cfo(-40e3, fs);
+  EXPECT_EQ(rot.cfo_hz(), -40e3);
+  channel::CfoRotator ref(-40e3, fs, phase_at_switch);
+  const CVec got = rot.process(ones);
+  const CVec want = ref.process(ones);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-12) << "sample " << i;
+}
+
 }  // namespace
 }  // namespace ff

@@ -99,5 +99,57 @@ TEST(Cli, ParsesMixedOptionsAndFlags) {
   EXPECT_TRUE(flag);
 }
 
+TEST(StreamCli, DefaultsAreValid) {
+  StreamCli stream;
+  Cli cli("test", "test program");
+  stream.register_options(cli);
+  char arg0[] = "test";
+  char* argv[] = {arg0};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_TRUE(stream.validate());
+  EXPECT_EQ(stream.block_size(), 256u);
+  EXPECT_DOUBLE_EQ(stream.duration_s(), 5e-3);
+  EXPECT_EQ(stream.backpressure(), 8u);
+  EXPECT_EQ(stream.threads(), 1u);
+  EXPECT_EQ(stream.metrics(), nullptr);  // no --metrics = no-op telemetry
+}
+
+TEST(StreamCli, ParsesAllKnobs) {
+  StreamCli stream;
+  Cli cli("test", "test program");
+  stream.register_options(cli);
+  char arg0[] = "test";
+  char arg1[] = "--block-size=64";
+  char arg2[] = "--duration";
+  char arg3[] = "1e-3";
+  char arg4[] = "--backpressure=2";
+  char arg5[] = "--threads=4";
+  char* argv[] = {arg0, arg1, arg2, arg3, arg4, arg5};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_TRUE(stream.validate());
+  EXPECT_EQ(stream.block_size(), 64u);
+  EXPECT_DOUBLE_EQ(stream.duration_s(), 1e-3);
+  EXPECT_EQ(stream.backpressure(), 2u);
+  EXPECT_EQ(stream.threads(), 4u);
+}
+
+TEST(StreamCli, ValidateRejectsDegenerateValues) {
+  const auto parse_one = [](const char* arg) {
+    StreamCli stream;
+    Cli cli("test", "test program");
+    stream.register_options(cli);
+    char arg0[] = "test";
+    std::string owned(arg);
+    char* argv[] = {arg0, owned.data()};
+    EXPECT_TRUE(cli.parse(2, argv)) << arg;
+    return stream.validate();
+  };
+  EXPECT_FALSE(parse_one("--block-size=0"));
+  EXPECT_FALSE(parse_one("--backpressure=0"));
+  EXPECT_FALSE(parse_one("--duration=0"));
+  EXPECT_FALSE(parse_one("--duration=-1e-3"));
+  EXPECT_TRUE(parse_one("--block-size=1"));
+}
+
 }  // namespace
 }  // namespace ff::eval

@@ -435,5 +435,61 @@ TEST(Resample, EmptyInputStaysEmpty) {
   EXPECT_TRUE(dsp::downsample(CVec{}, 4).empty());
 }
 
+TEST(Fir, ProcessIntoMatchesProcessAndSupportsAliasing) {
+  Rng rng(31);
+  CVec taps(7), x(100);
+  for (auto& v : taps) v = rng.cgaussian();
+  for (auto& v : x) v = rng.cgaussian();
+
+  dsp::FirFilter a(taps), b(taps);
+  const CVec expected = a.process(x);
+  CVec inplace = x;
+  b.process_into(inplace, inplace);  // out aliases the input
+  EXPECT_EQ(inplace, expected);
+
+  dsp::FirFilter c(taps);
+  CVec wrong(x.size() + 1);
+  EXPECT_THROW(c.process_into(x, wrong), std::logic_error);
+}
+
+TEST(Fir, SetTapsPreservesHistoryAcrossResize) {
+  Rng rng(33);
+  CVec x(10);
+  for (auto& v : x) v = rng.cgaussian();
+  const CVec taps4{{1.0, 0.0}, {0.5, 0.0}, {-0.25, 0.0}, {0.0, 0.5}};
+  CVec taps6(6);
+  for (auto& v : taps6) v = rng.cgaussian();
+
+  // Grow mid-stream: the most recent 4 inputs must survive into the new
+  // 6-deep delay line (older history zero-padded).
+  dsp::FirFilter fir(taps4);
+  for (const Complex s : x) fir.push(s);
+  fir.set_taps(taps6);
+  const Complex next{0.7, -0.3};
+  const Complex y = fir.push(next);
+  Complex expected = taps6[0] * next;
+  for (std::size_t k = 1; k <= 4; ++k) expected += taps6[k] * x[x.size() - k];
+  // taps6[5] multiplies zero-padded (forgotten) history.
+  EXPECT_NEAR(std::abs(y - expected), 0.0, 1e-12);
+
+  // Shrink: only the most recent 2 inputs remain relevant.
+  dsp::FirFilter shrink(taps6);
+  for (const Complex s : x) shrink.push(s);
+  shrink.set_taps(CVec{{1.0, 0.0}, {0.0, 1.0}});
+  const Complex y2 = shrink.push(next);
+  EXPECT_NEAR(std::abs(y2 - (next + Complex{0.0, 1.0} * x.back())), 0.0, 1e-12);
+
+  // Same-size retune never touches the delay line.
+  dsp::FirFilter same(taps4);
+  for (const Complex s : x) same.push(s);
+  dsp::FirFilter ref(taps4);
+  for (const Complex s : x) ref.push(s);
+  CVec taps4b = taps4;
+  taps4b[2] = Complex{2.0, 0.0};
+  same.set_taps(taps4b);
+  Complex expected_same = ref.push(next) + (taps4b[2] - taps4[2]) * x[x.size() - 2];
+  EXPECT_NEAR(std::abs(same.push(next) - expected_same), 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace ff

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "channel/multipath.hpp"
 #include "common/rng.hpp"
@@ -470,6 +471,39 @@ TEST(RelayDesign, SplitErrorReportedForSiso) {
   const auto d = relay::design_ff_relay(link, opts);
   EXPECT_LT(d.split_error_db, -5.0);   // realizable to better than -5 dB
   EXPECT_GT(d.split_error_db, -60.0);  // but not magically perfect
+}
+
+TEST(Pipeline, ProcessIntoMatchesProcessAndSupportsAliasing) {
+  Rng rng(51);
+  CVec x(300);
+  for (auto& v : x) v = rng.cgaussian();
+  relay::PipelineConfig cfg;
+  cfg.cfo_hz = 11e3;
+  cfg.prefilter = CVec{{0.9, 0.0}, {0.1, -0.2}};
+  cfg.gain_db = 10.0;
+  relay::ForwardPipeline a(cfg), b(cfg);
+  const CVec expected = a.process(x);
+  CVec inplace = x;
+  b.process_into(inplace, inplace);
+  EXPECT_EQ(inplace, expected);
+  CVec wrong(x.size() + 3);
+  EXPECT_THROW(b.process_into(x, wrong), std::logic_error);
+}
+
+TEST(Pipeline, ResetClearsScrubbedCount) {
+  relay::PipelineConfig cfg;
+  relay::ForwardPipeline pipe(cfg);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  CVec poisoned(8, Complex{1.0, 0.0});
+  poisoned[3] = Complex{nan, 0.0};
+  pipe.process(poisoned);
+  ASSERT_EQ(pipe.scrubbed_samples(), 1u);
+  // A reset pipeline reports like a fresh one — repetitions must not
+  // double-count earlier glitches.
+  pipe.reset();
+  EXPECT_EQ(pipe.scrubbed_samples(), 0u);
+  pipe.process(poisoned);
+  EXPECT_EQ(pipe.scrubbed_samples(), 1u);
 }
 
 }  // namespace

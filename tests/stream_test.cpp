@@ -1,0 +1,514 @@
+// Streaming element-graph runtime tests: graph validation, the block-size
+// and thread-count invariance contract (streaming output must be
+// bit-identical to the batch path no matter how the stream is blocked or
+// scheduled), and bounded-queue backpressure (saturation degrades
+// throughput, never correctness).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "channel/cfo.hpp"
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/sequence.hpp"
+#include "eval/faults.hpp"
+#include "fullduplex/si_channel.hpp"
+#include "fullduplex/stack.hpp"
+#include "fullduplex/tuner.hpp"
+#include "phy/frame.hpp"
+#include "stream/elements.hpp"
+#include "stream/graph.hpp"
+#include "stream/scheduler.hpp"
+
+namespace ff {
+namespace {
+
+using stream::Block;
+using stream::Graph;
+using stream::Scheduler;
+using stream::SchedulerConfig;
+
+constexpr std::size_t kBlockSizes[] = {1, 7, 64, 4096};
+constexpr std::size_t kThreadCounts[] = {1, 2, 4};
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CVec x(n);
+  for (auto& s : x) s = rng.cgaussian();
+  return x;
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& m : snap.counters)
+    if (m.name == name) return m.count;
+  return 0;
+}
+
+double gauge_value(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& m : snap.gauges)
+    if (m.name == name) return m.value;
+  return -1.0;
+}
+
+/// Run `data` through a single transform element at the given block size
+/// and return the collected output.
+template <typename MakeElement>
+CVec run_single_transform(const CVec& data, std::size_t block_size, MakeElement make) {
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", data, block_size);
+  auto* xf = g.add(make());
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *xf, 0);
+  g.connect(*xf, 0, *sink, 0);
+  Scheduler(g).run();
+  return sink->take();
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(StreamGraph, RejectsEmptyGraph) {
+  Graph g;
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(StreamGraph, RejectsUnconnectedPorts) {
+  Graph g;
+  g.emplace<stream::VectorSource>("src", CVec{Complex{1.0, 0.0}}, 4);
+  EXPECT_THROW(g.validate(), std::logic_error);  // src output dangling
+}
+
+TEST(StreamGraph, RejectsDuplicateNames) {
+  Graph g;
+  auto* a = g.emplace<stream::VectorSource>("x", CVec{Complex{1.0, 0.0}}, 4);
+  auto* b = g.emplace<stream::AccumulatorSink>("x");
+  g.connect(*a, 0, *b, 0);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(StreamGraph, RejectsSelfLoopAndDoubleConnect) {
+  Graph g;
+  auto* q = g.emplace<stream::Queue>("q");
+  EXPECT_THROW(g.connect(*q, 0, *q, 0), std::logic_error);
+  auto* src = g.emplace<stream::VectorSource>("src", CVec{Complex{1.0, 0.0}}, 4);
+  g.connect(*src, 0, *q, 0);
+  auto* q2 = g.emplace<stream::Queue>("q2");
+  EXPECT_THROW(g.connect(*src, 0, *q2, 0), std::logic_error);  // port reuse
+}
+
+TEST(StreamGraph, RejectsCycles) {
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", CVec{Complex{1.0, 0.0}}, 4);
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* tee = g.emplace<stream::Tee>("tee", 2);
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *add, 0);
+  g.connect(*add, 0, *tee, 0);
+  g.connect(*tee, 0, *sink, 0);
+  g.connect(*tee, 1, *add, 1);  // feedback: add -> tee -> add
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(StreamGraph, LevelsFollowLongestPath) {
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", random_signal(64, 9), 16);
+  auto* tee = g.emplace<stream::Tee>("tee", 2);
+  auto* q = g.emplace<stream::Queue>("q");
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *tee, 0);
+  g.connect(*tee, 0, *add, 0, /*capacity=*/16);
+  g.connect(*tee, 1, *q, 0);
+  g.connect(*q, 0, *add, 1);
+  g.connect(*add, 0, *sink, 0);
+  g.validate();
+  // src=0, tee=1, q=2, add=3 (longest path through q), sink=4.
+  ASSERT_EQ(g.levels().size(), 5u);
+  for (const auto& level : g.levels()) EXPECT_EQ(level.size(), 1u);
+}
+
+TEST(StreamCombine, RejectsMisalignedStreams) {
+  Graph g;
+  auto* a = g.emplace<stream::VectorSource>("a", random_signal(32, 1), 8);
+  auto* b = g.emplace<stream::VectorSource>("b", random_signal(32, 2), 16);
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*a, 0, *add, 0);
+  g.connect(*b, 0, *add, 1);
+  g.connect(*add, 0, *sink, 0);
+  EXPECT_THROW(Scheduler(g).run(), std::logic_error);
+}
+
+// ------------------------------------------- block-size invariance (batch)
+
+TEST(StreamInvariance, FirMatchesBatchAtEveryBlockSize) {
+  const CVec x = random_signal(5000, 42);
+  const CVec taps = dsp::design_lowpass(31, 0.2);
+  const CVec batch = dsp::filter(taps, x);  // zero initial conditions
+  for (const std::size_t bs : kBlockSizes) {
+    const CVec out = run_single_transform(x, bs, [&] {
+      return std::make_unique<stream::FirElement>("fir", taps);
+    });
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], batch[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+TEST(StreamInvariance, CfoMatchesBatchAtEveryBlockSize) {
+  const CVec x = random_signal(3000, 7);
+  const double fs = 20e6, cfo = 31.4e3;
+  const CVec batch = channel::apply_cfo(x, cfo, fs);
+  for (const std::size_t bs : kBlockSizes) {
+    const CVec out = run_single_transform(x, bs, [&] {
+      return std::make_unique<stream::CfoElement>("cfo", cfo, fs);
+    });
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], batch[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+relay::PipelineConfig test_pipeline_config() {
+  relay::PipelineConfig cfg;
+  cfg.sample_rate_hz = 20e6;
+  cfg.adc_dac_delay_samples = 2;
+  cfg.cfo_hz = 12.5e3;
+  cfg.prefilter = dsp::design_lowpass(9, 0.3);
+  cfg.analog_rotation = Complex{0.8, -0.6};
+  cfg.gain_db = 20.0;
+  cfg.tx_filter = dsp::design_lowpass(5, 0.25);
+  return cfg;
+}
+
+TEST(StreamInvariance, PipelineMatchesBatchAtEveryBlockSize) {
+  const CVec x = random_signal(4000, 11);
+  relay::ForwardPipeline reference(test_pipeline_config());
+  const CVec batch = reference.process(x);
+  for (const std::size_t bs : kBlockSizes) {
+    const CVec out = run_single_transform(x, bs, [&] {
+      return std::make_unique<stream::PipelineElement>("relay", test_pipeline_config());
+    });
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], batch[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+TEST(StreamInvariance, FaultScheduleMatchesBatchAtEveryBlockSize) {
+  const CVec x = random_signal(2000, 5);
+  eval::FaultConfig fc;
+  fc.sample_drop_rate = 0.01;
+  fc.sample_corrupt_rate = 0.003;
+  fc.seed = 99;
+  eval::FaultInjector reference(fc);
+  const CVec batch = reference.apply_copy(x);
+  for (const std::size_t bs : kBlockSizes) {
+    const CVec out = run_single_transform(x, bs, [&] {
+      return std::make_unique<stream::FaultElement>("faults", fc);
+    });
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], batch[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+stream::ChannelElementConfig drifting_channel_config() {
+  stream::ChannelElementConfig cc;
+  cc.channel = channel::MultipathChannel(
+      {channel::PathTap{100e-9, Complex{0.5, 0.1}},
+       channel::PathTap{250e-9, Complex{-0.2, 0.3}}},
+      2.45e9);
+  cc.sample_rate_hz = 20e6;
+  cc.sinc_half_width = 8;
+  cc.noise_power = 1e-6;
+  cc.coherence_time_s = 1e-4;  // fast drift so retunes matter in-test
+  cc.retune_interval_samples = 512;
+  cc.seed = 1234;
+  return cc;
+}
+
+TEST(StreamInvariance, DriftingChannelIsBlockSizeInvariant) {
+  const CVec x = random_signal(3000, 21);
+  // Reference: the same element run at the largest block size.
+  const CVec reference = run_single_transform(x, 4096, [&] {
+    return std::make_unique<stream::ChannelElement>("chan", drifting_channel_config());
+  });
+  for (const std::size_t bs : kBlockSizes) {
+    Graph g;
+    auto* src = g.emplace<stream::VectorSource>("src", x, bs);
+    auto* chan = g.emplace<stream::ChannelElement>("chan", drifting_channel_config());
+    auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+    g.connect(*src, 0, *chan, 0);
+    g.connect(*chan, 0, *sink, 0);
+    Scheduler(g).run();
+    EXPECT_EQ(chan->retunes(), (x.size() - 1) / 512);
+    const CVec out = sink->take();
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], reference[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+TEST(StreamInvariance, CancellerMatchesStackApply) {
+  // Classic SI scenario: the relay hears its own transmission through the
+  // SI channel; the tuned stack's batch apply() must equal the streaming
+  // CancellerElement bit-for-bit (the digital stage is causal).
+  Rng rng(77);
+  const std::size_t n = 20000;
+  const channel::MultipathChannel si = fd::make_si_channel(rng);
+  CVec tx = dsp::awgn_dbm(rng, n, 20.0);
+  const CVec probe = fd::inject_probe(rng, tx, 30.0);
+  const CVec si_fir = fd::si_loop_fir(si, 20e6);
+  const CVec si_rx = dsp::filter(si_fir, tx);
+  const CVec thermal = dsp::awgn_dbm(rng, n, -90.0);
+  CVec rx(n);
+  for (std::size_t i = 0; i < n; ++i) rx[i] = si_rx[i] + thermal[i];
+
+  fd::CancellationStack stack;
+  stack.tune(tx, probe, rx);
+  const CVec batch = stack.apply(tx, rx);
+
+  for (const std::size_t bs : {std::size_t{64}, std::size_t{997}}) {
+    Graph g;
+    auto* rx_src = g.emplace<stream::VectorSource>("rx", rx, bs);
+    auto* tx_src = g.emplace<stream::VectorSource>("tx", tx, bs);
+    auto* canc = g.emplace<stream::CancellerElement>("canceller", stack);
+    auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+    g.connect(*rx_src, 0, *canc, 0);
+    g.connect(*tx_src, 0, *canc, 1);
+    g.connect(*canc, 0, *sink, 0);
+    Scheduler(g).run();
+    const CVec out = sink->take();
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], batch[i]) << "block_size=" << bs << " sample " << i;
+  }
+}
+
+TEST(StreamGate, OpensOnSignatureAndIsBlockSizeInvariant) {
+  const phy::OfdmParams params;
+  const std::size_t prefix = phy::signature_prefix_len(params);
+  phy::Transmitter tx(params);
+  phy::TxOptions txo;
+  txo.signature_client = 3;
+  std::vector<std::uint8_t> payload(64, 1);
+  const CVec pkt = tx.modulate(payload, txo);
+
+  const std::size_t window = 2 * prefix;
+  const auto make_detector = [&] {
+    ident::PnSignatureDetector det(0.6);
+    det.register_client(3, prefix / 2);
+    det.register_client(9, prefix / 2);
+    return det;
+  };
+
+  CVec reference;
+  for (const std::size_t bs : kBlockSizes) {
+    Graph g;
+    auto* src = g.emplace<stream::VectorSource>("src", pkt, bs);
+    auto* gate = g.emplace<stream::GateElement>("gate", make_detector(), window);
+    auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+    g.connect(*src, 0, *gate, 0);
+    g.connect(*gate, 0, *sink, 0);
+    Scheduler(g).run();
+
+    ASSERT_TRUE(gate->decided());
+    ASSERT_TRUE(gate->decision().has_value());
+    EXPECT_EQ(gate->decision()->client, 3u);
+    const CVec out = sink->take();
+    ASSERT_EQ(out.size(), pkt.size());
+    // Muted through the decision window, passing afterwards.
+    for (std::size_t i = 0; i < window; ++i) ASSERT_EQ(out[i], Complex{});
+    for (std::size_t i = window; i < out.size(); ++i) ASSERT_EQ(out[i], pkt[i]);
+    if (reference.empty()) reference = out;
+    EXPECT_EQ(out, reference) << "block_size=" << bs;
+  }
+
+  // No registered signature in the stream: the gate stays shut.
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", random_signal(window + 500, 3), 64);
+  auto* gate = g.emplace<stream::GateElement>("gate", make_detector(), window);
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *gate, 0);
+  g.connect(*gate, 0, *sink, 0);
+  Scheduler(g).run();
+  ASSERT_TRUE(gate->decided());
+  EXPECT_FALSE(gate->decision().has_value());
+  for (const Complex s : sink->samples()) ASSERT_EQ(s, Complex{});
+}
+
+// ------------------------------------------ composite graph, threads x bs
+
+struct CompositeResult {
+  CVec out;
+  std::uint64_t rounds = 0;
+  std::uint64_t sink_samples = 0;
+  double depth_peak = -1.0;
+};
+
+/// The streaming relay testbench: packets reach the destination through a
+/// direct path and through a relay branch (source->relay channel, forward
+/// pipeline, relay->destination drifting channel), superposed at the sink.
+CompositeResult run_composite(std::size_t block_size, std::size_t threads) {
+  stream::PacketSourceConfig pc;
+  pc.n_packets = 2;
+  pc.payload_bits = 128;
+  pc.gap_samples = 200;
+  pc.seed = 2026;
+
+  stream::ChannelElementConfig direct;
+  direct.channel = channel::MultipathChannel(
+      {channel::PathTap{150e-9, Complex{0.3, -0.2}}}, 2.45e9);
+  direct.sample_rate_hz = 20e6;
+  direct.sinc_half_width = 8;
+  direct.noise_power = 1e-8;
+  direct.seed = 5;
+
+  stream::ChannelElementConfig sr;
+  sr.channel = channel::MultipathChannel(
+      {channel::PathTap{80e-9, Complex{0.6, 0.1}}}, 2.45e9);
+  sr.sample_rate_hz = 20e6;
+  sr.sinc_half_width = 8;
+  sr.seed = 6;
+
+  stream::ChannelElementConfig rd = drifting_channel_config();
+  rd.seed = 7;
+
+  MetricsRegistry metrics;
+  Graph g;
+  auto* src = g.emplace<stream::PacketSource>("src", pc, block_size);
+  auto* tee = g.emplace<stream::Tee>("tee", 2);
+  auto* chan_sd = g.emplace<stream::ChannelElement>("chan_sd", direct);
+  auto* chan_sr = g.emplace<stream::ChannelElement>("chan_sr", sr);
+  auto* relay = g.emplace<stream::PipelineElement>("relay", test_pipeline_config());
+  auto* chan_rd = g.emplace<stream::ChannelElement>("chan_rd", rd);
+  auto* q = g.emplace<stream::Queue>("q");
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+
+  g.connect(*src, 0, *tee, 0);
+  // The direct branch is 1 element long, the relay branch 3: the Queue (and
+  // a deeper direct-side channel) levels them so Add2 sees aligned streams
+  // without deadlocking on default capacities.
+  g.connect(*tee, 0, *chan_sd, 0, /*capacity=*/8);
+  g.connect(*chan_sd, 0, *q, 0, /*capacity=*/8);
+  g.connect(*q, 0, *add, 0, /*capacity=*/8);
+  g.connect(*tee, 1, *chan_sr, 0);
+  g.connect(*chan_sr, 0, *relay, 0);
+  g.connect(*relay, 0, *chan_rd, 0);
+  g.connect(*chan_rd, 0, *add, 1);
+  g.connect(*add, 0, *sink, 0);
+
+  SchedulerConfig sc;
+  sc.threads = threads;
+  sc.metrics = &metrics;
+  CompositeResult r;
+  r.rounds = Scheduler(g, sc).run();
+  r.out = sink->take();
+  const auto snap = metrics.snapshot();
+  r.sink_samples = counter_value(snap, "stream.sink.samples");
+  r.depth_peak = gauge_value(snap, "stream.add.in1.depth_peak");
+  return r;
+}
+
+TEST(StreamInvariance, CompositeGraphIsThreadAndBlockSizeInvariant) {
+  const CompositeResult reference = run_composite(64, 1);
+  ASSERT_GT(reference.out.size(), 0u);
+  EXPECT_EQ(reference.sink_samples, reference.out.size());
+
+  for (const std::size_t bs : kBlockSizes) {
+    for (const std::size_t threads : kThreadCounts) {
+      const CompositeResult r = run_composite(bs, threads);
+      ASSERT_EQ(r.out.size(), reference.out.size())
+          << "bs=" << bs << " threads=" << threads;
+      for (std::size_t i = 0; i < r.out.size(); ++i)
+        ASSERT_EQ(r.out[i], reference.out[i])
+            << "bs=" << bs << " threads=" << threads << " sample " << i;
+      // The schedule itself is thread-count independent: same rounds, same
+      // queue occupancy peaks, same deterministic counters.
+      if (bs == 64) {
+        EXPECT_EQ(r.rounds, reference.rounds) << "threads=" << threads;
+        EXPECT_EQ(r.depth_peak, reference.depth_peak) << "threads=" << threads;
+      }
+      EXPECT_EQ(r.sink_samples, r.out.size());
+    }
+  }
+}
+
+// ------------------------------------------------------------ backpressure
+
+TEST(StreamBackpressure, BoundedQueueNeverDropsUnderSaturation) {
+  const CVec x = random_signal(10000, 13);
+  MetricsRegistry metrics;
+  Graph g;
+  // Tiny capacities + a sink throttled to 1 block per opportunity: the
+  // graph saturates immediately and the source spends most rounds stalled.
+  auto* src = g.emplace<stream::VectorSource>("src", x, 16);
+  auto* q = g.emplace<stream::Queue>("q");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink", /*max_blocks_per_work=*/1);
+  g.connect(*src, 0, *q, 0, /*capacity=*/2);
+  g.connect(*q, 0, *sink, 0, /*capacity=*/2);
+
+  SchedulerConfig sc;
+  sc.metrics = &metrics;
+  Scheduler(g, sc).run();
+
+  // Nothing dropped, nothing reordered, nothing duplicated.
+  EXPECT_EQ(sink->samples(), x);
+  // The producer genuinely hit backpressure...
+  EXPECT_GT(src->stalls(), 0u);
+  // ...and the bounded queues never exceeded their capacity.
+  const auto snap = metrics.snapshot();
+  EXPECT_LE(gauge_value(snap, "stream.q.in0.depth_peak"), 2.0);
+  EXPECT_LE(gauge_value(snap, "stream.sink.in0.depth_peak"), 2.0);
+  EXPECT_EQ(counter_value(snap, "stream.sink.samples"), x.size());
+  EXPECT_GT(counter_value(snap, "stream.src.stalls"), 0u);
+}
+
+TEST(StreamBackpressure, ThrottledSinkStillDrainsEverythingMultithreaded) {
+  const CVec x = random_signal(5000, 17);
+  for (const std::size_t threads : kThreadCounts) {
+    Graph g;
+    auto* src = g.emplace<stream::VectorSource>("src", x, 8);
+    auto* tee = g.emplace<stream::Tee>("tee", 2);
+    auto* a = g.emplace<stream::AccumulatorSink>("a", 1);
+    auto* b = g.emplace<stream::AccumulatorSink>("b", 2);
+    g.connect(*src, 0, *tee, 0, /*capacity=*/2);
+    g.connect(*tee, 0, *a, 0, /*capacity=*/2);
+    g.connect(*tee, 1, *b, 0, /*capacity=*/2);
+    SchedulerConfig sc;
+    sc.threads = threads;
+    Scheduler(g, sc).run();
+    EXPECT_EQ(a->samples(), x) << "threads=" << threads;
+    EXPECT_EQ(b->samples(), x) << "threads=" << threads;
+  }
+}
+
+TEST(StreamScheduler, MaxRoundsGuardsRunawayGraphs) {
+  const CVec x = random_signal(4096, 19);
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", x, 1);  // 4096 rounds minimum
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink", 1);
+  g.connect(*src, 0, *sink, 0, 2);
+  SchedulerConfig sc;
+  sc.max_rounds = 10;
+  EXPECT_THROW(Scheduler(g, sc).run(), std::logic_error);
+}
+
+TEST(StreamRuntime, BlockFlagsMarkStreamEnds) {
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", random_signal(10, 23), 4);
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *sink, 0);
+  Scheduler(g).run();
+  EXPECT_EQ(sink->blocks_seen(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(sink->samples().size(), 10u);
+}
+
+}  // namespace
+}  // namespace ff
