@@ -7,7 +7,11 @@
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/kernels/kernels.hpp"
+#include "dsp/kernels/workspace.hpp"
+#include "dsp/noise.hpp"
 #include "fullduplex/digital_canceller.hpp"
+#include "fullduplex/stack.hpp"
 #include "phy/fec.hpp"
 #include "phy/frame.hpp"
 #include "relay/cnf_design.hpp"
@@ -29,6 +33,65 @@ void BM_Fft64(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_Fft64);
+
+// ---- kernel layer: dispatched (SIMD when compiled+supported) vs the scalar
+// reference on the same buffers, and the mixed-radix FFT vs the seed radix-2
+// path. The scalar/SIMD pairs are bitwise-equal by contract (kernels.hpp);
+// these rows measure what that contract costs/buys.
+
+void BM_CmulScalar(benchmark::State& state) {
+  Rng rng(11);
+  dsp::kernels::AlignedCVec a(4096), b(4096), out(4096);
+  for (auto& v : a) v = rng.cgaussian();
+  for (auto& v : b) v = rng.cgaussian();
+  for (auto _ : state) {
+    dsp::kernels::scalar::cmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_CmulScalar);
+
+void BM_CmulSimd(benchmark::State& state) {
+  Rng rng(11);
+  dsp::kernels::AlignedCVec a(4096), b(4096), out(4096);
+  for (auto& v : a) v = rng.cgaussian();
+  for (auto& v : b) v = rng.cgaussian();
+  for (auto _ : state) {
+    dsp::kernels::cmul(a, b, out);  // dispatched: scalar when FF_SIMD=OFF
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_CmulSimd);
+
+void BM_Fft64Radix2(benchmark::State& state) {
+  const dsp::FftPlan plan(64);
+  Rng rng(1);
+  CVec x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    plan.forward_radix2(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Fft64Radix2);
+
+void BM_Fft64Radix4(benchmark::State& state) {
+  const dsp::FftPlan plan(64);
+  Rng rng(1);
+  CVec x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    plan.forward(x);  // Stockham mixed-radix (radix-4 dominant for n=64)
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Fft64Radix4);
 
 void BM_ForwardPipelinePush(benchmark::State& state) {
   relay::PipelineConfig cfg;
@@ -127,6 +190,67 @@ void BM_PipelineProcessIntoBlock(benchmark::State& state) {
                           static_cast<int64_t>(x.size()));
 }
 BENCHMARK(BM_PipelineProcessIntoBlock);
+
+// ---- two-stage cancellation apply: the allocating wrapper (one fresh CVec
+// per call plus whatever dsp::filter used to allocate) vs the workspace form
+// the streaming canceller runs on (apply_into: zero steady-state heap
+// allocations). Same arithmetic, bit-identical outputs.
+
+struct CancellerScenario {
+  fd::CancellationStack stack;
+  CVec tx, rx;
+};
+
+const CancellerScenario& canceller_scenario() {
+  static const CancellerScenario* s = [] {
+    auto* sc = new CancellerScenario;
+    Rng rng(12);
+    const std::size_t n = 6000;
+    const double fs = 80e6;
+    const CVec source = dsp::awgn_dbm(rng, n, -70.0);
+    sc->tx.assign(n, Complex{});
+    for (std::size_t i = 2; i < n; ++i) sc->tx[i] = source[i - 2];
+    dsp::set_mean_power(sc->tx, power_from_db(20.0));
+    const CVec probe = fd::inject_probe(rng, sc->tx, 30.0);
+    const auto si = fd::make_si_channel(rng);
+    const CVec si_fir = fd::si_loop_fir(si, fs);
+    const CVec si_only = dsp::filter(si_fir, sc->tx);
+    const CVec thermal = dsp::awgn_dbm(rng, n, -90.0);
+    sc->rx.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sc->rx[i] = source[i] + si_only[i] + thermal[i];
+    fd::StackConfig cfg;
+    cfg.sample_rate_hz = fs;
+    sc->stack = fd::CancellationStack(cfg);
+    sc->stack.tune(sc->tx, probe, sc->rx);
+    return sc;
+  }();
+  return *s;
+}
+
+void BM_CancellerApplyAlloc(benchmark::State& state) {
+  const CancellerScenario& s = canceller_scenario();
+  for (auto _ : state) {
+    CVec out = s.stack.apply(s.tx, s.rx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.rx.size()));
+}
+BENCHMARK(BM_CancellerApplyAlloc);
+
+void BM_CancellerApplyWorkspace(benchmark::State& state) {
+  const CancellerScenario& s = canceller_scenario();
+  CVec out(s.rx.size());
+  dsp::kernels::Workspace ws;
+  for (auto _ : state) {
+    s.stack.apply_into(s.tx, s.rx, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.rx.size()));
+}
+BENCHMARK(BM_CancellerApplyWorkspace);
 
 void BM_DigitalCancellerTraining(benchmark::State& state) {
   Rng rng(4);

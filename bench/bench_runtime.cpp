@@ -29,6 +29,7 @@
 #include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "eval/timedomain.hpp"
 #include "phy/frame.hpp"
 #include "stream/elements.hpp"
@@ -285,8 +286,8 @@ int main(int argc, char** argv) {
   if (hw_threads > 4) thread_counts.push_back(hw_threads);
 
   std::printf("bench_runtime: standard_run(%zu) at 1/2/4/N threads "
-              "(hardware default: %zu)\n\n",
-              clients, hw_threads);
+              "(hardware default: %zu, kernel ISA: %s)\n\n",
+              clients, hw_threads, dsp::kernels::isa_name());
 
   std::vector<ExperimentTiming> timings;
   for (const std::size_t t : thread_counts)
@@ -334,10 +335,15 @@ int main(int argc, char** argv) {
 
   // The runtime's invariance contract: the output stream is bit-identical
   // for any block size and thread count (tests/stream_test.cpp proves it on
-  // synthetic graphs; this re-proves it on the full relay session).
+  // synthetic graphs; this re-proves it on the full relay session). The
+  // variant grid deliberately spans degenerate (1), odd (7), and large
+  // (4096) block sizes against 1/2/4 threads — the shapes where a
+  // vectorized block path could diverge from the per-sample reference if
+  // it re-associated anything.
   bool stream_deterministic = true;
   const struct { std::size_t block_size, threads; } variants[] = {
-      {64, 1}, {4096, 1}, {stream_cli.block_size(), 4}};
+      {1, 1},    {7, 2},    {64, 1},   {64, 4},
+      {4096, 1}, {4096, 2}, {4096, 4}, {stream_cli.block_size(), 4}};
   for (const auto& v : variants) {
     const StreamRun r =
         run_stream_once(setup, v.block_size, stream_cli.backpressure(), v.threads);
@@ -365,9 +371,19 @@ int main(int argc, char** argv) {
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value(std::string("ff-bench-runtime-v1"));
+  json.key("schema").value(std::string("ff-bench-runtime-v2"));
   json.key("clients_per_plan").value(clients);
   json.key("hardware_threads").value(hw_threads);
+  // v2: the build/runtime configuration a perf number is meaningless
+  // without — which kernel ISA dispatched, whether SIMD paths were compiled
+  // (FF_SIMD), whether the build targeted the host CPU (FF_NATIVE).
+  json.key("isa").value(std::string(dsp::kernels::isa_name()));
+  json.key("ff_simd").value(dsp::kernels::simd_compiled());
+#ifdef FF_NATIVE_ENABLED
+  json.key("ff_native").value(true);
+#else
+  json.key("ff_native").value(false);
+#endif
   json.key("deterministic").value(deterministic);
   json.key("metrics_enabled").value(with_metrics);
   json.key("metrics_deterministic").value(metrics_deterministic);

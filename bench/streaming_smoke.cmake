@@ -1,5 +1,5 @@
 # streaming-smoke: run bench_runtime with a short stream session and
-# validate the stream_relay entries in the emitted ff-bench-runtime-v1 JSON:
+# validate the stream_relay entries in the emitted ff-bench-runtime-v2 JSON:
 # the kernels array must carry a stream_relay row, the top-level "stream"
 # object must report throughput and per-block latency, and its determinism
 # flag (output checksum identical across block sizes and thread counts) must
@@ -35,8 +35,31 @@ string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
 if(jerr)
   message(FATAL_ERROR "bench JSON does not parse: ${jerr}")
 endif()
-if(NOT schema STREQUAL "ff-bench-runtime-v1")
-  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v1)")
+if(NOT schema STREQUAL "ff-bench-runtime-v2")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v2)")
+endif()
+
+# v2 build/runtime provenance fields: the dispatched kernel ISA must be one
+# of the known names and must be consistent with whether SIMD paths were
+# compiled at all (scalar is always legal — FF_KERNEL_ISA can force it).
+string(JSON isa ERROR_VARIABLE jerr GET "${doc}" isa)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v2 'isa' field: ${jerr}")
+endif()
+if(NOT isa MATCHES "^(scalar|sse2|avx2)$")
+  message(FATAL_ERROR "unexpected isa '${isa}' (want scalar|sse2|avx2)")
+endif()
+string(JSON simd ERROR_VARIABLE jerr GET "${doc}" ff_simd)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v2 'ff_simd' field: ${jerr}")
+endif()
+if(NOT simd STREQUAL "ON" AND NOT isa STREQUAL "scalar")
+  message(FATAL_ERROR "ff_simd=${simd} but isa=${isa}: a SIMD ISA cannot "
+                      "dispatch in a build without compiled SIMD paths")
+endif()
+string(JSON native ERROR_VARIABLE jerr GET "${doc}" ff_native)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v2 'ff_native' field: ${jerr}")
 endif()
 
 # The kernels array must contain a stream_relay row with a positive timing.

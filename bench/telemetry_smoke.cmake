@@ -61,6 +61,7 @@ endforeach()
 foreach(required
     eval.experiments
     eval.locations
+    ff.kernels.isa
     eval.category.low_snr_low_rank
     eval.wins.ff
     eval.median_mbps.ff

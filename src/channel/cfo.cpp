@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ff::channel {
 
@@ -28,11 +29,24 @@ CVec CfoRotator::process(CSpan x) {
   return out;
 }
 
-void CfoRotator::process_into(CSpan x, CMutSpan out) {
+void CfoRotator::process_into(CSpan x, CMutSpan out) { process_into(x, out, ws_); }
+
+void CfoRotator::process_into(CSpan x, CMutSpan out, dsp::kernels::Workspace& ws) {
   FF_CHECK_MSG(out.size() == x.size(),
                "CfoRotator::process_into needs out.size() == x.size(), got "
                    << out.size() << " vs " << x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
+  if (x.empty()) return;
+  // Phase recurrence stays scalar and sequential (identical to push(), wrap
+  // included) so the rotation is block-size invariant; only the multiply is
+  // vectorized.
+  CMutSpan phasors = ws.get(0, x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    phasors[i] = {std::cos(phase_), std::sin(phase_)};
+    phase_ += step_rad_;
+    if (phase_ > kTwoPi) phase_ -= kTwoPi;
+    if (phase_ < -kTwoPi) phase_ += kTwoPi;
+  }
+  dsp::kernels::rotate_phasor(x, phasors, out);
 }
 
 void CfoRotator::set_cfo(double cfo_hz, double sample_rate_hz) {

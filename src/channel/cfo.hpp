@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "dsp/kernels/workspace.hpp"
 
 namespace ff::channel {
 
@@ -27,7 +28,16 @@ class CfoRotator {
   /// Rotate a block into a caller-owned buffer (stateful). `out` must be
   /// exactly x.size() samples and may alias `x` — the streaming runtime's
   /// allocation-free block path.
+  ///
+  /// The phase recurrence (including the wrap at +/-2pi) advances scalar and
+  /// sample-sequential exactly as push() does — only the complex multiply is
+  /// vectorized (kernels::rotate_phasor over a per-block phasor table) — so
+  /// block and per-sample rotation are bit-identical at any block size.
   void process_into(CSpan x, CMutSpan out);
+
+  /// Same, with the phasor table drawn from a caller-owned Workspace
+  /// (slot 0) shared across an owning pipeline's stages.
+  void process_into(CSpan x, CMutSpan out, dsp::kernels::Workspace& ws);
 
   /// Retune the oscillator frequency while keeping the accumulated phase —
   /// a real oscillator drifts continuously, it never phase-jumps. This is
@@ -44,6 +54,7 @@ class CfoRotator {
   double cfo_hz_;
   double step_rad_;
   double phase_;
+  dsp::kernels::Workspace ws_;  // phasor table for the two-arg process_into
 };
 
 /// One-shot: apply CFO `cfo_hz` to a block starting at phase 0.

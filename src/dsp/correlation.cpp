@@ -3,33 +3,29 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ff::dsp {
 
 CVec cross_correlate(CSpan x, CSpan ref) {
   if (x.size() < ref.size() || ref.empty()) return {};
   CVec out(x.size() - ref.size() + 1, Complex{});
-  for (std::size_t n = 0; n < out.size(); ++n) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t k = 0; k < ref.size(); ++k) acc += std::conj(ref[k]) * x[n + k];
-    out[n] = acc;
-  }
+  for (std::size_t n = 0; n < out.size(); ++n)
+    out[n] = kernels::cdot_conj(ref, CSpan{x.data() + n, ref.size()});
   return out;
 }
 
 std::vector<double> normalized_correlation(CSpan x, CSpan ref) {
   if (x.size() < ref.size() || ref.empty()) return {};
-  double ref_energy = 0.0;
-  for (const Complex r : ref) ref_energy += std::norm(r);
-  const double ref_norm = std::sqrt(ref_energy);
+  const double ref_norm = std::sqrt(kernels::magsq_accum(ref));
 
   std::vector<double> out(x.size() - ref.size() + 1, 0.0);
-  // Running window energy of x.
-  double win_energy = 0.0;
-  for (std::size_t k = 0; k < ref.size(); ++k) win_energy += std::norm(x[k]);
+  // Running window energy of x: the sliding add/subtract recurrence must stay
+  // serial (each window's value depends on the previous one), so only the
+  // initial window uses the block reduction.
+  double win_energy = kernels::magsq_accum(CSpan{x.data(), ref.size()});
   for (std::size_t n = 0; n < out.size(); ++n) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t k = 0; k < ref.size(); ++k) acc += std::conj(ref[k]) * x[n + k];
+    const Complex acc = kernels::cdot_conj(ref, CSpan{x.data() + n, ref.size()});
     const double denom = ref_norm * std::sqrt(std::max(win_energy, 1e-30));
     out[n] = std::abs(acc) / denom;
     if (n + ref.size() < x.size())
@@ -40,11 +36,9 @@ std::vector<double> normalized_correlation(CSpan x, CSpan ref) {
 
 CVec autocorrelate(CSpan x, std::size_t max_lag) {
   CVec out(max_lag + 1, Complex{});
-  for (std::size_t l = 0; l <= max_lag && l < x.size(); ++l) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t n = 0; n + l < x.size(); ++n) acc += std::conj(x[n]) * x[n + l];
-    out[l] = acc;
-  }
+  for (std::size_t l = 0; l <= max_lag && l < x.size(); ++l)
+    out[l] = kernels::cdot_conj(CSpan{x.data(), x.size() - l},
+                                CSpan{x.data() + l, x.size() - l});
   return out;
 }
 
@@ -58,9 +52,7 @@ std::size_t argmax(std::span<const double> v) {
 
 double mean_power(CSpan x) {
   if (x.empty()) return 0.0;
-  double acc = 0.0;
-  for (const Complex s : x) acc += std::norm(s);
-  return acc / static_cast<double>(x.size());
+  return kernels::magsq_accum(x) / static_cast<double>(x.size());
 }
 
 double mean_power_db(CSpan x) {

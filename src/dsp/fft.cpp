@@ -1,14 +1,29 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ff::dsp {
+namespace {
+
+// Per-thread Stockham ping-pong scratch (2n: one staging buffer plus one
+// pre-copy buffer for odd-stage-count in-place transforms). Thread-local so
+// shared cached plans stay immutable and lock-free across workers; grows to
+// the largest size a thread has used and is then allocation-free.
+Complex* tl_scratch(std::size_t n) {
+  thread_local kernels::AlignedCVec buf;
+  if (buf.size() < 2 * n) buf.resize(2 * n);
+  return buf.data();
+}
+
+}  // namespace
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -40,6 +55,31 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     twiddle_[k] = {std::cos(ang), std::sin(ang)};
     inv_twiddle_[k] = std::conj(twiddle_[k]);
   }
+
+  // Mixed-radix Stockham schedule: decimate-in-frequency, radix 4 whenever
+  // the remaining sub-transform length allows, one radix-2 stage otherwise
+  // (exactly once, when log2(n) is odd — it lands last, where m is largest
+  // and the stage kernel vectorizes best).
+  std::size_t len = n_;
+  std::size_t m = 1;
+  while (len > 1) {
+    const std::size_t radix = (len % 4 == 0) ? 4 : 2;
+    const std::size_t bf = len / radix;
+    stages_.push_back({radix, bf, m, stage_tw_.size()});
+    for (std::size_t j = 0; j < bf; ++j) {
+      const double base = -kTwoPi * static_cast<double>(j) / static_cast<double>(len);
+      stage_tw_.push_back({std::cos(base), std::sin(base)});
+      if (radix == 4) {
+        stage_tw_.push_back({std::cos(2.0 * base), std::sin(2.0 * base)});
+        stage_tw_.push_back({std::cos(3.0 * base), std::sin(3.0 * base)});
+      }
+    }
+    m *= radix;
+    len = bf;
+  }
+  stage_tw_inv_.resize(stage_tw_.size());
+  for (std::size_t i = 0; i < stage_tw_.size(); ++i)
+    stage_tw_inv_[i] = std::conj(stage_tw_[i]);
 }
 
 const FftPlan& FftPlan::cached(std::size_t n) {
@@ -55,7 +95,7 @@ const FftPlan& FftPlan::cached(std::size_t n) {
 }
 
 template <bool kInvert>
-void FftPlan::transform(CMutSpan data) const {
+void FftPlan::transform_radix2(CMutSpan data) const {
   FF_CHECK(data.size() == n_);
   for (std::size_t i = 0; i < n_; ++i)
     if (i < bitrev_[i]) std::swap(data[i], data[bitrev_[i]]);
@@ -75,10 +115,68 @@ void FftPlan::transform(CMutSpan data) const {
   }
 }
 
-void FftPlan::forward(CMutSpan data) const { transform<false>(data); }
+void FftPlan::run_stages(const Complex* src, Complex* dst, Complex* scratch,
+                         bool invert) const {
+  // Stage s writes dst when s has the same parity as the last stage, else
+  // scratch — so the final stage always lands in dst with no trailing copy.
+  const std::size_t last_parity = (stages_.size() - 1) % 2;
+  const Complex* tw_base = invert ? stage_tw_inv_.data() : stage_tw_.data();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    Complex* out = (s % 2 == last_parity) ? dst : scratch;
+    const Complex* tw = tw_base + st.tw_offset;
+    if (st.radix == 4)
+      kernels::radix4_stage(src, out, tw, st.butterflies, st.m, invert);
+    else
+      kernels::radix2_stage(src, out, tw, st.butterflies, st.m);
+    src = out;
+  }
+}
+
+void FftPlan::transform_stockham(CMutSpan data, bool invert) const {
+  FF_CHECK(data.size() == n_);
+  Complex* scratch = tl_scratch(n_);
+  if (stages_.size() % 2 == 1) {
+    // Odd stage count: stage 0 would write `data` while reading it. Run
+    // from a copy instead (the copy moves no arithmetic — bits unchanged).
+    Complex* staging = scratch + n_;
+    std::memcpy(staging, data.data(), n_ * sizeof(Complex));
+    run_stages(staging, data.data(), scratch, invert);
+  } else {
+    run_stages(data.data(), data.data(), scratch, invert);
+  }
+}
+
+void FftPlan::forward(CMutSpan data) const { transform_stockham(data, false); }
 
 void FftPlan::inverse(CMutSpan data) const {
-  transform<true>(data);
+  transform_stockham(data, true);
+  kernels::scale_real(1.0 / static_cast<double>(n_), data, data);
+}
+
+void FftPlan::execute_many(CSpan in, CMutSpan out, std::size_t count,
+                           bool invert) const {
+  FF_CHECK_MSG(in.size() == count * n_ && out.size() == count * n_,
+               "execute_many: spans must hold count*n samples");
+  const bool in_place = in.data() == out.data();
+  Complex* scratch = tl_scratch(n_);
+  const double inv_scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t t = 0; t < count; ++t) {
+    const Complex* src = in.data() + t * n_;
+    CMutSpan dst{out.data() + t * n_, n_};
+    if (in_place) {
+      transform_stockham(dst, invert);
+    } else {
+      run_stages(src, dst.data(), scratch, invert);
+    }
+    if (invert) kernels::scale_real(inv_scale, dst, dst);
+  }
+}
+
+void FftPlan::forward_radix2(CMutSpan data) const { transform_radix2<false>(data); }
+
+void FftPlan::inverse_radix2(CMutSpan data) const {
+  transform_radix2<true>(data);
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& x : data) x *= scale;
 }
@@ -115,16 +213,22 @@ CVec fft_convolve(CSpan a, CSpan b) {
   if (a.empty() || b.empty()) return {};
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_power_of_two(out_len);
-  CVec fa(n), fb(n);
+  // Scratch spectra come from per-thread workspace slots: in steady state
+  // (e.g. the canceller's repeated link convolutions) only the returned
+  // vector allocates.
+  thread_local kernels::Workspace ws;
+  CMutSpan fa = ws.get(0, n);
+  CMutSpan fb = ws.get(1, n);
   std::copy(a.begin(), a.end(), fa.begin());
+  std::fill(fa.begin() + static_cast<std::ptrdiff_t>(a.size()), fa.end(), Complex{});
   std::copy(b.begin(), b.end(), fb.begin());
+  std::fill(fb.begin() + static_cast<std::ptrdiff_t>(b.size()), fb.end(), Complex{});
   const FftPlan& plan = FftPlan::cached(n);
   plan.forward(fa);
   plan.forward(fb);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  kernels::cmul(fa, fb, fa);
   plan.inverse(fa);
-  fa.resize(out_len);
-  return fa;
+  return CVec(fa.begin(), fa.begin() + static_cast<std::ptrdiff_t>(out_len));
 }
 
 }  // namespace ff::dsp

@@ -4,8 +4,20 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ff::dsp {
+
+// Shared block-convolution core: y[i] = sum_k h[k] * ext[H + i - k] where
+// ext = [H context samples | block] and H = h.size() - 1. One axpy per tap,
+// taps ascending — the same serial accumulation order as a per-sample
+// delay-line loop, so block and per-sample filtering agree bit for bit.
+void fir_core(CSpan taps, const Complex* ext, CMutSpan y) {
+  const std::size_t h = taps.size() - 1;
+  std::fill(y.begin(), y.end(), Complex{});
+  for (std::size_t k = 0; k <= h; ++k)
+    kernels::axpy(taps[k], CSpan{ext + (h - k), y.size()}, y);
+}
 
 FirFilter::FirFilter(CVec taps) : taps_(std::move(taps)), delay_(taps_.size()) {
   FF_CHECK_MSG(!taps_.empty(), "FIR filter needs at least one tap");
@@ -18,7 +30,8 @@ Complex FirFilter::push(Complex x) {
   std::size_t idx = head_;
   for (std::size_t k = 0; k < taps_.size(); ++k) {
     acc += taps_[k] * delay_[idx];
-    idx = (idx + 1) % delay_.size();
+    ++idx;
+    if (idx == delay_.size()) idx = 0;
   }
   return acc;
 }
@@ -29,11 +42,28 @@ CVec FirFilter::process(CSpan x) {
   return out;
 }
 
-void FirFilter::process_into(CSpan x, CMutSpan out) {
+void FirFilter::process_into(CSpan x, CMutSpan out) { process_into(x, out, ws_); }
+
+void FirFilter::process_into(CSpan x, CMutSpan out, kernels::Workspace& ws) {
   FF_CHECK_MSG(out.size() == x.size(),
                "FirFilter::process_into needs out.size() == x.size(), got "
                    << out.size() << " vs " << x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = push(x[i]);
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  const std::size_t taps = taps_.size();
+  const std::size_t hist = taps - 1;
+  CMutSpan ext = ws.get(0, hist + n);
+  // Delay-line slot (head_ + k) % taps holds x[-1 - k]; lay the history out
+  // chronologically so ext[hist - 1] is the sample right before x[0]. The
+  // block is staged before any output is written (out may alias x).
+  for (std::size_t k = 0; k < hist; ++k)
+    ext[hist - 1 - k] = delay_[(head_ + k) % taps];
+  std::copy(x.begin(), x.end(), ext.begin() + static_cast<std::ptrdiff_t>(hist));
+  fir_core(taps_, ext.data(), out);
+  // Refill the delay line with the newest `taps` inputs (history included
+  // when the block is shorter than the filter).
+  for (std::size_t k = 0; k < taps; ++k) delay_[k] = ext[hist + n - 1 - k];
+  head_ = 0;
 }
 
 void FirFilter::reset() {
@@ -61,19 +91,31 @@ void FirFilter::set_taps(CVec taps) {
 CVec convolve(CSpan x, CSpan h) {
   if (x.empty() || h.empty()) return {};
   CVec y(x.size() + h.size() - 1, Complex{});
+  // Scatter formulation: y[n..n+K) += x[n] * h. Each output element still
+  // receives its terms in ascending n, the same order as the textbook
+  // gather double loop.
   for (std::size_t n = 0; n < x.size(); ++n)
-    for (std::size_t k = 0; k < h.size(); ++k) y[n + k] += x[n] * h[k];
+    kernels::axpy(x[n], h, CMutSpan{y.data() + n, h.size()});
   return y;
+}
+
+void filter_into(CSpan h, CSpan x, CMutSpan y, kernels::Workspace& ws) {
+  FF_CHECK_MSG(y.size() == x.size(),
+               "filter_into needs y.size() == x.size(), got " << y.size()
+                                                              << " vs " << x.size());
+  FF_CHECK_MSG(!h.empty(), "filter_into needs at least one tap");
+  if (x.empty()) return;
+  const std::size_t hist = h.size() - 1;
+  CMutSpan ext = ws.get(0, hist + x.size());
+  std::fill(ext.begin(), ext.begin() + static_cast<std::ptrdiff_t>(hist), Complex{});
+  std::copy(x.begin(), x.end(), ext.begin() + static_cast<std::ptrdiff_t>(hist));
+  fir_core(h, ext.data(), y);
 }
 
 CVec filter(CSpan h, CSpan x) {
   CVec y(x.size(), Complex{});
-  for (std::size_t n = 0; n < x.size(); ++n) {
-    Complex acc{0.0, 0.0};
-    const std::size_t kmax = std::min(h.size() - 1, n);
-    for (std::size_t k = 0; k <= kmax; ++k) acc += h[k] * x[n - k];
-    y[n] = acc;
-  }
+  thread_local kernels::Workspace ws;
+  filter_into(h, x, y, ws);
   return y;
 }
 

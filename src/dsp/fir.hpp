@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "dsp/kernels/workspace.hpp"
 
 namespace ff::dsp {
 
@@ -24,11 +25,21 @@ class FirFilter {
   CVec process(CSpan x);
 
   /// Filter a whole block into a caller-owned buffer (stateful). `out` must
-  /// be exactly x.size() samples and may alias `x` (in-place filtering):
-  /// each input sample is copied into the delay line before its output slot
+  /// be exactly x.size() samples and may alias `x` (in-place filtering): the
+  /// input is staged into an extended history+block buffer before any output
   /// is written. This is the allocation-free path the streaming hot loop
   /// uses to reuse one buffer per block.
+  ///
+  /// Implementation: one vectorized kernels::axpy per tap over the extended
+  /// buffer, taps ascending — the exact accumulation order of push(), so a
+  /// block-filtered stream is bit-identical to a sample-at-a-time one at any
+  /// block size.
   void process_into(CSpan x, CMutSpan out);
+
+  /// Same, with scratch drawn from a caller-owned Workspace (slot 0) —
+  /// lets an owning pipeline/element share one arena across stages instead
+  /// of each filter holding its own.
+  void process_into(CSpan x, CMutSpan out, kernels::Workspace& ws);
 
   /// Reset the delay line to zeros (taps are kept).
   void reset();
@@ -47,6 +58,7 @@ class FirFilter {
   CVec taps_;
   CVec delay_;        // circular buffer of past inputs
   std::size_t head_ = 0;  // index of the most recent sample
+  kernels::Workspace ws_;  // scratch for the two-argument process_into
 };
 
 /// Stateless linear convolution (output length = x.size() + h.size() - 1).
@@ -55,6 +67,25 @@ CVec convolve(CSpan x, CSpan h);
 /// Stateless "same-length" causal filtering: y[n] = sum_k h[k] x[n-k],
 /// zero initial conditions, output trimmed to x.size().
 CVec filter(CSpan h, CSpan x);
+
+/// Allocation-free form of `filter`: writes into `y` (same length as `x`,
+/// may alias it), scratch from `ws` slot 0. This is the core the full-duplex
+/// cancellation hot path (`CancellationStack::apply_into`) runs on; `filter`
+/// and the streaming `FirFilter` block path produce bit-identical samples
+/// for identical histories, which the canceller's batch-vs-stream
+/// equivalence test relies on.
+void filter_into(CSpan h, CSpan x, CMutSpan y, kernels::Workspace& ws);
+
+/// Lowest-level block-convolution core shared by every FIR path (FirFilter,
+/// filter_into, the digital canceller's lookahead form):
+///   y[i] = sum_k h[k] * ext[(h.size()-1) + i - k]
+/// where `ext` holds (h.size()-1) leading context samples followed by (at
+/// least) y.size() block samples. Callers choose what the context is — real
+/// filter history, zeros, or future samples for an anti-causal filter. One
+/// kernels::axpy per tap, taps ascending, so every caller inherits the same
+/// accumulation order (and therefore bit-identical results for identical
+/// `ext` contents).
+void fir_core(CSpan h, const Complex* ext, CMutSpan y);
 
 /// Frequency response of a sample-spaced FIR at normalized frequency
 /// `f_norm` in cycles/sample (i.e. H(e^{j 2 pi f_norm})).

@@ -1,0 +1,341 @@
+#include "dsp/kernels/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "dsp/kernels/kernels_detail.hpp"
+
+namespace ff::dsp::kernels {
+namespace detail {
+
+// ----------------------------------------------------------- scalar cores
+// This TU is compiled -ffp-contract=off: the mul/add sequences below must
+// not be fused into FMA, or scalar and SIMD results would diverge.
+
+void cmul_scalar(const Complex* a, const Complex* b, Complex* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cmul_one(a[i], b[i]);
+}
+
+void cmac_scalar(const Complex* a, const Complex* b, Complex* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex p = cmul_one(a[i], b[i]);
+    acc[i] = {acc[i].real() + p.real(), acc[i].imag() + p.imag()};
+  }
+}
+
+void axpy_scalar(Complex alpha, const Complex* x, Complex* y, std::size_t n) {
+  const double ar = alpha.real(), ai = alpha.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = x[i].real(), xi = x[i].imag();
+    y[i] = {y[i].real() + (xr * ar - xi * ai), y[i].imag() + (xr * ai + xi * ar)};
+  }
+}
+
+void scale_scalar(Complex alpha, const Complex* x, Complex* out, std::size_t n) {
+  const double ar = alpha.real(), ai = alpha.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = x[i].real(), xi = x[i].imag();
+    out[i] = {xr * ar - xi * ai, xr * ai + xi * ar};
+  }
+}
+
+void scale_real_scalar(double alpha, const Complex* x, Complex* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = {x[i].real() * alpha, x[i].imag() * alpha};
+}
+
+void cdot_conj_tail(const Complex* a, const Complex* b, std::size_t start,
+                    std::size_t n, Complex lanes[4]) {
+  for (std::size_t k = start; k < n; ++k) {
+    const Complex p = cmul_conj_one(a[k], b[k]);
+    Complex& acc = lanes[k % 4];
+    acc = {acc.real() + p.real(), acc.imag() + p.imag()};
+  }
+}
+
+Complex cdot_conj_scalar(const Complex* a, const Complex* b, std::size_t n) {
+  Complex lanes[4] = {};
+  cdot_conj_tail(a, b, 0, n, lanes);
+  const Complex s01{lanes[0].real() + lanes[1].real(), lanes[0].imag() + lanes[1].imag()};
+  const Complex s23{lanes[2].real() + lanes[3].real(), lanes[2].imag() + lanes[3].imag()};
+  return {s01.real() + s23.real(), s01.imag() + s23.imag()};
+}
+
+void magsq_accum_tail(const Complex* x, std::size_t start, std::size_t n,
+                      double lanes[4]) {
+  for (std::size_t k = start; k < n; ++k) {
+    const double re = x[k].real(), im = x[k].imag();
+    lanes[k % 4] += re * re + im * im;
+  }
+}
+
+double magsq_accum_scalar(const Complex* x, std::size_t n) {
+  double lanes[4] = {};
+  magsq_accum_tail(x, 0, n, lanes);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void split_scalar(const Complex* x, double* re, double* im, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = x[i].real();
+    im[i] = x[i].imag();
+  }
+}
+
+void interleave_scalar(const double* re, const double* im, Complex* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = {re[i], im[i]};
+}
+
+void radix2_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
+                         std::size_t half, std::size_t m) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const Complex w = tw[j];
+    const Complex* s0 = src + m * j;
+    const Complex* s1 = src + m * (j + half);
+    Complex* d0 = dst + m * (2 * j);
+    Complex* d1 = d0 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const Complex c0 = s0[k];
+      const Complex c1 = s1[k];
+      d0[k] = {c0.real() + c1.real(), c0.imag() + c1.imag()};
+      d1[k] = cmul_one(w, {c0.real() - c1.real(), c0.imag() - c1.imag()});
+    }
+  }
+}
+
+void radix4_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
+                         std::size_t quarter, std::size_t m, bool invert) {
+  for (std::size_t j = 0; j < quarter; ++j) {
+    const Complex w1 = tw[3 * j];
+    const Complex w2 = tw[3 * j + 1];
+    const Complex w3 = tw[3 * j + 2];
+    const Complex* s0 = src + m * j;
+    const Complex* s1 = src + m * (j + quarter);
+    const Complex* s2 = src + m * (j + 2 * quarter);
+    const Complex* s3 = src + m * (j + 3 * quarter);
+    Complex* d0 = dst + m * (4 * j);
+    Complex* d1 = d0 + m;
+    Complex* d2 = d1 + m;
+    Complex* d3 = d2 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const Complex c0 = s0[k], c1 = s1[k], c2 = s2[k], c3 = s3[k];
+      const Complex e0{c0.real() + c2.real(), c0.imag() + c2.imag()};
+      const Complex e1{c0.real() - c2.real(), c0.imag() - c2.imag()};
+      const Complex e2{c1.real() + c3.real(), c1.imag() + c3.imag()};
+      const Complex t{c1.real() - c3.real(), c1.imag() - c3.imag()};
+      // e3 = -i*t (forward) or +i*t (inverse): pure component swap + sign
+      // flip, exact in IEEE arithmetic.
+      const Complex e3 = invert ? Complex{-t.imag(), t.real()}
+                                : Complex{t.imag(), -t.real()};
+      d0[k] = {e0.real() + e2.real(), e0.imag() + e2.imag()};
+      d1[k] = cmul_one(w1, {e1.real() + e3.real(), e1.imag() + e3.imag()});
+      d2[k] = cmul_one(w2, {e0.real() - e2.real(), e0.imag() - e2.imag()});
+      d3[k] = cmul_one(w3, {e1.real() - e3.real(), e1.imag() - e3.imag()});
+    }
+  }
+}
+
+const KernelOps& scalar_ops() {
+  static const KernelOps ops = {
+      &cmul_scalar,     &cmac_scalar,        &axpy_scalar,
+      &scale_scalar,    &scale_real_scalar,  &cdot_conj_scalar,
+      &magsq_accum_scalar, &split_scalar,    &interleave_scalar,
+      &radix2_stage_scalar, &radix4_stage_scalar,
+  };
+  return ops;
+}
+
+namespace {
+
+struct Dispatch {
+  const KernelOps* ops;
+  Isa isa;
+};
+
+Dispatch resolve() {
+  Isa want = Isa::kScalar;
+#if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+  // SSE2 is part of the x86-64 baseline; AVX2 needs a runtime check.
+  want = __builtin_cpu_supports("avx2") ? Isa::kAvx2 : Isa::kSse2;
+#endif
+  if (const char* env = std::getenv("FF_KERNEL_ISA")) {
+    const std::string_view v{env};
+    // The override can only narrow: forcing an ISA the build/CPU lacks
+    // falls back to the widest supported one.
+    if (v == "scalar") {
+      want = Isa::kScalar;
+    } else if (v == "sse2" && want != Isa::kScalar) {
+      want = Isa::kSse2;
+    } else if (v == "avx2") {
+      // keep `want` — avx2 is already the widest we would pick.
+    }
+  }
+  switch (want) {
+#if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+    case Isa::kAvx2:
+      return {&avx2_ops(), Isa::kAvx2};
+    case Isa::kSse2:
+      return {&sse2_ops(), Isa::kSse2};
+#endif
+    default:
+      return {&scalar_ops(), Isa::kScalar};
+  }
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();
+  return d;
+}
+
+}  // namespace
+}  // namespace detail
+
+Isa active_isa() { return detail::dispatch().isa; }
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+const char* isa_name() { return isa_name(active_isa()); }
+
+bool simd_compiled() {
+#if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ------------------------------------------------------- dispatched span API
+
+void cmul(CSpan a, CSpan b, CMutSpan out) {
+  FF_CHECK(a.size() == b.size() && a.size() == out.size());
+  detail::dispatch().ops->cmul(a.data(), b.data(), out.data(), a.size());
+}
+
+void cmac(CSpan a, CSpan b, CMutSpan acc) {
+  FF_CHECK(a.size() == b.size() && a.size() == acc.size());
+  detail::dispatch().ops->cmac(a.data(), b.data(), acc.data(), a.size());
+}
+
+void axpy(Complex alpha, CSpan x, CMutSpan y) {
+  FF_CHECK(x.size() == y.size());
+  detail::dispatch().ops->axpy(alpha, x.data(), y.data(), x.size());
+}
+
+void scale(Complex alpha, CSpan x, CMutSpan out) {
+  FF_CHECK(x.size() == out.size());
+  detail::dispatch().ops->scale(alpha, x.data(), out.data(), x.size());
+}
+
+void scale_real(double alpha, CSpan x, CMutSpan out) {
+  FF_CHECK(x.size() == out.size());
+  detail::dispatch().ops->scale_real(alpha, x.data(), out.data(), x.size());
+}
+
+void rotate_phasor(CSpan x, CSpan phasors, CMutSpan out) {
+  FF_CHECK(x.size() == phasors.size() && x.size() == out.size());
+  detail::dispatch().ops->cmul(x.data(), phasors.data(), out.data(), x.size());
+}
+
+Complex cdot_conj(CSpan a, CSpan b) {
+  FF_CHECK(a.size() == b.size());
+  return detail::dispatch().ops->cdot_conj(a.data(), b.data(), a.size());
+}
+
+double magsq_accum(CSpan x) {
+  return detail::dispatch().ops->magsq_accum(x.data(), x.size());
+}
+
+void split(CSpan x, std::span<double> re, std::span<double> im) {
+  FF_CHECK(x.size() == re.size() && x.size() == im.size());
+  detail::dispatch().ops->split(x.data(), re.data(), im.data(), x.size());
+}
+
+void interleave(std::span<const double> re, std::span<const double> im, CMutSpan out) {
+  FF_CHECK(re.size() == im.size() && re.size() == out.size());
+  detail::dispatch().ops->interleave(re.data(), im.data(), out.data(), out.size());
+}
+
+void radix2_stage(const Complex* src, Complex* dst, const Complex* tw,
+                  std::size_t half, std::size_t m) {
+  detail::dispatch().ops->radix2_stage(src, dst, tw, half, m);
+}
+
+void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
+                  std::size_t quarter, std::size_t m, bool invert) {
+  detail::dispatch().ops->radix4_stage(src, dst, tw, quarter, m, invert);
+}
+
+// ------------------------------------------------------------ scalar wrappers
+
+namespace scalar {
+
+void cmul(CSpan a, CSpan b, CMutSpan out) {
+  FF_CHECK(a.size() == b.size() && a.size() == out.size());
+  detail::cmul_scalar(a.data(), b.data(), out.data(), a.size());
+}
+
+void cmac(CSpan a, CSpan b, CMutSpan acc) {
+  FF_CHECK(a.size() == b.size() && a.size() == acc.size());
+  detail::cmac_scalar(a.data(), b.data(), acc.data(), a.size());
+}
+
+void axpy(Complex alpha, CSpan x, CMutSpan y) {
+  FF_CHECK(x.size() == y.size());
+  detail::axpy_scalar(alpha, x.data(), y.data(), x.size());
+}
+
+void scale(Complex alpha, CSpan x, CMutSpan out) {
+  FF_CHECK(x.size() == out.size());
+  detail::scale_scalar(alpha, x.data(), out.data(), x.size());
+}
+
+void scale_real(double alpha, CSpan x, CMutSpan out) {
+  FF_CHECK(x.size() == out.size());
+  detail::scale_real_scalar(alpha, x.data(), out.data(), x.size());
+}
+
+void rotate_phasor(CSpan x, CSpan phasors, CMutSpan out) {
+  FF_CHECK(x.size() == phasors.size() && x.size() == out.size());
+  detail::cmul_scalar(x.data(), phasors.data(), out.data(), x.size());
+}
+
+Complex cdot_conj(CSpan a, CSpan b) {
+  FF_CHECK(a.size() == b.size());
+  return detail::cdot_conj_scalar(a.data(), b.data(), a.size());
+}
+
+double magsq_accum(CSpan x) { return detail::magsq_accum_scalar(x.data(), x.size()); }
+
+void split(CSpan x, std::span<double> re, std::span<double> im) {
+  FF_CHECK(x.size() == re.size() && x.size() == im.size());
+  detail::split_scalar(x.data(), re.data(), im.data(), x.size());
+}
+
+void interleave(std::span<const double> re, std::span<const double> im, CMutSpan out) {
+  FF_CHECK(re.size() == im.size() && re.size() == out.size());
+  detail::interleave_scalar(re.data(), im.data(), out.data(), out.size());
+}
+
+void radix2_stage(const Complex* src, Complex* dst, const Complex* tw,
+                  std::size_t half, std::size_t m) {
+  detail::radix2_stage_scalar(src, dst, tw, half, m);
+}
+
+void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
+                  std::size_t quarter, std::size_t m, bool invert) {
+  detail::radix4_stage_scalar(src, dst, tw, quarter, m, invert);
+}
+
+}  // namespace scalar
+}  // namespace ff::dsp::kernels

@@ -1,0 +1,83 @@
+// Internal glue shared by the kernel TUs (scalar, SSE2, AVX2). Not installed
+// as public API — include kernels.hpp instead.
+//
+// The scalar cores here are the bitwise ground truth: SIMD TUs reuse them for
+// loop tails so a vectorized call is indistinguishable from the scalar one on
+// any span length. Keep every formula in this header in sync with the
+// contract documented in kernels.hpp (no FMA, fixed association).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace ff::dsp::kernels::detail {
+
+// Pointer-level dispatch table. One instance per compiled ISA; resolve() in
+// kernels.cpp picks one at process start.
+struct KernelOps {
+  void (*cmul)(const Complex*, const Complex*, Complex*, std::size_t);
+  void (*cmac)(const Complex*, const Complex*, Complex*, std::size_t);
+  void (*axpy)(Complex, const Complex*, Complex*, std::size_t);
+  void (*scale)(Complex, const Complex*, Complex*, std::size_t);
+  void (*scale_real)(double, const Complex*, Complex*, std::size_t);
+  Complex (*cdot_conj)(const Complex*, const Complex*, std::size_t);
+  double (*magsq_accum)(const Complex*, std::size_t);
+  void (*split)(const Complex*, double*, double*, std::size_t);
+  void (*interleave)(const double*, const double*, Complex*, std::size_t);
+  void (*radix2_stage)(const Complex*, Complex*, const Complex*, std::size_t,
+                       std::size_t);
+  void (*radix4_stage)(const Complex*, Complex*, const Complex*, std::size_t,
+                       std::size_t, bool);
+};
+
+// The textbook complex product, spelled out on raw doubles so no operator
+// overload (which libstdc++ may route through __mulsc3-style scaling on
+// other platforms) can change the arithmetic. re = ar*br - ai*bi,
+// im = ar*bi + ai*br — exactly what the SIMD paths compute.
+inline Complex cmul_one(Complex a, Complex b) {
+  const double ar = a.real(), ai = a.imag();
+  const double br = b.real(), bi = b.imag();
+  return {ar * br - ai * bi, ar * bi + ai * br};
+}
+
+// conj(a) * b: re = ar*br + ai*bi, im = ar*bi - ai*br.
+inline Complex cmul_conj_one(Complex a, Complex b) {
+  const double ar = a.real(), ai = a.imag();
+  const double br = b.real(), bi = b.imag();
+  return {ar * br + ai * bi, ar * bi - ai * br};
+}
+
+// ----------------------------------------------------------- scalar cores
+// Defined in kernels.cpp; declared here so the SIMD TUs can call them for
+// tails and tiny spans.
+
+void cmul_scalar(const Complex* a, const Complex* b, Complex* out, std::size_t n);
+void cmac_scalar(const Complex* a, const Complex* b, Complex* acc, std::size_t n);
+void axpy_scalar(Complex alpha, const Complex* x, Complex* y, std::size_t n);
+void scale_scalar(Complex alpha, const Complex* x, Complex* out, std::size_t n);
+void scale_real_scalar(double alpha, const Complex* x, Complex* out, std::size_t n);
+Complex cdot_conj_scalar(const Complex* a, const Complex* b, std::size_t n);
+double magsq_accum_scalar(const Complex* x, std::size_t n);
+void split_scalar(const Complex* x, double* re, double* im, std::size_t n);
+void interleave_scalar(const double* re, const double* im, Complex* out, std::size_t n);
+void radix2_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
+                         std::size_t half, std::size_t m);
+void radix4_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
+                         std::size_t quarter, std::size_t m, bool invert);
+
+// Tail helpers that continue a reduction started by a SIMD loop: terms keep
+// their round-robin lane assignment (term k -> lane k mod 4) so the final
+// (p0 + p1) + (p2 + p3) combine matches the scalar reference bit for bit.
+void cdot_conj_tail(const Complex* a, const Complex* b, std::size_t start,
+                    std::size_t n, Complex lanes[4]);
+void magsq_accum_tail(const Complex* x, std::size_t start, std::size_t n,
+                      double lanes[4]);
+
+const KernelOps& scalar_ops();
+#if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+const KernelOps& sse2_ops();
+const KernelOps& avx2_ops();
+#endif
+
+}  // namespace ff::dsp::kernels::detail

@@ -1,0 +1,208 @@
+// SSE2 kernel path: one complex double per __m128d. SSE2 is part of the
+// x86-64 baseline, so this TU needs no special -m flags; it exists as the
+// guaranteed-available SIMD floor under AVX2. Compiled only when FF_SIMD=ON.
+//
+// Bitwise contract (kernels.hpp): every operation below is the exact
+// per-element formula of the scalar reference — multiplies and adds in the
+// same order, subtraction expressed as addition of a negation (IEEE-exact),
+// +/-i rotations as component swaps with sign flips (exact). The TU is
+// compiled -ffp-contract=off so no mul/add pair can fuse into an FMA.
+#include "dsp/kernels/kernels_detail.hpp"
+
+#if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <emmintrin.h>
+
+namespace ff::dsp::kernels::detail {
+namespace {
+
+inline __m128d loadc(const Complex* p) {
+  return _mm_loadu_pd(reinterpret_cast<const double*>(p));
+}
+
+inline void storec(Complex* p, __m128d v) {
+  _mm_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+// [a0 - b0, a1 + b1] via a + (b ^ [-0, +0]); IEEE a + (-b) == a - b.
+inline __m128d addsub(__m128d a, __m128d b) {
+  const __m128d mask = _mm_set_pd(0.0, -0.0);
+  return _mm_add_pd(a, _mm_xor_pd(b, mask));
+}
+
+// [a0 + b0, a1 - b1].
+inline __m128d subadd(__m128d a, __m128d b) {
+  const __m128d mask = _mm_set_pd(-0.0, 0.0);
+  return _mm_add_pd(a, _mm_xor_pd(b, mask));
+}
+
+// a * b: re = ar*br - ai*bi, im = ai*br + ar*bi (same products as the
+// scalar ar*bi + ai*br, addition commuted — bitwise equal).
+inline __m128d cmul(__m128d a, __m128d b) {
+  const __m128d br = _mm_unpacklo_pd(b, b);
+  const __m128d bi = _mm_unpackhi_pd(b, b);
+  const __m128d asw = _mm_shuffle_pd(a, a, 1);
+  return addsub(_mm_mul_pd(a, br), _mm_mul_pd(asw, bi));
+}
+
+// conj(a) * b: re = br*ar + bi*ai, im = bi*ar - br*ai.
+inline __m128d cmul_conj(__m128d a, __m128d b) {
+  const __m128d ar = _mm_unpacklo_pd(a, a);
+  const __m128d ai = _mm_unpackhi_pd(a, a);
+  const __m128d bsw = _mm_shuffle_pd(b, b, 1);
+  return subadd(_mm_mul_pd(b, ar), _mm_mul_pd(bsw, ai));
+}
+
+void cmul_sse2(const Complex* a, const Complex* b, Complex* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) storec(out + i, cmul(loadc(a + i), loadc(b + i)));
+}
+
+void cmac_sse2(const Complex* a, const Complex* b, Complex* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d p = cmul(loadc(a + i), loadc(b + i));
+    storec(acc + i, _mm_add_pd(loadc(acc + i), p));
+  }
+}
+
+void axpy_sse2(Complex alpha, const Complex* x, Complex* y, std::size_t n) {
+  const __m128d av = loadc(&alpha);
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d p = cmul(loadc(x + i), av);
+    storec(y + i, _mm_add_pd(loadc(y + i), p));
+  }
+}
+
+void scale_sse2(Complex alpha, const Complex* x, Complex* out, std::size_t n) {
+  const __m128d av = loadc(&alpha);
+  for (std::size_t i = 0; i < n; ++i) storec(out + i, cmul(loadc(x + i), av));
+}
+
+void scale_real_sse2(double alpha, const Complex* x, Complex* out, std::size_t n) {
+  const __m128d av = _mm_set1_pd(alpha);
+  for (std::size_t i = 0; i < n; ++i)
+    storec(out + i, _mm_mul_pd(loadc(x + i), av));
+}
+
+Complex cdot_conj_sse2(const Complex* a, const Complex* b, std::size_t n) {
+  __m128d v0 = _mm_setzero_pd(), v1 = v0, v2 = v0, v3 = v0;
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t k = 0; k < n4; k += 4) {
+    v0 = _mm_add_pd(v0, cmul_conj(loadc(a + k), loadc(b + k)));
+    v1 = _mm_add_pd(v1, cmul_conj(loadc(a + k + 1), loadc(b + k + 1)));
+    v2 = _mm_add_pd(v2, cmul_conj(loadc(a + k + 2), loadc(b + k + 2)));
+    v3 = _mm_add_pd(v3, cmul_conj(loadc(a + k + 3), loadc(b + k + 3)));
+  }
+  Complex lanes[4];
+  storec(&lanes[0], v0);
+  storec(&lanes[1], v1);
+  storec(&lanes[2], v2);
+  storec(&lanes[3], v3);
+  cdot_conj_tail(a, b, n4, n, lanes);
+  const double re = (lanes[0].real() + lanes[1].real()) + (lanes[2].real() + lanes[3].real());
+  const double im = (lanes[0].imag() + lanes[1].imag()) + (lanes[2].imag() + lanes[3].imag());
+  return {re, im};
+}
+
+double magsq_accum_sse2(const Complex* x, std::size_t n) {
+  double lanes[4] = {};
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t k = 0; k < n4; k += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const __m128d v = loadc(x + k + j);
+      const __m128d sq = _mm_mul_pd(v, v);
+      // term = re^2 + im^2, summed in that order like the scalar core.
+      lanes[j] += _mm_cvtsd_f64(_mm_add_pd(sq, _mm_unpackhi_pd(sq, sq)));
+    }
+  }
+  magsq_accum_tail(x, n4, n, lanes);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void split_sse2(const Complex* x, double* re, double* im, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v0 = loadc(x + i);
+    const __m128d v1 = loadc(x + i + 1);
+    _mm_storeu_pd(re + i, _mm_unpacklo_pd(v0, v1));
+    _mm_storeu_pd(im + i, _mm_unpackhi_pd(v0, v1));
+  }
+  split_scalar(x + i, re + i, im + i, n - i);
+}
+
+void interleave_sse2(const double* re, const double* im, Complex* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vr = _mm_loadu_pd(re + i);
+    const __m128d vi = _mm_loadu_pd(im + i);
+    storec(out + i, _mm_unpacklo_pd(vr, vi));
+    storec(out + i + 1, _mm_unpackhi_pd(vr, vi));
+  }
+  interleave_scalar(re + i, im + i, out + i, n - i);
+}
+
+void radix2_stage_sse2(const Complex* src, Complex* dst, const Complex* tw,
+                       std::size_t half, std::size_t m) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const __m128d w = loadc(tw + j);
+    const Complex* s0 = src + m * j;
+    const Complex* s1 = src + m * (j + half);
+    Complex* d0 = dst + m * (2 * j);
+    Complex* d1 = d0 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const __m128d c0 = loadc(s0 + k);
+      const __m128d c1 = loadc(s1 + k);
+      storec(d0 + k, _mm_add_pd(c0, c1));
+      storec(d1 + k, cmul(w, _mm_sub_pd(c0, c1)));
+    }
+  }
+}
+
+void radix4_stage_sse2(const Complex* src, Complex* dst, const Complex* tw,
+                       std::size_t quarter, std::size_t m, bool invert) {
+  // +/-i rotation masks: forward e3 = [t.im, -t.re], inverse e3 = [-t.im, t.re].
+  const __m128d fwd_mask = _mm_set_pd(-0.0, 0.0);
+  const __m128d inv_mask = _mm_set_pd(0.0, -0.0);
+  const __m128d rot = invert ? inv_mask : fwd_mask;
+  for (std::size_t j = 0; j < quarter; ++j) {
+    const __m128d w1 = loadc(tw + 3 * j);
+    const __m128d w2 = loadc(tw + 3 * j + 1);
+    const __m128d w3 = loadc(tw + 3 * j + 2);
+    const Complex* s0 = src + m * j;
+    const Complex* s1 = src + m * (j + quarter);
+    const Complex* s2 = src + m * (j + 2 * quarter);
+    const Complex* s3 = src + m * (j + 3 * quarter);
+    Complex* d0 = dst + m * (4 * j);
+    Complex* d1 = d0 + m;
+    Complex* d2 = d1 + m;
+    Complex* d3 = d2 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const __m128d c0 = loadc(s0 + k), c1 = loadc(s1 + k);
+      const __m128d c2 = loadc(s2 + k), c3 = loadc(s3 + k);
+      const __m128d e0 = _mm_add_pd(c0, c2);
+      const __m128d e1 = _mm_sub_pd(c0, c2);
+      const __m128d e2 = _mm_add_pd(c1, c3);
+      const __m128d t = _mm_sub_pd(c1, c3);
+      const __m128d e3 = _mm_xor_pd(_mm_shuffle_pd(t, t, 1), rot);
+      storec(d0 + k, _mm_add_pd(e0, e2));
+      storec(d1 + k, cmul(w1, _mm_add_pd(e1, e3)));
+      storec(d2 + k, cmul(w2, _mm_sub_pd(e0, e2)));
+      storec(d3 + k, cmul(w3, _mm_sub_pd(e1, e3)));
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps& sse2_ops() {
+  static const KernelOps ops = {
+      &cmul_sse2,     &cmac_sse2,        &axpy_sse2,
+      &scale_sse2,    &scale_real_sse2,  &cdot_conj_sse2,
+      &magsq_accum_sse2, &split_sse2,    &interleave_sse2,
+      &radix2_stage_sse2, &radix4_stage_sse2,
+  };
+  return ops;
+}
+
+}  // namespace ff::dsp::kernels::detail
+
+#endif  // FF_SIMD_ENABLED && x86-64

@@ -1,0 +1,32 @@
+#include "dsp/kernels/workspace.hpp"
+
+namespace ff::dsp::kernels {
+
+CMutSpan Workspace::get(std::size_t slot, std::size_t n) {
+  if (slot >= slots_.size()) {
+    slots_.resize(slot + 1);
+    ++grows_;
+  }
+  AlignedCVec& buf = slots_[slot];
+  if (buf.size() < n) {
+    // Slot growth invalidates previous spans of THIS slot only: the
+    // AlignedCVec objects may move when slots_ reallocates, but their heap
+    // storage (what the spans point at) does not.
+    buf.resize(n);
+    ++grows_;
+  }
+  return CMutSpan{buf.data(), n};
+}
+
+std::size_t Workspace::bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s.capacity() * sizeof(Complex);
+  return total;
+}
+
+void Workspace::release() {
+  slots_.clear();
+  slots_.shrink_to_fit();
+}
+
+}  // namespace ff::dsp::kernels

@@ -1,0 +1,82 @@
+// Reusable aligned scratch arena for the DSP hot paths.
+//
+// Every block-processing call used to allocate its temporaries (`CVec ext`,
+// phasor tables, reconstruction buffers) per invocation; a Workspace turns
+// those into grow-only slots that reach steady-state size after the first
+// few blocks and never touch the heap again. ForwardPipeline and the stream
+// elements own one Workspace each and thread it through their stage calls;
+// `grows()`/`bytes()` back the `ff.alloc.*` telemetry that proves the
+// steady state is allocation-free (tests/kernels_test.cpp additionally
+// asserts it with an operator-new hook).
+//
+// Slots are independent buffers: a span returned by `get(slot, n)` stays
+// valid until the SAME slot is requested with a larger n. Callers that
+// nest (e.g. CancellerElement holding slot-1/2 outputs across
+// FirFilter::process_into, which uses slot 0 internally) rely on that.
+// Workspace is not thread-safe; one per owning element/pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ff::dsp::kernels {
+
+/// Minimal aligned allocator routing through ::operator new so allocation
+/// hooks (the zero-alloc test, sanitizers) observe workspace growth.
+template <typename T, std::size_t kAlign = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  // allocator_traits cannot auto-rebind past the non-type kAlign parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, kAlign>;
+  };
+  static_assert(kAlign >= alignof(T) && (kAlign & (kAlign - 1)) == 0);
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, kAlign>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, kAlign>&) const noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned complex vector: twiddle tables, FFT scratch, workspaces.
+using AlignedCVec = std::vector<Complex, AlignedAllocator<Complex>>;
+
+class Workspace {
+ public:
+  /// Aligned scratch span of `n` complexes for `slot`; contents are
+  /// unspecified (callers overwrite). Grows the slot if needed — steady
+  /// state performs no allocation.
+  CMutSpan get(std::size_t slot, std::size_t n);
+
+  /// Number of allocations performed so far (slot growth events).
+  std::uint64_t grows() const { return grows_; }
+
+  /// Total bytes currently held across slots.
+  std::size_t bytes() const;
+
+  /// Drop all slots (allocation counters are preserved).
+  void release();
+
+ private:
+  std::vector<AlignedCVec> slots_;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace ff::dsp::kernels

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "eval/stats.hpp"
 
 namespace ff::eval {
@@ -139,6 +140,10 @@ void record_experiment_metrics(const ExperimentConfig& cfg,
   MetricsRegistry* m = cfg.metrics;
   metrics::add(m, "eval.experiments");
   metrics::add(m, "eval.locations", results.size());
+  // Which kernel ISA this process resolved (docs/PERFORMANCE.md, "Kernel
+  // layer") — the tag that lets a telemetry snapshot explain a perf delta.
+  metrics::set(m, "ff.kernels.isa",
+               static_cast<double>(static_cast<int>(dsp::kernels::active_isa())));
   const ExperimentSummary s = results.summary();
   for (std::size_t c = 0; c < s.category_counts.size(); ++c)
     metrics::add(m, "eval.category." + category_slug(static_cast<LinkCategory>(c)),

@@ -5,6 +5,8 @@
 #include "common/check.hpp"
 #include "common/telemetry.hpp"
 #include "dsp/correlation.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace ff::fd {
@@ -44,13 +46,11 @@ CVec estimate_fir_ls_fast(CSpan x, CSpan y, std::size_t taps, std::size_t lookah
   // Exact covariance-method Gram matrix in O(N*taps + taps^2): compute the
   // first row exactly, then use the shift recurrence
   //   G[i+1][j+1] = G[i][j] + boundary corrections.
+  const std::size_t rows = last - first;
   linalg::Matrix g(taps, taps), b(taps, 1);
-  for (std::size_t j = 0; j < taps; ++j) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t n = first; n < last; ++n)
-      acc += std::conj(x[n + lookahead]) * x[n + lookahead - j];
-    g(0, j) = acc;
-  }
+  for (std::size_t j = 0; j < taps; ++j)
+    g(0, j) = dsp::kernels::cdot_conj(CSpan{x.data() + first + lookahead, rows},
+                                      CSpan{x.data() + first + lookahead - j, rows});
   for (std::size_t i = 0; i + 1 < taps; ++i) {
     // First entry of the next row comes from Hermitian symmetry with row 0
     // (needed by the recurrence below when it reads g(i, 0)).
@@ -65,11 +65,9 @@ CVec estimate_fir_ls_fast(CSpan x, CSpan y, std::size_t taps, std::size_t lookah
   }
 
   CVec cross(taps, Complex{});
-  for (std::size_t k = 0; k < taps; ++k) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t n = first; n < last; ++n) acc += std::conj(x[n + lookahead - k]) * y[n];
-    cross[k] = acc;
-  }
+  for (std::size_t k = 0; k < taps; ++k)
+    cross[k] = dsp::kernels::cdot_conj(CSpan{x.data() + first + lookahead - k, rows},
+                                       CSpan{y.data() + first, rows});
   const double scale = std::max(std::abs(g(0, 0)), 1.0);
   for (std::size_t i = 0; i < taps; ++i) {
     g(i, i) += ridge * scale;
@@ -90,21 +88,34 @@ void DigitalCanceller::train(CSpan tx, CSpan residual) {
 }
 
 CVec DigitalCanceller::cancel(CSpan tx, CSpan rx) const {
+  CVec out(rx.size());
+  thread_local dsp::kernels::Workspace ws;
+  cancel_into(tx, rx, out, ws);
+  return out;
+}
+
+void DigitalCanceller::cancel_into(CSpan tx, CSpan rx, CMutSpan out,
+                                   dsp::kernels::Workspace& ws) const {
   FF_CHECK(trained());
   FF_CHECK(tx.size() == rx.size());
-  CVec out(rx.size());
-  for (std::size_t n = 0; n < rx.size(); ++n) {
-    Complex est{0.0, 0.0};
-    for (std::size_t k = 0; k < taps_.size(); ++k) {
-      const std::size_t idx = n + cfg_.lookahead;
-      if (idx < k) break;                      // before the stream started
-      const std::size_t m = idx - k;
-      if (m >= tx.size()) continue;            // beyond the stream (flush)
-      est += taps_[k] * tx[m];
-    }
-    out[n] = rx[n] - est;
-  }
-  return out;
+  FF_CHECK_MSG(out.size() == rx.size(),
+               "DigitalCanceller::cancel_into needs out.size() == rx.size(), got "
+                   << out.size() << " vs " << rx.size());
+  const std::size_t n = rx.size();
+  if (n == 0) return;
+  // est[i] = sum_k h[k] tx_pad[i + lookahead - k] with tx zero-padded on both
+  // sides: leading zeros are the pre-stream history, trailing zeros the
+  // lookahead buffer flush. Laid out as the fir_core extended buffer
+  // ext[j] = tx_pad[j - (taps-1) + lookahead].
+  const std::size_t hist = taps_.size() - 1;
+  const std::size_t lead = hist - cfg_.lookahead;
+  CMutSpan ext = ws.get(0, hist + n);
+  std::fill(ext.begin(), ext.begin() + static_cast<std::ptrdiff_t>(lead), Complex{});
+  std::copy(tx.begin(), tx.end(), ext.begin() + static_cast<std::ptrdiff_t>(lead));
+  std::fill(ext.begin() + static_cast<std::ptrdiff_t>(lead + n), ext.end(), Complex{});
+  CMutSpan est = ws.get(1, n);
+  dsp::fir_core(taps_, ext.data(), est);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rx[i] - est[i];
 }
 
 double cancellation_db(CSpan before, CSpan after) {

@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "dsp/kernels/workspace.hpp"
 
 namespace ff {
 class MetricsRegistry;
@@ -66,6 +67,14 @@ class DigitalCanceller {
   /// final `lookahead` samples use zero-padded tx (mirrors the real buffer
   /// flush).
   CVec cancel(CSpan tx, CSpan rx) const;
+
+  /// Allocation-free form of cancel(): writes into `out` (same length as
+  /// `rx`, exact aliasing allowed), scratch from `ws` (slot 0: zero-padded
+  /// tx, slot 1: reconstruction). Runs on dsp::fir_core over the padded
+  /// buffer [zeros(taps-1-lookahead) | tx | zeros(lookahead)], so batch and
+  /// streaming cancellation share one accumulation order bit for bit.
+  void cancel_into(CSpan tx, CSpan rx, CMutSpan out,
+                   dsp::kernels::Workspace& ws) const;
 
   /// Receive-path delay this canceller adds (samples): its lookahead.
   std::size_t added_delay_samples() const { return cfg_.lookahead; }

@@ -95,18 +95,40 @@ void CancellationStack::tune(CSpan tx, CSpan probe, CSpan rx) {
 }
 
 CVec CancellationStack::apply_analog_only(CSpan tx, CSpan rx) const {
-  FF_CHECK(tx.size() == rx.size());
-  FF_CHECK(!analog_fir_.empty());
-  const CVec reconstruction = dsp::filter(analog_fir_, tx);
   CVec out(rx.size());
-  for (std::size_t i = 0; i < rx.size(); ++i) out[i] = rx[i] - reconstruction[i];
+  thread_local dsp::kernels::Workspace ws;
+  apply_analog_only_into(tx, rx, out, ws);
   return out;
 }
 
+void CancellationStack::apply_analog_only_into(CSpan tx, CSpan rx, CMutSpan out,
+                                               dsp::kernels::Workspace& ws) const {
+  FF_CHECK(tx.size() == rx.size());
+  FF_CHECK_MSG(out.size() == rx.size(),
+               "CancellationStack::apply_analog_only_into needs out.size() == "
+               "rx.size(), got "
+                   << out.size() << " vs " << rx.size());
+  FF_CHECK(!analog_fir_.empty());
+  if (rx.empty()) return;
+  CMutSpan recon = ws.get(2, tx.size());
+  dsp::filter_into(analog_fir_, tx, recon, ws);
+  for (std::size_t i = 0; i < rx.size(); ++i) out[i] = rx[i] - recon[i];
+}
+
 CVec CancellationStack::apply(CSpan tx, CSpan rx) const {
+  CVec out(rx.size());
+  thread_local dsp::kernels::Workspace ws;
+  apply_into(tx, rx, out, ws);
+  return out;
+}
+
+void CancellationStack::apply_into(CSpan tx, CSpan rx, CMutSpan out,
+                                   dsp::kernels::Workspace& ws) const {
   FF_CHECK(tuned_);
-  const CVec after_analog = apply_analog_only(tx, rx);
-  return digital_.cancel(tx, after_analog);
+  apply_analog_only_into(tx, rx, out, ws);
+  // Digital stage in place on the analog residual (slots 0 and 1; the slot-2
+  // analog reconstruction is dead by now).
+  digital_.cancel_into(tx, out, out, ws);
 }
 
 }  // namespace ff::fd

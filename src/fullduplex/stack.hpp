@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "dsp/kernels/workspace.hpp"
 #include "fullduplex/analog_canceller.hpp"
 #include "fullduplex/digital_canceller.hpp"
 #include "fullduplex/si_channel.hpp"
@@ -55,6 +56,17 @@ class CancellationStack {
 
   /// Apply only the analog stage.
   CVec apply_analog_only(CSpan tx, CSpan rx) const;
+
+  /// Allocation-free forms: write into `out` (same length as `rx`, exact
+  /// aliasing with `rx` allowed), scratch from a caller-owned Workspace.
+  /// Slot budget: 0 (FIR extended buffers), 1 (digital reconstruction),
+  /// 2 (analog reconstruction). The streaming CancellerElement runs its
+  /// steady state on these; apply()/apply_analog_only() are thin
+  /// allocating wrappers, so batch and stream cancellation are bit-identical.
+  void apply_into(CSpan tx, CSpan rx, CMutSpan out,
+                  dsp::kernels::Workspace& ws) const;
+  void apply_analog_only_into(CSpan tx, CSpan rx, CMutSpan out,
+                              dsp::kernels::Workspace& ws) const;
 
   /// Discretized FIR of the tuned analog canceller on the SI alignment grid.
   const CVec& analog_fir() const { return analog_fir_; }

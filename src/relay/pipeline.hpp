@@ -19,6 +19,7 @@
 #include "channel/cfo.hpp"
 #include "common/types.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/kernels/workspace.hpp"
 #include "phy/params.hpp"
 
 namespace ff {
@@ -79,6 +80,14 @@ class ForwardPipeline {
   /// Process a block into a caller-owned buffer (stateful). `out` must be
   /// exactly rx.size() samples and may alias `rx`: the streaming runtime's
   /// allocation-free block path. Metrics accounting matches process().
+  ///
+  /// Runs stage-wise over the block (scrub, CFO remove, prefilter, CFO
+  /// restore, gain+rotation, TX filter, delay FIFO) with every stage's
+  /// vectorized block op bit-identical to its per-sample push() — the
+  /// stages are causal, so stage-wise and sample-interleaved orders produce
+  /// the same bits. Scratch comes from the pipeline-owned Workspace; after
+  /// warmup no heap allocation happens here (`ff.alloc.*` telemetry and
+  /// tests/kernels_test.cpp hold that).
   void process_into(CSpan rx, CMutSpan out);
 
   /// Non-finite input samples zeroed so far (see PipelineConfig::scrub_nonfinite).
@@ -99,7 +108,10 @@ class ForwardPipeline {
   CVec delay_line_;      // bulk delay FIFO
   std::size_t delay_pos_ = 0;
   double gain_linear_;
+  Complex gain_rotation_;  // gain_linear_ * analog_rotation, precomputed
   std::uint64_t scrubbed_ = 0;
+  dsp::kernels::Workspace ws_;  // shared scratch for all block stages
+  std::uint64_t ws_grows_reported_ = 0;  // ff.alloc.* telemetry watermark
 };
 
 }  // namespace ff::relay

@@ -96,11 +96,17 @@ ChannelElement::ChannelElement(std::string name, ChannelElementConfig cfg)
 }
 
 void ChannelElement::process(Block& block) {
-  // Sample-at-a-time so retunes land at exact stream positions and the
-  // noise/drift RNG draws are consumed in sample order — block boundaries
-  // never change what any draw is used for.
+  // Segment-wise between retune boundaries: retunes still land at exact
+  // stream positions (multiples of the interval) and the noise/drift RNG
+  // draws are still consumed in sample order — the FIR consumes no
+  // randomness, so filtering a whole segment before drawing its noise uses
+  // every draw for the same sample as the per-sample loop did. Within a
+  // segment the taps are fixed, so the block FIR path applies (bit-identical
+  // to push() at any block size).
   const std::size_t interval = cfg_.retune_interval_samples;
-  for (auto& s : block.samples) {
+  CMutSpan samples{block.samples.data(), block.samples.size()};
+  std::size_t done = 0;
+  while (done < samples.size()) {
     if (drifting() && pos_ > 0 && pos_ % interval == 0) {
       const double dt = static_cast<double>(interval) / cfg_.sample_rate_hz;
       drift_.advance(dt, drift_rng_);
@@ -110,9 +116,16 @@ void ChannelElement::process(Block& block) {
                                         cfg_.sinc_half_width));
       ++retunes_;
     }
-    s = fir_.push(s);
-    if (cfg_.noise_power > 0.0) s += noise_rng_.cgaussian(cfg_.noise_power);
-    ++pos_;
+    std::size_t chunk = samples.size() - done;
+    if (drifting())
+      chunk = std::min<std::size_t>(
+          chunk, static_cast<std::size_t>(interval - pos_ % interval));
+    CMutSpan seg = samples.subspan(done, chunk);
+    fir_.process_into(seg, seg, ws_);
+    if (cfg_.noise_power > 0.0)
+      for (auto& s : seg) s += noise_rng_.cgaussian(cfg_.noise_power);
+    pos_ += chunk;
+    done += chunk;
   }
 }
 
@@ -202,17 +215,29 @@ CancellerElement::CancellerElement(std::string name, const fd::CancellationStack
                "a non-causal canceller buffers future tx and cannot stream");
 }
 
-void CancellerElement::process(Block& rx, const Block& tx) {
+void CancellerElement::cancel_into(CMutSpan rx, CSpan tx) {
+  FF_CHECK_MSG(tx.size() == rx.size(),
+               "CancellerElement::cancel_into needs tx.size() == rx.size(), got "
+                   << tx.size() << " vs " << rx.size());
+  const std::size_t n = rx.size();
+  if (n == 0) return;
   // Two explicit subtractions, analog first: the batch reference
-  // (stack.apply) computes (rx - analog) - digital, and matching that
+  // (stack.apply_into) computes (rx - analog) - digital, and matching that
   // association is what makes streaming == batch BIT-identical, not merely
-  // close — floating-point subtraction does not re-associate.
-  for (std::size_t i = 0; i < rx.samples.size(); ++i) {
-    const Complex t = tx.samples[i];
-    const Complex analog = analog_.push(t);
-    const Complex digital = digital_.push(t);
-    rx.samples[i] = (rx.samples[i] - analog) - digital;
-  }
+  // close — floating-point subtraction does not re-associate. Both stages
+  // run the same dsp::fir_core accumulation order as the batch path; the
+  // stateful delay lines make the equivalence hold across block boundaries.
+  CMutSpan analog = ws_.get(1, n);
+  CMutSpan digital = ws_.get(2, n);
+  analog_.process_into(tx, analog, ws_);
+  digital_.process_into(tx, digital, ws_);
+  for (std::size_t i = 0; i < n; ++i)
+    rx[i] = (rx[i] - analog[i]) - digital[i];
+}
+
+void CancellerElement::process(Block& rx, const Block& tx) {
+  cancel_into(CMutSpan{rx.samples.data(), rx.samples.size()},
+              CSpan{tx.samples.data(), tx.samples.size()});
 }
 
 // ------------------------------------------------------------------ sinks

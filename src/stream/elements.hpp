@@ -183,6 +183,7 @@ class ChannelElement : public Transform {
   Rng drift_rng_;
   std::uint64_t pos_ = 0;
   std::uint64_t retunes_ = 0;
+  dsp::kernels::Workspace ws_;  // FIR scratch for the segment-wise block path
 };
 
 /// Deterministic front-end faults (eval::FaultInjector) applied in stream
@@ -275,6 +276,14 @@ class CancellerElement : public Combine2 {
   /// From a tuned stack (FF_CHECKs tuned() and a causal digital stage).
   CancellerElement(std::string name, const fd::CancellationStack& stack);
 
+  /// The steady-state hot loop: cancel one aligned block in place
+  /// (rx[i] = (rx[i] - analog[i]) - digital[i], both stages stateful).
+  /// Both FIR stages run block-wise through the element-owned Workspace
+  /// (slot 0: FIR extended buffers, slots 1/2: analog/digital stage
+  /// outputs), so after warmup this performs zero heap allocations —
+  /// tests/kernels_test.cpp asserts that with an operator-new hook.
+  void cancel_into(CMutSpan rx, CSpan tx);
+
  protected:
   void process(Block& rx, const Block& tx) override;
 
@@ -283,6 +292,7 @@ class CancellerElement : public Combine2 {
 
   dsp::FirFilter analog_;
   dsp::FirFilter digital_;
+  dsp::kernels::Workspace ws_;
 };
 
 // ------------------------------------------------------------------ sinks

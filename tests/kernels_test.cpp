@@ -1,0 +1,352 @@
+// The kernel layer's three contracts (src/dsp/kernels/kernels.hpp):
+//
+//  1. Bitwise scalar/SIMD equality: the dispatched kernels (whatever ISA
+//     resolved on this machine) produce byte-identical output to the scalar
+//     reference, on aligned, unaligned and odd-tail spans.
+//  2. Numerical accuracy of the mixed-radix Stockham FFT against the seed
+//     radix-2 reference (a tight ulp-scale bound; the two associate
+//     differently, so bitwise equality is not expected — this is the one
+//     sanctioned checksum change, docs/PERFORMANCE.md).
+//  3. Zero steady-state heap allocation in the streaming hot paths
+//     (ForwardPipeline::process_into, CancellerElement::cancel_into),
+//     asserted with a global operator-new hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/kernels/kernels.hpp"
+#include "dsp/kernels/workspace.hpp"
+#include "relay/pipeline.hpp"
+#include "stream/elements.hpp"
+
+// ------------------------------------------------------- operator-new hook
+// Every global allocation in this binary routes through alloc_count so the
+// zero-allocation tests can assert "no heap traffic between these lines".
+// All eight new variants and their deletes are replaced consistently
+// (malloc/posix_memalign + free), which keeps the sanitizer builds honest.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  if (align > alignof(std::max_align_t)) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, n) != 0) return nullptr;
+    return p;
+  }
+  return std::malloc(n);
+}
+
+std::uint64_t alloc_count() { return g_allocs.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted_alloc(n, 0)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) {
+  if (void* p = counted_alloc(n, 0)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  if (void* p = counted_alloc(n, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  if (void* p = counted_alloc(n, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, 0);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, 0);
+}
+void* operator new(std::size_t n, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace ff {
+namespace {
+
+namespace k = dsp::kernels;
+
+// Sizes chosen to exercise every SIMD code path: below one vector, exactly
+// one/two vectors, odd tails after the 2- and 4-wide loops, and large.
+const std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 129, 1000};
+
+k::AlignedCVec random_vec(Rng& rng, std::size_t n) {
+  k::AlignedCVec v(n);
+  for (auto& x : v) x = rng.cgaussian();
+  return v;
+}
+
+bool bitwise_equal(CSpan a, CSpan b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)) == 0;
+}
+
+// Run `check` over aligned views and deliberately misaligned (data()+1)
+// views of freshly drawn inputs, for every size in kSizes.
+template <typename Fn>
+void for_each_shape(Fn&& check) {
+  Rng rng(20140817);
+  for (const std::size_t n : kSizes) {
+    k::AlignedCVec a = random_vec(rng, n + 1);
+    k::AlignedCVec b = random_vec(rng, n + 1);
+    check(CSpan{a.data(), n}, CSpan{b.data(), n}, n);            // aligned
+    check(CSpan{a.data() + 1, n}, CSpan{b.data() + 1, n}, n);    // unaligned
+  }
+}
+
+TEST(KernelsBitwise, CmulMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan b, std::size_t n) {
+    k::AlignedCVec got(n), want(n);
+    k::cmul(a, b, got);
+    k::scalar::cmul(a, b, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, CmacMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan b, std::size_t n) {
+    Rng rng(n);
+    k::AlignedCVec got = random_vec(rng, n);
+    k::AlignedCVec want = got;
+    k::cmac(a, b, got);
+    k::scalar::cmac(a, b, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, AxpyMatchesScalar) {
+  const Complex alpha{0.7, -1.3};
+  for_each_shape([&](CSpan a, CSpan, std::size_t n) {
+    Rng rng(n);
+    k::AlignedCVec got = random_vec(rng, n);
+    k::AlignedCVec want = got;
+    k::axpy(alpha, a, got);
+    k::scalar::axpy(alpha, a, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, ScaleMatchesScalar) {
+  const Complex alpha{-0.2, 2.5};
+  for_each_shape([&](CSpan a, CSpan, std::size_t n) {
+    k::AlignedCVec got(n), want(n);
+    k::scale(alpha, a, got);
+    k::scalar::scale(alpha, a, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, ScaleRealMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan, std::size_t n) {
+    k::AlignedCVec got(n), want(n);
+    k::scale_real(1.0 / 64.0, a, got);
+    k::scalar::scale_real(1.0 / 64.0, a, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, RotatePhasorMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan b, std::size_t n) {
+    k::AlignedCVec got(n), want(n);
+    k::rotate_phasor(a, b, got);
+    k::scalar::rotate_phasor(a, b, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, CdotConjMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan b, std::size_t n) {
+    const Complex got = k::cdot_conj(a, b);
+    const Complex want = k::scalar::cdot_conj(a, b);
+    EXPECT_TRUE(std::memcmp(&got, &want, sizeof(Complex)) == 0) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, MagsqAccumMatchesScalar) {
+  for_each_shape([](CSpan a, CSpan, std::size_t n) {
+    const double got = k::magsq_accum(a);
+    const double want = k::scalar::magsq_accum(a);
+    EXPECT_TRUE(std::memcmp(&got, &want, sizeof(double)) == 0) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwise, SplitInterleaveMatchesScalarAndRoundTrips) {
+  for_each_shape([](CSpan a, CSpan, std::size_t n) {
+    std::vector<double> re(n), im(n), re2(n), im2(n);
+    k::split(a, re, im);
+    k::scalar::split(a, re2, im2);
+    EXPECT_EQ(std::memcmp(re.data(), re2.data(), n * sizeof(double)), 0) << "n=" << n;
+    EXPECT_EQ(std::memcmp(im.data(), im2.data(), n * sizeof(double)), 0) << "n=" << n;
+    k::AlignedCVec got(n), want(n);
+    k::interleave(re, im, got);
+    k::scalar::interleave(re, im, want);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "n=" << n;
+    EXPECT_TRUE(bitwise_equal(got, a)) << "n=" << n;  // round trip
+  });
+}
+
+TEST(Kernels, IsaReportingIsConsistent) {
+  const k::Isa isa = k::active_isa();
+  EXPECT_STREQ(k::isa_name(), k::isa_name(isa));
+  if (!k::simd_compiled()) EXPECT_EQ(isa, k::Isa::kScalar);
+  // The name is one of the documented tokens bench JSON carries.
+  const std::string name = k::isa_name();
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2") << name;
+}
+
+// -------------------------------------------------- mixed-radix FFT accuracy
+
+TEST(FftMixedRadix, MatchesRadix2WithinUlpBound) {
+  Rng rng(7);
+  for (std::size_t n = 8; n <= 4096; n *= 2) {
+    const dsp::FftPlan plan(n);
+    CVec a(n);
+    for (auto& v : a) v = rng.cgaussian();
+    CVec b = a;
+    plan.forward(a);         // Stockham mixed-radix (radix-4 dominant)
+    plan.forward_radix2(b);  // the seed's iterative radix-2 reference
+    // The two associate butterflies differently, so allow an error on the
+    // ulp scale of the output magnitude: eps * ||X||_inf * log2(n) stages,
+    // with a x16 cushion. Empirically the observed error is ~10x smaller.
+    double scale = 0.0;
+    for (const Complex& v : b)
+      scale = std::max({scale, std::abs(v.real()), std::abs(v.imag())});
+    const double stages = std::log2(static_cast<double>(n));
+    const double tol =
+        16.0 * std::numeric_limits<double>::epsilon() * scale * stages;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftMixedRadix, InverseRoundTrip) {
+  Rng rng(8);
+  for (std::size_t n = 8; n <= 1024; n *= 4) {
+    const dsp::FftPlan plan(n);
+    CVec x(n);
+    for (auto& v : x) v = rng.cgaussian();
+    CVec y = x;
+    plan.forward(y);
+    plan.inverse(y);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i].real(), x[i].real(), 1e-12) << "n=" << n;
+      EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftMixedRadix, ExecuteManyMatchesSingleTransforms) {
+  Rng rng(9);
+  const std::size_t n = 64, count = 5;
+  const dsp::FftPlan plan(n);
+  k::AlignedCVec in(n * count), out(n * count);
+  for (auto& v : in) v = rng.cgaussian();
+  plan.execute_many(in, out, count);
+  for (std::size_t c = 0; c < count; ++c) {
+    CVec one(in.begin() + static_cast<std::ptrdiff_t>(c * n),
+             in.begin() + static_cast<std::ptrdiff_t>((c + 1) * n));
+    plan.forward(one);
+    EXPECT_TRUE(bitwise_equal(CSpan{out.data() + c * n, n}, one)) << "block " << c;
+  }
+}
+
+// ----------------------------------------------------- zero-allocation hold
+
+TEST(ZeroAllocation, HookIsLive) {
+  const std::uint64_t before = alloc_count();
+  CVec v(256);
+  EXPECT_NE(v.data(), nullptr);
+  EXPECT_GT(alloc_count(), before);
+}
+
+TEST(ZeroAllocation, ForwardPipelineSteadyState) {
+  relay::PipelineConfig cfg;
+  cfg.cfo_hz = 30e3;
+  cfg.prefilter = CVec(12, Complex{0.25, 0.05});
+  cfg.tx_filter = dsp::design_lowpass(9, 0.25);
+  cfg.adc_dac_delay_samples = 4;
+  cfg.gain_db = 40.0;
+  relay::ForwardPipeline pipe(cfg);
+  Rng rng(10);
+  CVec x(512), out(512);
+  for (auto& v : x) v = rng.cgaussian();
+  // Warmup grows the pipeline's Workspace to this block size.
+  for (int i = 0; i < 3; ++i) pipe.process_into(x, out);
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 32; ++i) pipe.process_into(x, out);
+  EXPECT_EQ(alloc_count(), before)
+      << "ForwardPipeline::process_into allocated in steady state";
+}
+
+TEST(ZeroAllocation, CancellerElementSteadyState) {
+  Rng rng(11);
+  CVec analog(24), digital(120);
+  for (auto& t : analog) t = rng.cgaussian(1e-4);
+  for (auto& t : digital) t = rng.cgaussian(1e-6);
+  stream::CancellerElement canc("c", analog, digital);
+  CVec rx(512), tx(512);
+  for (auto& v : rx) v = rng.cgaussian();
+  for (auto& v : tx) v = rng.cgaussian();
+  for (int i = 0; i < 3; ++i)
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 32; ++i)
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+  EXPECT_EQ(alloc_count(), before)
+      << "CancellerElement::cancel_into allocated in steady state";
+}
+
+TEST(Workspace, GrowsAreCountedAndStopInSteadyState) {
+  k::Workspace ws;
+  EXPECT_EQ(ws.grows(), 0u);
+  (void)ws.get(0, 100);
+  const std::uint64_t after_first = ws.grows();
+  EXPECT_GT(after_first, 0u);
+  (void)ws.get(0, 50);   // smaller: reuse
+  (void)ws.get(0, 100);  // equal: reuse
+  EXPECT_EQ(ws.grows(), after_first);
+  (void)ws.get(0, 200);  // larger: must grow
+  EXPECT_GT(ws.grows(), after_first);
+  EXPECT_GT(ws.bytes(), 0u);
+  ws.release();
+  EXPECT_EQ(ws.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ff
