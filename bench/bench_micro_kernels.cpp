@@ -16,6 +16,10 @@
 #include "phy/frame.hpp"
 #include "relay/cnf_design.hpp"
 #include "relay/pipeline.hpp"
+#include "stream/elements.hpp"
+#include "stream/graph.hpp"
+#include "stream/ring.hpp"
+#include "stream/scheduler.hpp"
 
 namespace {
 
@@ -309,6 +313,67 @@ void BM_ViterbiDecode(benchmark::State& state) {
                           static_cast<int64_t>(msg.size()));
 }
 BENCHMARK(BM_ViterbiDecode);
+
+// ---- streaming runtime: the per-transfer cost of the pipeline scheduler's
+// SPSC ring, and the fixed per-round overhead of a whole scheduler pass
+// (graph walk, virtual dispatch, channel bookkeeping) with near-zero
+// payload work — the constant the throughput mode's batching amortizes.
+
+void BM_RingPushPop(benchmark::State& state) {
+  // Single-threaded ping-pong: one push + one pop per iteration, measuring
+  // the ring's index arithmetic and acquire/release pair without
+  // cross-core traffic (the steady-state fast path, since each side's
+  // cached opposite index makes most operations core-local anyway).
+  stream::SpscRing<std::uint64_t> ring(256);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(std::uint64_t{v}));
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(ring.try_pop(out));
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_RingPushPopBatch16(benchmark::State& state) {
+  // The batched transfer the scheduler actually uses: 16 items under one
+  // tail publication, 16 under one head publication.
+  stream::SpscRing<std::uint64_t> ring(256);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push_batch(16, [&] { return v++; }));
+    std::uint64_t sum = 0;
+    benchmark::DoNotOptimize(ring.try_pop_batch(16, [&](std::uint64_t&& x) { sum += x; }));
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_RingPushPopBatch16);
+
+void BM_SchedulerRoundOverhead(benchmark::State& state) {
+  // A 4-element pass-through graph (source -> queue -> queue -> sink) with
+  // 1-sample blocks: the work per block is nothing, so the measured time is
+  // the runtime's own overhead per scheduled block — the number the
+  // work_batch/ring-batch path exists to shrink.
+  const std::size_t n_blocks = 256;
+  const CVec data(n_blocks, Complex{1.0, 0.0});
+  for (auto _ : state) {
+    stream::Graph g;
+    auto* src = g.emplace<stream::VectorSource>("src", data, 1);
+    auto* q1 = g.emplace<stream::Queue>("q1");
+    auto* q2 = g.emplace<stream::Queue>("q2");
+    auto* sink = g.emplace<stream::NullSink>("sink");
+    g.connect(*src, 0, *q1, 0);
+    g.connect(*q1, 0, *q2, 0);
+    g.connect(*q2, 0, *sink, 0);
+    stream::Scheduler(g).run();
+    benchmark::DoNotOptimize(sink->samples_seen());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n_blocks));
+}
+BENCHMARK(BM_SchedulerRoundOverhead);
 
 void BM_PacketDecode(benchmark::State& state) {
   const phy::OfdmParams params;

@@ -14,14 +14,20 @@
 // (src/stream/) pushing a full relay session — packet source, direct and
 // relayed paths, superposition — through bounded blocks, and cross-checks
 // that the output checksum is identical across block sizes and thread
-// counts (the runtime's block-size/thread invariance contract). Knobs:
-// --block-size / --duration / --backpressure / --threads (eval::StreamCli,
-// shared with examples/streaming_relay).
+// counts (the runtime's block-size/thread invariance contract). The
+// stream_relay_throughput kernel times the same session under the pipeline
+// scheduler (auto chain count, --batch-size blocks per ring transfer,
+// --pin-cores to bind workers) and cross-checks its checksum against the
+// reference row; both modes are always measured, so StreamCli's --mode is
+// ignored here. Knobs: --block-size / --duration / --backpressure /
+// --threads (eval::StreamCli, shared with examples/streaming_relay).
 //
 // Usage: bench_runtime [--clients N] [--out PATH] [--reps R] [--metrics PATH]
 //                      [--block-size N] [--duration S] [--backpressure B]
+//                      [--batch-size N] [--pin-cores]
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "channel/floorplan.hpp"
@@ -194,12 +200,20 @@ struct StreamRun {
   std::uint64_t checksum = 0;
 };
 
+/// Scheduler selection for one stream run (reference rounds by default).
+struct StreamExec {
+  bool throughput = false;
+  std::size_t batch_size = 1;
+  bool pin_cores = false;
+};
+
 /// One full streaming session: packet source -> tee -> {direct channel,
 /// S->R channel -> relay pipeline -> R->D channel} -> superposition -> sink.
 /// The same graph shape as examples/streaming_relay, self-checked here via
 /// an FNV-1a checksum of the output stream.
 StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
-                          std::size_t backpressure, std::size_t threads) {
+                          std::size_t backpressure, std::size_t threads,
+                          const StreamExec& exec = {}) {
   namespace st = ff::stream;
   const std::size_t cap = backpressure;
   st::Graph g;
@@ -245,6 +259,11 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
 
   st::SchedulerConfig sc;
   sc.threads = threads;
+  if (exec.throughput) {
+    sc.mode = st::SchedulerMode::kThroughput;
+    sc.batch_size = exec.batch_size;
+    sc.pin_cores = exec.pin_cores;
+  }
   st::Scheduler(g, sc).run();
 
   StreamRun r;
@@ -333,6 +352,25 @@ int main(int argc, char** argv) {
   kernels.push_back(
       {"stream_relay", stream_ms, static_cast<std::size_t>(stream_run.blocks)});
 
+  // ---- stream_relay_throughput: the same session under the pipeline
+  // scheduler (pinned per-core chains over SPSC rings). threads = 0 lets
+  // the chain count follow the host, so this row scales on multi-core
+  // machines; the checksum cross-check below still holds it to the
+  // reference output bit for bit.
+  StreamExec texec;
+  texec.throughput = true;
+  texec.batch_size = stream_cli.batch_size();
+  texec.pin_cores = stream_cli.pin_cores();
+  StreamRun stream_tp_run;
+  const double stream_tp_ms = time_best_ms(
+      [&] {
+        stream_tp_run = run_stream_once(setup, stream_cli.block_size(),
+                                        stream_cli.backpressure(), /*threads=*/0, texec);
+      },
+      reps);
+  kernels.push_back({"stream_relay_throughput", stream_tp_ms,
+                     static_cast<std::size_t>(stream_tp_run.blocks)});
+
   // The runtime's invariance contract: the output stream is bit-identical
   // for any block size and thread count (tests/stream_test.cpp proves it on
   // synthetic graphs; this re-proves it on the full relay session). The
@@ -340,7 +378,8 @@ int main(int argc, char** argv) {
   // (4096) block sizes against 1/2/4 threads — the shapes where a
   // vectorized block path could diverge from the per-sample reference if
   // it re-associated anything.
-  bool stream_deterministic = true;
+  bool stream_deterministic = stream_tp_run.checksum == stream_run.checksum &&
+                              stream_tp_run.samples == stream_run.samples;
   const struct { std::size_t block_size, threads; } variants[] = {
       {1, 1},    {7, 2},    {64, 1},   {64, 4},
       {4096, 1}, {4096, 2}, {4096, 4}, {stream_cli.block_size(), 4}};
@@ -350,6 +389,30 @@ int main(int argc, char** argv) {
     if (r.checksum != stream_run.checksum || r.samples != stream_run.samples)
       stream_deterministic = false;
   }
+  // Throughput-mode grid: partitionings and batch sizes that exercise ring
+  // traffic (2 and 4 chains) and batching (1 and 16 blocks per transfer).
+  const struct { std::size_t chains, batch; } tp_variants[] = {
+      {1, 1}, {2, 4}, {4, 16}};
+  for (const auto& v : tp_variants) {
+    StreamExec e;
+    e.throughput = true;
+    e.batch_size = v.batch;
+    const StreamRun r = run_stream_once(setup, stream_cli.block_size(),
+                                        stream_cli.backpressure(), v.chains, e);
+    if (r.checksum != stream_run.checksum || r.samples != stream_run.samples)
+      stream_deterministic = false;
+  }
+
+  // The pipeline speedup claim is only testable when the host actually has
+  // cores to pipeline across; on a 1-CPU container the chains time-slice
+  // one core and the honest answer is "skipped", not a meaningless ratio.
+  const unsigned hw_concurrency = std::thread::hardware_concurrency();
+  const double tp_speedup = stream_ms / stream_tp_ms;
+  std::string tp_skipped_reason;
+  if (hw_concurrency <= 1)
+    tp_skipped_reason =
+        "single visible CPU: pipeline chains time-slice one core, "
+        "speedup-vs-reference not meaningful";
 
   Table ktable({"kernel", "batch", "best-of (ms)", "us/op"});
   for (const auto& k : kernels)
@@ -366,14 +429,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stream_run.blocks),
               stream_cli.block_size(), stream_msps,
               1e3 * stream_ms / static_cast<double>(stream_run.blocks), cs);
-  std::printf("stream output bit-identical across block sizes and threads: %s\n",
+  const double stream_tp_msps =
+      static_cast<double>(stream_tp_run.samples) / (1e3 * stream_tp_ms);
+  std::printf("stream_relay_throughput: %.1f Msamples/s at batch %zu "
+              "(auto chains, %u visible CPUs)",
+              stream_tp_msps, stream_cli.batch_size(), hw_concurrency);
+  if (tp_skipped_reason.empty())
+    std::printf(", %.2fx vs reference\n", tp_speedup);
+  else
+    std::printf(", speedup check skipped: %s\n", tp_skipped_reason.c_str());
+  std::printf("stream output bit-identical across block sizes, threads, "
+              "modes and batch sizes: %s\n",
               stream_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value(std::string("ff-bench-runtime-v2"));
+  json.key("schema").value(std::string("ff-bench-runtime-v3"));
   json.key("clients_per_plan").value(clients);
   json.key("hardware_threads").value(hw_threads);
+  // v3: the CPUs actually visible to this process — perf rows that depend
+  // on real parallelism carry a "skipped_reason" instead of a ratio when
+  // this is 1 (single-core CI container).
+  json.key("hardware_concurrency").value(static_cast<std::size_t>(hw_concurrency));
   // v2: the build/runtime configuration a perf number is meaningless
   // without — which kernel ISA dispatched, whether SIMD paths were compiled
   // (FF_SIMD), whether the build targeted the host CPU (FF_NATIVE).
@@ -425,6 +502,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stream_run.checksum));
   json.key("checksum").value(std::string(cs));
   json.key("deterministic").value(stream_deterministic);
+  json.key("mode").value(std::string("reference"));
+  json.end_object();
+  // v3: the same session under the pipeline scheduler. `chains` = 0 means
+  // auto (one per visible core); speedup_vs_reference is replaced by
+  // skipped_reason on hosts where it cannot mean anything.
+  json.key("stream_throughput");
+  json.begin_object();
+  json.key("mode").value(std::string("throughput"));
+  json.key("block_size").value(stream_cli.block_size());
+  json.key("backpressure_blocks").value(stream_cli.backpressure());
+  json.key("batch_size").value(stream_cli.batch_size());
+  json.key("pinned").value(stream_cli.pin_cores());
+  json.key("chains").value(std::size_t{0});
+  json.key("samples").value(static_cast<std::size_t>(stream_tp_run.samples));
+  json.key("blocks").value(static_cast<std::size_t>(stream_tp_run.blocks));
+  json.key("best_of_ms").value(stream_tp_ms);
+  json.key("samples_per_sec").value(1e6 * stream_tp_msps);
+  json.key("us_per_block").value(1e3 * stream_tp_ms /
+                                 static_cast<double>(stream_tp_run.blocks));
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(stream_tp_run.checksum));
+  json.key("checksum").value(std::string(cs));
+  if (tp_skipped_reason.empty())
+    json.key("speedup_vs_reference").value(tp_speedup);
+  else
+    json.key("skipped_reason").value(tp_skipped_reason);
   json.end_object();
   json.end_object();
 

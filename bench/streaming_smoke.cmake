@@ -1,9 +1,12 @@
 # streaming-smoke: run bench_runtime with a short stream session and
-# validate the stream_relay entries in the emitted ff-bench-runtime-v2 JSON:
-# the kernels array must carry a stream_relay row, the top-level "stream"
-# object must report throughput and per-block latency, and its determinism
-# flag (output checksum identical across block sizes and thread counts) must
-# be true. bench_runtime exits non-zero on a violation, which is also caught.
+# validate the stream_relay entries in the emitted ff-bench-runtime-v3 JSON:
+# the kernels array must carry stream_relay and stream_relay_throughput
+# rows, the top-level "stream" and "stream_throughput" objects must report
+# throughput and per-block latency, the throughput row must carry either a
+# speedup_vs_reference ratio or an explicit skipped_reason (single visible
+# CPU), and the determinism flag (output checksum identical across block
+# sizes, thread counts, scheduler modes and batch sizes) must be true.
+# bench_runtime exits non-zero on a violation, which is also caught.
 #
 # Invoked by CTest as:
 #   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir> -P streaming_smoke.cmake
@@ -35,8 +38,17 @@ string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
 if(jerr)
   message(FATAL_ERROR "bench JSON does not parse: ${jerr}")
 endif()
-if(NOT schema STREQUAL "ff-bench-runtime-v2")
-  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v2)")
+if(NOT schema STREQUAL "ff-bench-runtime-v3")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v3)")
+endif()
+
+# v3: the visible-CPU count that perf rows condition their speedup claims on.
+string(JSON hwc ERROR_VARIABLE jerr GET "${doc}" hardware_concurrency)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v3 'hardware_concurrency' field: ${jerr}")
+endif()
+if(NOT hwc GREATER 0)
+  message(FATAL_ERROR "hardware_concurrency = ${hwc}, expected >= 1")
 endif()
 
 # v2 build/runtime provenance fields: the dispatched kernel ISA must be one
@@ -68,19 +80,27 @@ if(jerr)
   message(FATAL_ERROR "bench JSON missing 'kernels' array: ${jerr}")
 endif()
 set(found_row FALSE)
+set(found_tp_row FALSE)
 math(EXPR last "${n} - 1")
 foreach(i RANGE 0 ${last})
   string(JSON name GET "${doc}" kernels ${i} name)
-  if(name STREQUAL "stream_relay")
-    set(found_row TRUE)
+  if(name STREQUAL "stream_relay" OR name STREQUAL "stream_relay_throughput")
+    if(name STREQUAL "stream_relay")
+      set(found_row TRUE)
+    else()
+      set(found_tp_row TRUE)
+    endif()
     string(JSON ms GET "${doc}" kernels ${i} best_of_ms)
     if(NOT ms GREATER 0)
-      message(FATAL_ERROR "stream_relay best_of_ms = ${ms}, expected > 0")
+      message(FATAL_ERROR "${name} best_of_ms = ${ms}, expected > 0")
     endif()
   endif()
 endforeach()
 if(NOT found_row)
   message(FATAL_ERROR "no stream_relay row in the kernels array of ${bench_json}")
+endif()
+if(NOT found_tp_row)
+  message(FATAL_ERROR "no stream_relay_throughput row in the kernels array of ${bench_json}")
 endif()
 
 # The top-level stream object: config echoed back, throughput + per-block
@@ -104,4 +124,44 @@ if(NOT det STREQUAL "ON")
                       "not bit-identical across block sizes / thread counts")
 endif()
 
-message(STATUS "streaming smoke OK: stream_relay row and stream object valid in ${bench_json}")
+# v3: the stream_throughput object — pipeline-scheduler config echoed back,
+# positive rate, matching checksum, and an honest speedup field: a ratio on
+# multi-core hosts, an explicit skipped_reason on single-CPU ones.
+string(JSON tp_mode ERROR_VARIABLE jerr GET "${doc}" stream_throughput mode)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v3 'stream_throughput' object: ${jerr}")
+endif()
+if(NOT tp_mode STREQUAL "throughput")
+  message(FATAL_ERROR "stream_throughput.mode = '${tp_mode}', want 'throughput'")
+endif()
+foreach(field batch_size samples blocks samples_per_sec us_per_block)
+  string(JSON v ERROR_VARIABLE jerr GET "${doc}" stream_throughput ${field})
+  if(jerr)
+    message(FATAL_ERROR "stream_throughput object missing '${field}': ${jerr}")
+  endif()
+  if(NOT v GREATER 0)
+    message(FATAL_ERROR "stream_throughput.${field} = ${v}, expected > 0")
+  endif()
+endforeach()
+string(JSON tp_pinned ERROR_VARIABLE jerr GET "${doc}" stream_throughput pinned)
+if(jerr)
+  message(FATAL_ERROR "stream_throughput object missing 'pinned': ${jerr}")
+endif()
+string(JSON ref_cs GET "${doc}" stream checksum)
+string(JSON tp_cs GET "${doc}" stream_throughput checksum)
+if(NOT tp_cs STREQUAL "${ref_cs}")
+  message(FATAL_ERROR "stream_throughput.checksum ${tp_cs} != stream.checksum "
+                      "${ref_cs}: the pipeline scheduler changed the output")
+endif()
+string(JSON speedup ERROR_VARIABLE sp_err GET "${doc}" stream_throughput speedup_vs_reference)
+string(JSON skipped ERROR_VARIABLE sk_err GET "${doc}" stream_throughput skipped_reason)
+if(sp_err AND sk_err)
+  message(FATAL_ERROR "stream_throughput carries neither speedup_vs_reference "
+                      "nor skipped_reason; one of the two must explain the perf claim")
+endif()
+if(NOT sp_err AND NOT sk_err)
+  message(FATAL_ERROR "stream_throughput carries both speedup_vs_reference and "
+                      "skipped_reason; they are mutually exclusive")
+endif()
+
+message(STATUS "streaming smoke OK: stream_relay rows and stream/stream_throughput objects valid in ${bench_json}")

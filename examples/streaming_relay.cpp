@@ -16,8 +16,16 @@
 // (tests/stream_test.cpp holds the runtime to that), so the knobs trade
 // latency and memory against overhead without touching the physics.
 //
+// --mode selects the scheduler: 'reference' runs the deterministic
+// level-parallel rounds, 'throughput' cuts the graph into pinned per-core
+// element chains connected by lock-free SPSC rings (--batch-size blocks per
+// transfer, --pin-cores to bind workers). Both produce the same samples;
+// throughput mode exists for rate, not physics.
+//
 // Usage: streaming_relay [--block-size N] [--duration S] [--backpressure B]
-//                        [--threads T] [--seed S] [--metrics out.json]
+//                        [--threads T] [--mode reference|throughput]
+//                        [--batch-size N] [--pin-cores]
+//                        [--seed S] [--metrics out.json]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -167,14 +175,21 @@ int main(int argc, char** argv) {
   stream::SchedulerConfig sc;
   sc.threads = stream_cli.threads();
   sc.metrics = stream_cli.metrics();
+  if (stream_cli.is_throughput()) {
+    sc.mode = stream::SchedulerMode::kThroughput;
+    sc.batch_size = stream_cli.batch_size();
+    sc.pin_cores = stream_cli.pin_cores();
+  }
   stream::Scheduler scheduler(g, sc);
-  const std::uint64_t rounds = scheduler.run();
+  const std::uint64_t progress = scheduler.run();
 
   const CVec rx_hi = sink->take();
   std::printf("streamed %zu packets, %zu samples at %.0f Msps "
-              "(%zu-sample blocks, queue depth %zu, %zu threads, %llu rounds)\n",
+              "(%zu-sample blocks, queue depth %zu, %zu threads, %s mode, %llu %s)\n",
               pc.n_packets, rx_hi.size(), fs_hi / 1e6, stream_cli.block_size(),
-              cap, sc.threads, static_cast<unsigned long long>(rounds));
+              cap, sc.threads, stream_cli.mode().c_str(),
+              static_cast<unsigned long long>(progress),
+              stream_cli.is_throughput() ? "ring transfers" : "rounds");
   std::printf("relay forward delay: %.1f ns worst-case; scrubbed samples: %llu\n",
               relay->pipeline().max_delay_s() * 1e9,
               static_cast<unsigned long long>(relay->pipeline().scrubbed_samples()));

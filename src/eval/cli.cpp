@@ -213,7 +213,18 @@ void StreamCli::register_options(Cli& cli, bool with_metrics_option) {
                  "bounded-channel capacity in blocks (smaller = tighter "
                  "memory bound, more producer stalls)");
   cli.add_option("--threads", &threads_,
-                 "scheduler worker threads (0 = FF_THREADS / hardware)");
+                 "scheduler worker threads (reference: level workers; "
+                 "throughput: pipeline chains; 0 = FF_THREADS / hardware)");
+  cli.add_option("--mode", &mode_,
+                 "scheduler: 'reference' (deterministic level rounds) or "
+                 "'throughput' (pinned pipeline chains over SPSC rings; "
+                 "same output, higher rate)");
+  cli.add_option("--batch-size", &batch_size_,
+                 "throughput mode: blocks moved per element pass and per "
+                 "ring transfer (amortizes per-block overhead)");
+  cli.add_flag("--pin-cores", &pin_cores_,
+               "throughput mode: pin each chain's worker to a core "
+               "(graceful no-op where unsupported)");
   if (with_metrics_option) sink_.register_options(cli);
 }
 
@@ -229,6 +240,15 @@ bool StreamCli::validate() const {
   }
   if (backpressure_ == 0) {
     std::fprintf(stderr, "--backpressure must be >= 1 block\n");
+    ok = false;
+  }
+  if (mode_ != "reference" && mode_ != "throughput") {
+    std::fprintf(stderr, "--mode must be 'reference' or 'throughput' (got '%s')\n",
+                 mode_.c_str());
+    ok = false;
+  }
+  if (batch_size_ == 0) {
+    std::fprintf(stderr, "--batch-size must be >= 1 block\n");
     ok = false;
   }
   return ok;

@@ -171,17 +171,23 @@ class ExperimentCli {
 /// The streaming-runtime surface shared by examples/streaming_relay and
 /// bench_runtime's stream_relay kernel: how the session is blocked
 /// (--block-size), how long it runs (--duration), how deep the bounded
-/// queues are (--backpressure), scheduler threads, and the metrics sink.
+/// queues are (--backpressure), which scheduler executes it (--mode,
+/// --batch-size, --pin-cores), worker threads, and the metrics sink.
+///
+/// The mode is kept as a validated string ("reference" | "throughput")
+/// rather than a stream::SchedulerMode so ff_eval stays independent of
+/// ff_stream; callers map it with is_throughput().
 class StreamCli {
  public:
-  /// Adds --block-size, --duration, --backpressure, --threads, --metrics.
-  /// Hosts that already own a --metrics option (bench_runtime) pass
-  /// with_metrics_option = false to keep the option name unambiguous.
+  /// Adds --block-size, --duration, --backpressure, --threads, --mode,
+  /// --batch-size, --pin-cores, --metrics. Hosts that already own a
+  /// --metrics option (bench_runtime) pass with_metrics_option = false to
+  /// keep the option name unambiguous.
   void register_options(Cli& cli, bool with_metrics_option = true);
 
-  /// Range-check the parsed values (block size and queue capacity >= 1,
-  /// duration positive and finite). Reports violations on stderr; callers
-  /// exit non-zero when this returns false.
+  /// Range-check the parsed values (block size, queue capacity and batch
+  /// size >= 1, duration positive and finite, mode a known name). Reports
+  /// violations on stderr; callers exit non-zero when this returns false.
   bool validate() const;
 
   std::size_t block_size() const { return block_size_; }
@@ -189,6 +195,14 @@ class StreamCli {
   /// Bounded-channel capacity in blocks (the backpressure depth).
   std::size_t backpressure() const { return backpressure_; }
   std::size_t threads() const { return threads_; }
+
+  /// Scheduler selection ("reference" | "throughput", validated).
+  const std::string& mode() const { return mode_; }
+  bool is_throughput() const { return mode_ == "throughput"; }
+  /// Throughput mode: blocks per work_batch pass and per ring transfer.
+  std::size_t batch_size() const { return batch_size_; }
+  /// Throughput mode: pin chain workers to cores (no-op where unsupported).
+  bool pin_cores() const { return pin_cores_; }
 
   MetricsSink& metrics_sink() { return sink_; }
   MetricsRegistry* metrics() { return sink_.registry(); }
@@ -199,6 +213,9 @@ class StreamCli {
   double duration_s_ = 5e-3;
   std::size_t backpressure_ = 8;
   std::size_t threads_ = 1;
+  std::string mode_ = "reference";
+  std::size_t batch_size_ = 8;
+  bool pin_cores_ = false;
   MetricsSink sink_;
 };
 

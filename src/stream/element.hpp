@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,12 +72,33 @@ class Element {
   /// blocking. Returns true when any block was consumed or emitted.
   virtual bool work() = 0;
 
+  /// Batched scheduling opportunity for the throughput-mode pipeline
+  /// scheduler: process up to `max_blocks` blocks per inner pass so
+  /// per-block overhead (virtual dispatch, timer scopes, channel
+  /// bookkeeping) is amortized. The default simply runs work() — which
+  /// already moves everything movable — so every element supports batching;
+  /// Transform overrides it with a real span-of-blocks path
+  /// (process_batch). Whatever the batch size, blocks are processed in
+  /// FIFO order through the same per-block state updates, so the sample
+  /// stream is bit-identical to the unbatched path.
+  virtual bool work_batch(std::size_t max_blocks) {
+    (void)max_blocks;
+    return work();
+  }
+
   /// Blocks this element stalled on a full output (backpressure events).
   std::uint64_t stalls() const { return stalls_; }
 
  protected:
   // ---- channel access for concrete elements -------------------------
   bool in_available(std::size_t port) const { return !inputs_[port]->empty(); }
+  /// Blocks currently queued on an input.
+  std::size_t in_count(std::size_t port) const { return inputs_[port]->fifo.size(); }
+  /// Blocks an output can accept right now (0 when full or closed).
+  std::size_t out_space(std::size_t port) const {
+    const Channel& ch = *outputs_[port];
+    return ch.closed || ch.fifo.size() >= ch.capacity ? 0 : ch.capacity - ch.fifo.size();
+  }
   /// Upstream closed and everything consumed: this input is finished.
   bool in_drained(std::size_t port) const { return inputs_[port]->drained(); }
   /// Output can accept a block right now.
@@ -150,14 +172,29 @@ class Source : public Element {
 /// Convenience base for 1-in/1-out transforms: pops a block, processes it
 /// in place (stateful kernels keep their own delay lines, so block
 /// boundaries are invisible), re-emits it, and propagates end-of-stream.
+///
+/// work_batch() is the amortized variant: it pops up to max_blocks blocks
+/// at once, hands them to process_batch() as one span, and emits them all.
+/// The default process_batch loops process() block by block — bit-identical
+/// to work() by construction — while elements with real batch leverage
+/// (contiguous-buffer kernels, one timer scope per batch) can override it.
 class Transform : public Element {
  public:
   explicit Transform(std::string name) : Element(std::move(name), 1, 1) {}
 
   bool work() final;
+  bool work_batch(std::size_t max_blocks) override;
 
  protected:
   virtual void process(Block& block) = 0;
+  /// Process a run of consecutive blocks (stream order). Must equal
+  /// calling process() on each block in sequence, bit for bit.
+  virtual void process_batch(std::span<Block> blocks) {
+    for (Block& b : blocks) process(b);
+  }
+
+ private:
+  std::vector<Block> batch_;  // work_batch staging (reused across calls)
 };
 
 /// Convenience base for aligned 2-in/1-out combiners (adders, cancellers).

@@ -240,6 +240,9 @@ class Queue : public Transform {
 
  protected:
   void process(Block&) override {}
+  /// A queue moves blocks untouched, so the batch path needs no per-block
+  /// virtual calls at all — the cheapest possible process_batch.
+  void process_batch(std::span<Block>) override {}
 };
 
 /// Copies each input block to every output (the stream equivalent of a

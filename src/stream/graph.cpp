@@ -90,6 +90,15 @@ void Graph::validate() {
   validated_ = true;
 }
 
+std::vector<Element*> Graph::topo_order() const {
+  FF_CHECK_MSG(validated_, "topo_order() needs a validated graph");
+  std::vector<Element*> order;
+  order.reserve(elements_.size());
+  for (const auto& level : levels_)
+    for (Element* e : level) order.push_back(e);
+  return order;
+}
+
 bool Graph::finished() const {
   for (const auto& ch : channels_)
     if (!ch->drained()) return false;

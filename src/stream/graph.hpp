@@ -65,6 +65,12 @@ class Graph {
   const std::vector<std::vector<Element*>>& levels() const { return levels_; }
   const std::vector<std::unique_ptr<Channel>>& channels() const { return channels_; }
 
+  /// Elements flattened in (level, insertion) topological order — every
+  /// channel points forward in this sequence. This is the order the
+  /// throughput scheduler cuts into contiguous chains. Valid after
+  /// validate().
+  std::vector<Element*> topo_order() const;
+
   /// Install a telemetry sink on every element (nullptr = record nothing).
   void set_metrics(MetricsRegistry* metrics);
 

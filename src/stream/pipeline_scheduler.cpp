@@ -1,0 +1,330 @@
+// Throughput-mode pipeline scheduler (Scheduler::run_throughput).
+//
+// The reference scheduler barriers the whole graph every round: every
+// element waits for the slowest level before anyone sees the next block.
+// This mode removes the barrier. The validated graph's topological order is
+// cut into `threads` contiguous chains; each chain gets one long-lived
+// worker thread (optionally pinned to a core) that loops over its own
+// elements forever, and every chain-crossing channel is bridged by a
+// lock-free SPSC ring (ring.hpp). Blocks stream down the pipeline with no
+// global synchronization — the only cross-thread traffic is the ring's
+// acquire/release index pair per batch.
+//
+// Bridging keeps the Element API untouched. A crossing channel
+// producer→consumer is split into three single-threaded pieces:
+//
+//   producer --emit()--> origin Channel     (touched only by producer chain)
+//                          | drain, batch_size at a time
+//                          v
+//                       SpscRing            (the only shared structure)
+//                          | fill, batch_size at a time
+//                          v
+//                        stub Channel --pop()--> consumer
+//                                           (touched only by consumer chain)
+//
+// The producer's worker drains origin→ring after running its elements; the
+// consumer's worker fills ring→stub before running its own. Each deque is
+// owned by exactly one thread, so elements never know which mode they run
+// under. When the origin closes and empties, the worker closes the ring;
+// when the ring drains, the consumer's worker closes the stub — end-of-
+// stream propagates through the bridge exactly like through a channel.
+// Total buffering per bridged edge is origin + ring + stub, strictly more
+// slack than the reference mode's single channel, so no graph that
+// completes under the reference scheduler can deadlock here.
+//
+// Determinism: each element still processes its input FIFOs in order, on
+// exactly one thread, with all randomness element-owned — the dataflow
+// contract of element.hpp. The output stream is therefore bit-identical to
+// the reference mode at ANY chain partitioning, batch size, and core count
+// (tests/stream_test.cpp proves it, down to the relay-session checksum).
+// What is NOT deterministic here is scheduling observables: queue depth
+// peaks, stall counters, and ring statistics depend on thread timing and
+// are excluded from determinism comparisons (docs/OBSERVABILITY.md).
+//
+// Safety: a wall-clock progress watchdog replaces the reference mode's
+// stuck-round check. If no chain moves a block for watchdog_ms, every
+// worker is aborted and the error reports each bridge's ring occupancy —
+// the pipeline picture of where the graph wedged.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "stream/ring.hpp"
+#include "stream/scheduler.hpp"
+
+namespace ff::stream {
+
+namespace {
+
+/// One chain-crossing channel split into producer-side origin (the
+/// channel already wired into the producer), the shared ring, and the
+/// consumer-side stub the consumer is rewired onto for the run.
+struct Bridge {
+  Channel* origin = nullptr;
+  Channel stub;
+  SpscRing<Block> ring;
+  std::size_t producer_chain = 0;
+  std::size_t consumer_chain = 0;
+
+  Bridge(Channel* ch, std::size_t ring_cap, std::size_t prod, std::size_t cons)
+      : origin(ch), ring(ring_cap), producer_chain(prod), consumer_chain(cons) {
+    stub.capacity = ch->capacity;
+    stub.producer = ch->producer;
+    stub.consumer = ch->consumer;
+    stub.producer_port = ch->producer_port;
+    stub.consumer_port = ch->consumer_port;
+  }
+};
+
+/// Everything one worker thread owns: its contiguous element cut and the
+/// bridges it fills (inbound) and drains (outbound).
+struct Chain {
+  std::vector<Element*> elements;
+  std::vector<Bridge*> inbound;
+  std::vector<Bridge*> outbound;
+
+  bool finished(const std::vector<const Channel*>& internal) const {
+    for (const Bridge* br : inbound)
+      if (!br->stub.drained()) return false;
+    for (const Channel* ch : internal)
+      if (!ch->drained()) return false;
+    for (const Bridge* br : outbound)
+      if (!br->origin->drained() || !br->ring.closed()) return false;
+    return true;
+  }
+
+  std::vector<const Channel*> internal_channels;  // both endpoints in chain
+};
+
+}  // namespace
+
+std::uint64_t Scheduler::run_throughput() {
+  graph_.validate();
+  graph_.set_metrics(cfg_.metrics);
+
+  const std::vector<Element*> order = graph_.topo_order();
+  std::size_t n_chains = cfg_.threads == 0 ? default_thread_count() : cfg_.threads;
+  if (n_chains > order.size()) n_chains = order.size();
+  FF_CHECK_MSG(n_chains >= 1, "throughput scheduler needs at least one chain");
+
+  // Contiguous cuts of the topological order: chain c gets
+  // [c*n/chains, (c+1)*n/chains). Any cut is correct (determinism is
+  // dataflow-borne); contiguity keeps most channels chain-internal.
+  std::vector<std::size_t> chain_of(order.size());
+  std::vector<Chain> chains(n_chains);
+  for (std::size_t c = 0; c < n_chains; ++c) {
+    const std::size_t begin = c * order.size() / n_chains;
+    const std::size_t end = (c + 1) * order.size() / n_chains;
+    for (std::size_t i = begin; i < end; ++i) {
+      chain_of[i] = c;
+      chains[c].elements.push_back(order[i]);
+    }
+  }
+  std::unordered_map<const Element*, std::size_t> chain_of_element;
+  for (std::size_t i = 0; i < order.size(); ++i) chain_of_element[order[i]] = chain_of[i];
+
+  // Bridge every chain-crossing channel and rewire its consumer onto the
+  // stub for the duration of the run.
+  std::vector<std::unique_ptr<Bridge>> bridges;
+  for (const auto& ch : graph_.channels()) {
+    const std::size_t pc = chain_of_element.at(ch->producer);
+    const std::size_t cc = chain_of_element.at(ch->consumer);
+    if (pc == cc) {
+      chains[pc].internal_channels.push_back(ch.get());
+      continue;
+    }
+    std::size_t cap = cfg_.ring_capacity;
+    if (cap == 0) cap = ch->capacity > cfg_.batch_size ? ch->capacity : cfg_.batch_size;
+    auto br = std::make_unique<Bridge>(ch.get(), cap, pc, cc);
+    ch->consumer->inputs_[ch->consumer_port] = &br->stub;
+    chains[pc].outbound.push_back(br.get());
+    chains[cc].inbound.push_back(br.get());
+    bridges.push_back(std::move(br));
+  }
+
+  // Whatever happens below, put the consumers back on their real channels.
+  struct RewireGuard {
+    std::vector<std::unique_ptr<Bridge>>* bridges;
+    ~RewireGuard() {
+      for (auto& br : *bridges)
+        br->origin->consumer->inputs_[br->origin->consumer_port] = br->origin;
+    }
+  } rewire_guard{&bridges};
+
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> progress{0};   // bumped on any chain progress
+  std::atomic<std::uint64_t> transfers{0};  // blocks moved across rings
+  std::atomic<std::size_t> done{0};         // workers that have returned
+  std::vector<std::exception_ptr> errors(n_chains);
+  const std::size_t batch = cfg_.batch_size;
+
+  auto chain_loop = [&](std::size_t c) {
+    if (cfg_.pin_cores) pin_current_thread_to_core(c);
+    Chain& chain = chains[c];
+    SpinBackoff backoff;
+    try {
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        bool moved = false;
+
+        // Fill: ring -> stub, so this chain's elements see fresh input.
+        for (Bridge* br : chain.inbound) {
+          Channel& stub = br->stub;
+          std::size_t space =
+              stub.fifo.size() >= stub.capacity ? 0 : stub.capacity - stub.fifo.size();
+          if (space > batch) space = batch;
+          if (space > 0) {
+            const std::size_t got = br->ring.try_pop_batch(space, [&](Block&& b) {
+              stub.fifo.push_back(std::move(b));
+            });
+            if (got > 0) {
+              stub.blocks_total += got;
+              if (stub.fifo.size() > stub.depth_peak) stub.depth_peak = stub.fifo.size();
+              transfers.fetch_add(got, std::memory_order_relaxed);
+              moved = true;
+            }
+          }
+          if (!stub.closed && br->ring.drained()) {
+            stub.closed = true;
+            moved = true;
+          }
+        }
+
+        // Run the chain's elements in topological order, batched.
+        for (Element* e : chain.elements) moved |= e->work_batch(batch);
+
+        // Drain: origin -> ring, publishing to the downstream chain.
+        for (Bridge* br : chain.outbound) {
+          Channel& origin = *br->origin;
+          std::size_t n = origin.fifo.size();
+          if (n > batch) n = batch;
+          if (n > 0) {
+            const std::size_t pushed = br->ring.try_push_batch(n, [&] {
+              Block b = std::move(origin.fifo.front());
+              origin.fifo.pop_front();
+              return b;
+            });
+            if (pushed > 0) {
+              transfers.fetch_add(pushed, std::memory_order_relaxed);
+              moved = true;
+            }
+          }
+          if (origin.closed && origin.fifo.empty() && !br->ring.closed()) {
+            br->ring.close();
+            moved = true;
+          }
+        }
+
+        if (moved) {
+          progress.fetch_add(1, std::memory_order_relaxed);
+          backoff.reset();
+          continue;
+        }
+        if (chain.finished(chain.internal_channels)) return;
+        backoff.pause();
+      }
+    } catch (...) {
+      errors[c] = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+  // Wrapper so every exit path — finished, aborted, or thrown — retires the
+  // worker in `done` (the watchdog loop's termination condition).
+  auto run_chain = [&](std::size_t c) {
+    chain_loop(c);
+    done.fetch_add(1, std::memory_order_release);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(n_chains);
+  for (std::size_t c = 0; c < n_chains; ++c) workers.emplace_back(run_chain, c);
+
+  // The calling thread is the watchdog: some chain must make progress (or
+  // retire) at least once per watchdog_ms, or the run is declared wedged
+  // and torn down. A graph that is merely slow keeps ticking `progress`;
+  // only a true deadlock goes quiet.
+  bool watchdog_fired = false;
+  if (cfg_.watchdog_ms > 0.0) {
+    using clock = std::chrono::steady_clock;
+    std::uint64_t last_seen = ~std::uint64_t{0};
+    auto last_change = clock::now();
+    while (done.load(std::memory_order_acquire) < n_chains) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const std::uint64_t now_progress = progress.load(std::memory_order_relaxed) +
+                                         done.load(std::memory_order_relaxed);
+      if (now_progress != last_seen) {
+        last_seen = now_progress;
+        last_change = clock::now();
+        continue;
+      }
+      const double quiet_ms =
+          std::chrono::duration<double, std::milli>(clock::now() - last_change).count();
+      if (quiet_ms > cfg_.watchdog_ms) {
+        watchdog_fired = true;
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  for (auto& t : workers) t.join();
+
+  for (std::size_t c = 0; c < n_chains; ++c)
+    if (errors[c]) std::rethrow_exception(errors[c]);
+
+  if (watchdog_fired && !graph_.finished()) {
+    // The pipeline picture of where the graph wedged: every bridge's ring
+    // occupancy plus the stub/origin queue states around it.
+    std::ostringstream os;
+    os << "stream graph made no progress for " << cfg_.watchdog_ms
+       << " ms in throughput mode (" << n_chains << " chains, batch " << batch
+       << "); ring occupancies:";
+    for (const auto& br : bridges)
+      os << " [" << br->origin->producer->name() << "->" << br->origin->consumer->name()
+         << " chain" << br->producer_chain << "->chain" << br->consumer_chain
+         << ": origin " << br->origin->fifo.size() << "/" << br->origin->capacity
+         << ", ring " << br->ring.size() << "/" << br->ring.capacity()
+         << (br->ring.closed() ? " closed" : "") << ", stub " << br->stub.fifo.size()
+         << "/" << br->stub.capacity << "]";
+    if (bridges.empty()) os << " (no rings: single chain holds the whole graph)";
+    FF_CHECK_MSG(false, os.str());
+  }
+  FF_CHECK_MSG(graph_.finished(),
+               "throughput scheduler exited with undrained channels (scheduler bug)");
+
+  if (cfg_.metrics) {
+    cfg_.metrics->set("stream.scheduler.chains", static_cast<double>(n_chains));
+    cfg_.metrics->add("stream.ring.transfers",
+                      transfers.load(std::memory_order_relaxed));
+    // Per-channel peaks as in reference mode, plus per-ring statistics.
+    // All of these are scheduling observables: in throughput mode their
+    // values depend on thread timing and are excluded from determinism
+    // comparisons, like timer values (docs/OBSERVABILITY.md).
+    for (const auto& ch : graph_.channels()) {
+      const std::string name = "stream." + ch->consumer->name() + ".in" +
+                               std::to_string(ch->consumer_port) + ".depth_peak";
+      cfg_.metrics->set(name, static_cast<double>(ch->depth_peak));
+    }
+    for (const auto& br : bridges) {
+      const std::string prefix = "stream.ring." + br->origin->consumer->name() + ".in" +
+                                 std::to_string(br->origin->consumer_port) + ".";
+      cfg_.metrics->set(prefix + "depth_peak", static_cast<double>(br->ring.depth_peak()));
+      cfg_.metrics->add(prefix + "push_stalls", br->ring.producer_stalls());
+      cfg_.metrics->add(prefix + "pop_stalls", br->ring.consumer_stalls());
+    }
+  }
+  return transfers.load(std::memory_order_relaxed);
+}
+
+}  // namespace ff::stream

@@ -11,6 +11,12 @@ namespace ff::stream {
 Scheduler::Scheduler(Graph& graph, SchedulerConfig cfg) : graph_(graph), cfg_(cfg) {}
 
 std::uint64_t Scheduler::run() {
+  FF_CHECK_MSG(cfg_.batch_size >= 1, "SchedulerConfig.batch_size must be >= 1");
+  if (cfg_.mode == SchedulerMode::kThroughput) return run_throughput();
+  return run_reference();
+}
+
+std::uint64_t Scheduler::run_reference() {
   graph_.validate();
   graph_.set_metrics(cfg_.metrics);
   const std::size_t threads = cfg_.threads == 0 ? default_thread_count() : cfg_.threads;

@@ -111,6 +111,10 @@ TEST(StreamCli, DefaultsAreValid) {
   EXPECT_DOUBLE_EQ(stream.duration_s(), 5e-3);
   EXPECT_EQ(stream.backpressure(), 8u);
   EXPECT_EQ(stream.threads(), 1u);
+  EXPECT_EQ(stream.mode(), "reference");
+  EXPECT_FALSE(stream.is_throughput());
+  EXPECT_EQ(stream.batch_size(), 8u);
+  EXPECT_FALSE(stream.pin_cores());
   EXPECT_EQ(stream.metrics(), nullptr);  // no --metrics = no-op telemetry
 }
 
@@ -124,13 +128,20 @@ TEST(StreamCli, ParsesAllKnobs) {
   char arg3[] = "1e-3";
   char arg4[] = "--backpressure=2";
   char arg5[] = "--threads=4";
-  char* argv[] = {arg0, arg1, arg2, arg3, arg4, arg5};
-  ASSERT_TRUE(cli.parse(6, argv));
+  char arg6[] = "--mode=throughput";
+  char arg7[] = "--batch-size=16";
+  char arg8[] = "--pin-cores";
+  char* argv[] = {arg0, arg1, arg2, arg3, arg4, arg5, arg6, arg7, arg8};
+  ASSERT_TRUE(cli.parse(9, argv));
   EXPECT_TRUE(stream.validate());
   EXPECT_EQ(stream.block_size(), 64u);
   EXPECT_DOUBLE_EQ(stream.duration_s(), 1e-3);
   EXPECT_EQ(stream.backpressure(), 2u);
   EXPECT_EQ(stream.threads(), 4u);
+  EXPECT_EQ(stream.mode(), "throughput");
+  EXPECT_TRUE(stream.is_throughput());
+  EXPECT_EQ(stream.batch_size(), 16u);
+  EXPECT_TRUE(stream.pin_cores());
 }
 
 TEST(StreamCli, ValidateRejectsDegenerateValues) {
@@ -148,7 +159,10 @@ TEST(StreamCli, ValidateRejectsDegenerateValues) {
   EXPECT_FALSE(parse_one("--backpressure=0"));
   EXPECT_FALSE(parse_one("--duration=0"));
   EXPECT_FALSE(parse_one("--duration=-1e-3"));
+  EXPECT_FALSE(parse_one("--mode=turbo"));  // unknown scheduler name
+  EXPECT_FALSE(parse_one("--batch-size=0"));
   EXPECT_TRUE(parse_one("--block-size=1"));
+  EXPECT_TRUE(parse_one("--mode=throughput"));
 }
 
 }  // namespace

@@ -5,10 +5,14 @@
 // throughput, never correctness).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "channel/cfo.hpp"
+#include "channel/floorplan.hpp"
 #include "channel/multipath.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
@@ -17,6 +21,8 @@
 #include "dsp/noise.hpp"
 #include "dsp/sequence.hpp"
 #include "eval/faults.hpp"
+#include "eval/testbed.hpp"
+#include "eval/timedomain.hpp"
 #include "fullduplex/si_channel.hpp"
 #include "fullduplex/stack.hpp"
 #include "fullduplex/tuner.hpp"
@@ -349,12 +355,21 @@ struct CompositeResult {
   std::uint64_t rounds = 0;
   std::uint64_t sink_samples = 0;
   double depth_peak = -1.0;
+  std::uint64_t retunes = 0;  // chan_rd's drift steps: element-state probe
+};
+
+/// Scheduler selection for run_composite (reference rounds by default).
+struct CompositeExec {
+  bool throughput = false;
+  std::size_t batch = 1;
+  bool pin = false;
 };
 
 /// The streaming relay testbench: packets reach the destination through a
 /// direct path and through a relay branch (source->relay channel, forward
 /// pipeline, relay->destination drifting channel), superposed at the sink.
-CompositeResult run_composite(std::size_t block_size, std::size_t threads) {
+CompositeResult run_composite(std::size_t block_size, std::size_t threads,
+                              const CompositeExec& exec = {}) {
   stream::PacketSourceConfig pc;
   pc.n_packets = 2;
   pc.payload_bits = 128;
@@ -407,9 +422,15 @@ CompositeResult run_composite(std::size_t block_size, std::size_t threads) {
   SchedulerConfig sc;
   sc.threads = threads;
   sc.metrics = &metrics;
+  if (exec.throughput) {
+    sc.mode = stream::SchedulerMode::kThroughput;
+    sc.batch_size = exec.batch;
+    sc.pin_cores = exec.pin;
+  }
   CompositeResult r;
   r.rounds = Scheduler(g, sc).run();
   r.out = sink->take();
+  r.retunes = chan_rd->retunes();
   const auto snap = metrics.snapshot();
   r.sink_samples = counter_value(snap, "stream.sink.samples");
   r.depth_peak = gauge_value(snap, "stream.add.in1.depth_peak");
@@ -436,6 +457,269 @@ TEST(StreamInvariance, CompositeGraphIsThreadAndBlockSizeInvariant) {
         EXPECT_EQ(r.depth_peak, reference.depth_peak) << "threads=" << threads;
       }
       EXPECT_EQ(r.sink_samples, r.out.size());
+    }
+  }
+}
+
+// ------------------------------------- throughput mode (pipeline scheduler)
+
+TEST(StreamThroughput, MatchesReferenceAtAnyPartitioningAndBatch) {
+  // The tentpole equivalence claim: the pipeline scheduler must reproduce
+  // the reference output — and the trajectory of element state (drift
+  // retunes happen at exact sample positions) — at every combination of
+  // chain count and batch size, including oversubscribed ones (the 9
+  // composite elements cut into 4 chains on however few cores CI has).
+  const CompositeResult reference = run_composite(64, 1);
+  ASSERT_GT(reference.out.size(), 0u);
+
+  for (const std::size_t chains : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      CompositeExec exec;
+      exec.throughput = true;
+      exec.batch = batch;
+      const CompositeResult r = run_composite(64, chains, exec);
+      ASSERT_EQ(r.out.size(), reference.out.size())
+          << "chains=" << chains << " batch=" << batch;
+      for (std::size_t i = 0; i < r.out.size(); ++i)
+        ASSERT_EQ(r.out[i], reference.out[i])
+            << "chains=" << chains << " batch=" << batch << " sample " << i;
+      EXPECT_EQ(r.retunes, reference.retunes)
+          << "chains=" << chains << " batch=" << batch;
+      EXPECT_EQ(r.sink_samples, reference.sink_samples)
+          << "chains=" << chains << " batch=" << batch;
+    }
+  }
+
+  // Pinning is a placement hint, never a semantics change.
+  CompositeExec pinned;
+  pinned.throughput = true;
+  pinned.batch = 4;
+  pinned.pin = true;
+  const CompositeResult r = run_composite(64, 3, pinned);
+  EXPECT_EQ(r.out, reference.out);
+}
+
+TEST(StreamThroughput, BatchedWorkIsBlockSizeInvariant) {
+  // work_batch / process_batch must be invisible in the samples at every
+  // block size, not just the composite's 64.
+  const CompositeResult reference = run_composite(64, 1);
+  for (const std::size_t bs : kBlockSizes) {
+    CompositeExec exec;
+    exec.throughput = true;
+    exec.batch = 8;
+    const CompositeResult r = run_composite(bs, 2, exec);
+    ASSERT_EQ(r.out.size(), reference.out.size()) << "bs=" << bs;
+    for (std::size_t i = 0; i < r.out.size(); ++i)
+      ASSERT_EQ(r.out[i], reference.out[i]) << "bs=" << bs << " sample " << i;
+  }
+}
+
+TEST(StreamThroughput, ChainCountClampsToGraphSize) {
+  // More threads than elements: the scheduler must clamp, not crash or
+  // spin up idle workers that never retire.
+  const CVec x = random_signal(1000, 31);
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", x, 64);
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *sink, 0);
+  SchedulerConfig sc;
+  sc.mode = stream::SchedulerMode::kThroughput;
+  sc.threads = 16;  // graph has 2 elements
+  sc.batch_size = 4;
+  Scheduler(g, sc).run();
+  EXPECT_EQ(sink->samples(), x);
+}
+
+TEST(StreamThroughput, BackpressureStillLossless) {
+  // Tiny channels, a throttled sink, and ring bridges in between: the
+  // pipeline must stay lossless and ordered under saturation.
+  const CVec x = random_signal(10000, 13);
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", x, 16);
+  auto* q = g.emplace<stream::Queue>("q");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink", /*max_blocks_per_work=*/1);
+  g.connect(*src, 0, *q, 0, /*capacity=*/2);
+  g.connect(*q, 0, *sink, 0, /*capacity=*/2);
+  SchedulerConfig sc;
+  sc.mode = stream::SchedulerMode::kThroughput;
+  sc.threads = 3;  // one element per chain: both channels become bridges
+  sc.batch_size = 4;
+  Scheduler(g, sc).run();
+  EXPECT_EQ(sink->samples(), x);
+}
+
+TEST(StreamThroughput, PropagatesElementErrorsAcrossChains) {
+  // A worker thread hitting an element error (misaligned combine) must
+  // surface it as the scheduler's own exception, not a hang or a crash.
+  Graph g;
+  auto* a = g.emplace<stream::VectorSource>("a", random_signal(32, 1), 8);
+  auto* b = g.emplace<stream::VectorSource>("b", random_signal(32, 2), 16);
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*a, 0, *add, 0);
+  g.connect(*b, 0, *add, 1);
+  g.connect(*add, 0, *sink, 0);
+  SchedulerConfig sc;
+  sc.mode = stream::SchedulerMode::kThroughput;
+  sc.threads = 4;
+  EXPECT_THROW(Scheduler(g, sc).run(), std::logic_error);
+}
+
+namespace {
+/// An element that accepts wiring but never consumes, closes, or emits:
+/// the pipeline analog of a wedged downstream stage.
+class StuckElement : public stream::Element {
+ public:
+  explicit StuckElement(std::string name) : Element(std::move(name), 1, 1) {}
+  bool work() override { return false; }
+};
+}  // namespace
+
+TEST(StreamThroughput, WatchdogAbortsStuckGraph) {
+  Graph g;
+  auto* src = g.emplace<stream::VectorSource>("src", random_signal(1000, 3), 8);
+  auto* stuck = g.emplace<StuckElement>("stuck");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  g.connect(*src, 0, *stuck, 0, /*capacity=*/4);
+  g.connect(*stuck, 0, *sink, 0, /*capacity=*/4);
+  SchedulerConfig sc;
+  sc.mode = stream::SchedulerMode::kThroughput;
+  sc.threads = 3;
+  sc.watchdog_ms = 150.0;  // fail fast in-test; default is 10 s
+  try {
+    Scheduler(g, sc).run();
+    FAIL() << "stuck graph must trip the watchdog";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no progress"), std::string::npos) << what;
+    EXPECT_NE(what.find("ring"), std::string::npos) << what;  // occupancy report
+  }
+}
+
+// --------------------------------------- pinned relay-session checksum
+
+/// FNV-1a over raw bytes — the same fold bench_runtime uses for its stream
+/// checksums, so the constant below is directly comparable to
+/// BENCH_runtime.json.
+std::uint64_t fnv1a_bytes(const void* bytes, std::size_t len) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// The bench_runtime stream_relay session (bench/bench_runtime.cpp,
+/// make_stream_setup + run_stream_once at the default knobs: 5 ms session,
+/// 256-sample blocks, capacity-8 channels). Reproduced here so the output
+/// checksum is pinned by a test, not just reported by a bench.
+struct RelaySession {
+  eval::TimeDomainLink link;
+  relay::PipelineConfig pipeline;
+  stream::PacketSourceConfig packets;
+  double fs_hi = 0.0;
+};
+
+RelaySession make_relay_session() {
+  constexpr std::size_t kOversample = 4;  // the evaluator's converter rate
+  const eval::TestbedConfig tb;
+  const auto plan = channel::FloorPlan::paper_home();
+  const auto placement = eval::make_placement(plan);
+  Rng rng(20140817);
+
+  RelaySession s;
+  s.link = eval::build_td_link(placement, {6.0, 4.0}, tb, rng);
+  s.fs_hi = tb.ofdm.sample_rate_hz * static_cast<double>(kOversample);
+  s.pipeline = eval::make_ff_pipeline(s.link, tb.ofdm, /*extra_latency_s=*/0.0);
+
+  s.packets.params = tb.ofdm;
+  s.packets.mcs_index = 3;
+  s.packets.payload_bits = 600;
+  s.packets.gap_samples = 400 * kOversample;
+  s.packets.oversample = kOversample;
+  s.packets.seed = 20140817;
+  const phy::Transmitter tx(tb.ofdm);
+  const std::size_t stride =
+      tx.modulate(std::vector<std::uint8_t>(s.packets.payload_bits, 0),
+                  {.mcs_index = s.packets.mcs_index})
+              .size() *
+          kOversample +
+      s.packets.gap_samples;
+  const auto want = static_cast<std::size_t>(5e-3 * s.fs_hi);
+  s.packets.n_packets = std::max<std::size_t>(1, want / stride);
+  return s;
+}
+
+std::uint64_t run_relay_session(const RelaySession& s, const SchedulerConfig& sc_in) {
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kBlockSize = 256;
+  Graph g;
+  auto* src = g.emplace<stream::PacketSource>("src", s.packets, kBlockSize);
+  auto* cfo = g.emplace<stream::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi);
+  auto* tee = g.emplace<stream::Tee>("tee", 2);
+
+  stream::ChannelElementConfig sd;
+  sd.channel = s.link.sd;
+  sd.sample_rate_hz = s.fs_hi;
+  sd.noise_power = power_from_db(s.link.dest_noise_dbm) * 4.0;
+  sd.seed = s.packets.seed ^ 0xD5;
+  auto* chan_sd = g.emplace<stream::ChannelElement>("chan_sd", sd);
+  auto* q = g.emplace<stream::Queue>("q");
+
+  stream::ChannelElementConfig sr;
+  sr.channel = s.link.sr;
+  sr.sample_rate_hz = s.fs_hi;
+  sr.noise_power = power_from_db(s.link.relay_noise_dbm) * 4.0;
+  sr.seed = s.packets.seed ^ 0x5F;
+  auto* chan_sr = g.emplace<stream::ChannelElement>("chan_sr", sr);
+  auto* relay = g.emplace<stream::PipelineElement>("relay", s.pipeline);
+
+  stream::ChannelElementConfig rd;
+  rd.channel = s.link.rd;
+  rd.sample_rate_hz = s.fs_hi;
+  rd.seed = s.packets.seed ^ 0xFD;
+  auto* chan_rd = g.emplace<stream::ChannelElement>("chan_rd", rd);
+
+  auto* add = g.emplace<stream::Add2>("add");
+  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+
+  g.connect(*src, 0, *cfo, 0, kCap);
+  g.connect(*cfo, 0, *tee, 0, kCap);
+  g.connect(*tee, 0, *chan_sd, 0, kCap);
+  g.connect(*chan_sd, 0, *q, 0, kCap);
+  g.connect(*q, 0, *add, 0, kCap);
+  g.connect(*tee, 1, *chan_sr, 0, kCap);
+  g.connect(*chan_sr, 0, *relay, 0, kCap);
+  g.connect(*relay, 0, *chan_rd, 0, kCap);
+  g.connect(*chan_rd, 0, *add, 1, kCap);
+  g.connect(*add, 0, *sink, 0, kCap);
+
+  Scheduler(g, sc_in).run();
+  const CVec out = sink->take();
+  EXPECT_EQ(out.size(), 399360u);  // 1560 blocks of 256 (BENCH_runtime.json)
+  return fnv1a_bytes(out.data(), out.size() * sizeof(Complex));
+}
+
+TEST(StreamThroughput, RelaySessionChecksumPinnedAcrossModes) {
+  // The exact constant BENCH_runtime.json reports for the stream_relay
+  // kernel. If this moves, the streaming runtime changed the physics — at
+  // ANY chain partitioning and batch size, in either mode.
+  constexpr std::uint64_t kChecksum = 0xC4363E27ACCEB195ULL;
+  const RelaySession session = make_relay_session();
+
+  SchedulerConfig reference;
+  EXPECT_EQ(run_relay_session(session, reference), kChecksum);
+
+  for (const std::size_t chains : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      SchedulerConfig sc;
+      sc.mode = stream::SchedulerMode::kThroughput;
+      sc.threads = chains;
+      sc.batch_size = batch;
+      EXPECT_EQ(run_relay_session(session, sc), kChecksum)
+          << "chains=" << chains << " batch=" << batch;
     }
   }
 }
