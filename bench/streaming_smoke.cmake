@@ -8,8 +8,15 @@
 # sizes, thread counts, scheduler modes and batch sizes) must be true.
 # bench_runtime exits non-zero on a violation, which is also caught.
 #
+# When STREAMING_RELAY and RELAY_GRAPH are given, the script also runs the
+# streaming_relay example with the checked-in declarative graph description
+# (examples/relay.ff) and requires the decode to report crc=OK — the
+# text-built session must reproduce the hand-wired physics end to end.
+#
 # Invoked by CTest as:
-#   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir> -P streaming_smoke.cmake
+#   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir>
+#         [-DSTREAMING_RELAY=<path> -DRELAY_GRAPH=<file.ff>]
+#         -P streaming_smoke.cmake
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 if(NOT BENCH_RUNTIME)
   message(FATAL_ERROR "pass -DBENCH_RUNTIME=<path to bench_runtime>")
@@ -165,3 +172,26 @@ if(NOT sp_err AND NOT sk_err)
 endif()
 
 message(STATUS "streaming smoke OK: stream_relay rows and stream/stream_throughput objects valid in ${bench_json}")
+
+# The declarative-graph path: build the session from the checked-in
+# examples/relay.ff description and require a clean end-to-end decode.
+if(STREAMING_RELAY)
+  if(NOT RELAY_GRAPH)
+    message(FATAL_ERROR "pass -DRELAY_GRAPH=<file.ff> along with -DSTREAMING_RELAY")
+  endif()
+  execute_process(
+    COMMAND ${STREAMING_RELAY} --graph ${RELAY_GRAPH}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "streaming_relay --graph ${RELAY_GRAPH} failed "
+                        "(rc=${rc}).\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "crc=OK")
+    message(FATAL_ERROR "streaming_relay --graph ${RELAY_GRAPH} did not decode "
+                        "cleanly (no 'crc=OK' in output).\n${out}")
+  endif()
+  message(STATUS "streaming smoke OK: text-built session from ${RELAY_GRAPH} decoded crc=OK")
+endif()

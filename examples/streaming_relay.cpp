@@ -11,6 +11,16 @@
 // oversampling rate. The destination stream is collected and decoded with
 // the standard WiFi receiver, so the run ends with a real CRC verdict.
 //
+// The session is expressed as a graph *description* (stream/lang.hpp): the
+// link physics are derived exactly as the batch evaluator derives them,
+// then printed into a GraphSpec and built through the element registry.
+// --dump-graph writes that description (examples/relay.ff is this file's
+// output); --graph runs an edited description instead; --set calls write
+// handlers (fir taps, cfo retunes, gate overrides) before the run. The
+// text round trip is bit-exact: a session built from the printed graph
+// produces the same samples as the hand-wired construction
+// (tests/lang_test.cpp pins the checksum).
+//
 // Everything is deterministic: the output stream — and every stream.*
 // counter — is bit-identical for any --block-size and --threads choice
 // (tests/stream_test.cpp holds the runtime to that), so the knobs trade
@@ -25,10 +35,13 @@
 // Usage: streaming_relay [--block-size N] [--duration S] [--backpressure B]
 //                        [--threads T] [--mode reference|throughput]
 //                        [--batch-size N] [--pin-cores]
+//                        [--graph session.ff] [--set elem.handler=value]...
+//                        [--dump-graph out.ff]
 //                        [--seed S] [--metrics out.json]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "channel/floorplan.hpp"
@@ -42,6 +55,7 @@
 #include "phy/frame.hpp"
 #include "stream/elements.hpp"
 #include "stream/graph.hpp"
+#include "stream/lang.hpp"
 #include "stream/scheduler.hpp"
 
 using namespace ff;
@@ -72,20 +86,133 @@ PacketShape packet_shape(const stream::PacketSourceConfig& pc) {
   return {hi.size() + pc.gap_samples, dsp::mean_power(hi)};
 }
 
+/// `paths` value for a Channel declaration: delay:amp entries, %.17g both
+/// sides so the rebuilt MultipathChannel discretizes to identical taps.
+std::string format_paths(const channel::MultipathChannel& ch) {
+  std::string out;
+  for (const auto& tap : ch.taps()) {
+    if (!out.empty()) out += ",";
+    out += stream::format_double(tap.delay_s) + ":" + stream::format_complex(tap.amp);
+  }
+  return out;
+}
+
+stream::Params channel_params(const stream::ChannelElementConfig& cfg,
+                              std::uint64_t seed) {
+  stream::Params p;
+  p.set("paths", format_paths(cfg.channel));
+  p.set("fc", stream::format_double(cfg.channel.carrier_hz()));
+  p.set("rate", stream::format_double(cfg.sample_rate_hz));
+  p.set("delay_ref", stream::format_double(cfg.delay_ref_s));
+  if (cfg.noise_power > 0.0) p.set("noise", stream::format_double(cfg.noise_power));
+  p.set("seed", std::to_string(seed));
+  return p;
+}
+
+/// Print the derived session into a graph description. Every value is
+/// formatted to round-trip exactly, so building this spec reproduces the
+/// hand-wired construction bit for bit.
+stream::GraphSpec make_session_spec(const stream::PacketSourceConfig& pc,
+                                    std::size_t block_size, double tx_amp,
+                                    double source_cfo_hz, double fs_hi,
+                                    const stream::ChannelElementConfig& sd,
+                                    const stream::ChannelElementConfig& sr,
+                                    const stream::ChannelElementConfig& rd,
+                                    const relay::PipelineConfig& pipe) {
+  stream::GraphSpec spec;
+  spec.source = "<session>";
+
+  auto decl = [&spec](const char* name, const char* cls, stream::Params params) {
+    stream::ElementDecl d;
+    d.name = name;
+    d.class_name = cls;
+    d.params = std::move(params);
+    spec.decls.push_back(std::move(d));
+  };
+
+  stream::Params src;
+  src.set("mcs", std::to_string(pc.mcs_index));
+  src.set("payload_bits", std::to_string(pc.payload_bits));
+  src.set("packets", std::to_string(pc.n_packets));
+  src.set("gap", std::to_string(pc.gap_samples));
+  src.set("oversample", std::to_string(pc.oversample));
+  src.set("seed", std::to_string(pc.seed));
+  src.set("block", std::to_string(block_size));
+  decl("src", "PacketSource", std::move(src));
+
+  stream::Params txgain;
+  txgain.set("taps", stream::format_cvec(CVec{Complex{tx_amp, 0.0}}));
+  decl("txgain", "Fir", std::move(txgain));
+
+  stream::Params cfo;
+  cfo.set("hz", stream::format_double(source_cfo_hz));
+  cfo.set("rate", stream::format_double(fs_hi));
+  decl("src_cfo", "Cfo", std::move(cfo));
+
+  decl("tee", "Tee", {});
+  decl("chan_sd", "Channel", channel_params(sd, sd.seed));
+  decl("q", "Queue", {});
+  decl("chan_sr", "Channel", channel_params(sr, sr.seed));
+
+  stream::Params relay;
+  relay.set("rate", stream::format_double(pipe.sample_rate_hz));
+  relay.set("adc_dac_delay", std::to_string(pipe.adc_dac_delay_samples));
+  relay.set("extra_buffer", std::to_string(pipe.extra_buffer_samples));
+  relay.set("cfo_hz", stream::format_double(pipe.cfo_hz));
+  relay.set("restore_cfo", pipe.restore_cfo ? "true" : "false");
+  relay.set("prefilter", stream::format_cvec(pipe.prefilter));
+  relay.set("analog_rotation", stream::format_complex(pipe.analog_rotation));
+  relay.set("gain_db", stream::format_double(pipe.gain_db));
+  if (!pipe.tx_filter.empty())
+    relay.set("tx_filter", stream::format_cvec(pipe.tx_filter));
+  decl("relay", "Pipeline", std::move(relay));
+
+  decl("chan_rd", "Channel", channel_params(rd, rd.seed));
+  decl("add", "Add2", {});
+  decl("sink", "AccumulatorSink", {});
+
+  auto edge = [&spec](const char* from, std::size_t from_port, const char* to,
+                      std::size_t to_port) {
+    stream::Connection c;
+    c.from = from;
+    c.from_port = from_port;
+    c.to = to;
+    c.to_port = to_port;
+    spec.connections.push_back(std::move(c));
+  };
+  edge("src", 0, "txgain", 0);
+  edge("txgain", 0, "src_cfo", 0);
+  edge("src_cfo", 0, "tee", 0);
+  edge("tee", 0, "chan_sd", 0);
+  edge("chan_sd", 0, "q", 0);
+  edge("q", 0, "add", 0);
+  edge("tee", 1, "chan_sr", 0);
+  edge("chan_sr", 0, "relay", 0);
+  edge("relay", 0, "chan_rd", 0);
+  edge("chan_rd", 0, "add", 1);
+  edge("add", 0, "sink", 0);
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   eval::StreamCli stream_cli;
   std::uint64_t seed = 20140817;
   int mcs = 3;
+  std::string dump_graph;
   eval::Cli cli("streaming_relay",
                 "Run one FastForward downlink as a streaming element graph: "
                 "packets flow through the direct path and the relay's forward "
                 "pipeline in bounded blocks, are superposed at the client, and "
-                "decoded.");
+                "decoded. The session is a graph description (--dump-graph to "
+                "see it, --graph to run an edited one).");
   stream_cli.register_options(cli);
   cli.add_option("--seed", &seed, "link/payload RNG seed");
   cli.add_option("--mcs", &mcs, "packet MCS index");
+  cli.add_option("--dump-graph", &dump_graph,
+                 "write the derived session's graph description to this file "
+                 "and exit (examples/relay.ff is this output)");
   if (!cli.parse(argc, argv)) return cli.exit_code();
   if (!stream_cli.validate()) return 2;
 
@@ -114,18 +241,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(stream_cli.duration_s() * fs_hi);
   pc.n_packets = std::max<std::size_t>(1, want_samples / shape.stride);
 
-  // ---- the graph.
+  // ---- the graph description.
   const double align_s = kAlignSamples / fs_hi;
-  const std::size_t cap = stream_cli.backpressure();
-  stream::Graph g;
-  auto* src = g.emplace<stream::PacketSource>("src", pc, stream_cli.block_size());
   // Transmit power: one-tap FIR scaling the unit-power packets up to the
   // AP's power (power_from_db, the evaluator's relative-dB convention).
   const double tx_amp = std::sqrt(power_from_db(link.source_power_dbm) / shape.mean_power);
-  auto* txgain = g.emplace<stream::FirElement>("txgain", CVec{Complex{tx_amp, 0.0}});
-  // The source oscillator's offset relative to the destination clock.
-  auto* cfo = g.emplace<stream::CfoElement>("src_cfo", link.source_cfo_hz, fs_hi);
-  auto* tee = g.emplace<stream::Tee>("tee", 2);
 
   stream::ChannelElementConfig sd;
   sd.channel = link.sd;
@@ -136,8 +256,6 @@ int main(int argc, char** argv) {
   // same as adding it at the sink.
   sd.noise_power = power_from_db(link.dest_noise_dbm) * kOversample;
   sd.seed = seed ^ 0xD5;
-  auto* chan_sd = g.emplace<stream::ChannelElement>("chan_sd", sd);
-  auto* q = g.emplace<stream::Queue>("q");
 
   stream::ChannelElementConfig sr;
   sr.channel = link.sr;
@@ -145,32 +263,53 @@ int main(int argc, char** argv) {
   sr.delay_ref_s = -align_s;
   sr.noise_power = power_from_db(link.relay_noise_dbm) * kOversample;
   sr.seed = seed ^ 0x5F;
-  auto* chan_sr = g.emplace<stream::ChannelElement>("chan_sr", sr);
-
-  pipeline_cfg.metrics = stream_cli.metrics();
-  auto* relay = g.emplace<stream::PipelineElement>("relay", pipeline_cfg);
 
   stream::ChannelElementConfig rd;
   rd.channel = link.rd;
   rd.sample_rate_hz = fs_hi;
   rd.delay_ref_s = -align_s;
   rd.seed = seed ^ 0xFD;
-  auto* chan_rd = g.emplace<stream::ChannelElement>("chan_rd", rd);
 
-  auto* add = g.emplace<stream::Add2>("add");
-  auto* sink = g.emplace<stream::AccumulatorSink>("sink");
+  stream::GraphSpec spec =
+      make_session_spec(pc, stream_cli.block_size(), tx_amp, link.source_cfo_hz,
+                        fs_hi, sd, sr, rd, pipeline_cfg);
 
-  g.connect(*src, 0, *txgain, 0, cap);
-  g.connect(*txgain, 0, *cfo, 0, cap);
-  g.connect(*cfo, 0, *tee, 0, cap);
-  g.connect(*tee, 0, *chan_sd, 0, cap);
-  g.connect(*chan_sd, 0, *q, 0, cap);
-  g.connect(*q, 0, *add, 0, cap);
-  g.connect(*tee, 1, *chan_sr, 0, cap);
-  g.connect(*chan_sr, 0, *relay, 0, cap);
-  g.connect(*relay, 0, *chan_rd, 0, cap);
-  g.connect(*chan_rd, 0, *add, 1, cap);
-  g.connect(*add, 0, *sink, 0, cap);
+  if (!dump_graph.empty()) {
+    std::ofstream out(dump_graph, std::ios::binary);
+    if (out) out << "// FastForward downlink session (generated by streaming_relay "
+                    "--dump-graph; see docs/STREAMING.md)\n"
+                 << spec.to_text();
+    if (!out) {
+      std::fprintf(stderr, "failed to write graph to %s\n", dump_graph.c_str());
+      return 1;
+    }
+    std::printf("graph description written to %s\n", dump_graph.c_str());
+    return 0;
+  }
+
+  if (!stream_cli.graph().empty()) {
+    try {
+      spec = stream::parse_graph_file(stream_cli.graph());
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "%s\n", err.what());
+      return 2;
+    }
+  }
+
+  // ---- build and run.
+  const std::size_t cap = stream_cli.backpressure();
+  stream::Graph g;
+  try {
+    stream::build_graph(g, spec, stream::ElementRegistry::builtin(), cap);
+    // Pre-run write handlers (--set elem.handler=value), e.g. retuned taps
+    // or a forced gate decision. Sample-positioned writes mid-stream go
+    // through Element::write_at instead.
+    for (const auto& w : stream_cli.writes())
+      g.handler(w.element, w.handler).write(w.value);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
 
   stream::SchedulerConfig sc;
   sc.threads = stream_cli.threads();
@@ -183,16 +322,23 @@ int main(int argc, char** argv) {
   stream::Scheduler scheduler(g, sc);
   const std::uint64_t progress = scheduler.run();
 
+  auto* sink = dynamic_cast<stream::AccumulatorSink*>(g.find("sink"));
+  if (!sink) {
+    std::fprintf(stderr,
+                 "graph has no AccumulatorSink named 'sink'; nothing to decode\n");
+    return 2;
+  }
   const CVec rx_hi = sink->take();
-  std::printf("streamed %zu packets, %zu samples at %.0f Msps "
+  std::printf("streamed %zu samples at %.0f Msps "
               "(%zu-sample blocks, queue depth %zu, %zu threads, %s mode, %llu %s)\n",
-              pc.n_packets, rx_hi.size(), fs_hi / 1e6, stream_cli.block_size(),
+              rx_hi.size(), fs_hi / 1e6, stream_cli.block_size(),
               cap, sc.threads, stream_cli.mode().c_str(),
               static_cast<unsigned long long>(progress),
               stream_cli.is_throughput() ? "ring transfers" : "rounds");
-  std::printf("relay forward delay: %.1f ns worst-case; scrubbed samples: %llu\n",
-              relay->pipeline().max_delay_s() * 1e9,
-              static_cast<unsigned long long>(relay->pipeline().scrubbed_samples()));
+  if (stream::Element* relay = g.find("relay"))
+    std::printf("relay [%s]: max_delay_s=%s scrubbed=%s\n", relay->class_name(),
+                relay->call_read("max_delay_s").c_str(),
+                relay->call_read("scrubbed").c_str());
 
   // ---- decode the first packet at the client (back at the PHY rate).
   const CVec rx20 = dsp::downsample(rx_hi, kOversample);

@@ -71,6 +71,15 @@ Cli& Cli::add_flag(const std::string& name, bool* target, const std::string& hel
   return *this;
 }
 
+Cli& Cli::add_repeatable(const std::string& name, std::vector<std::string>* target,
+                         const std::string& help) {
+  specs_.push_back(Spec{name, help, /*is_flag=*/false, [target](const std::string& v) {
+                          target->push_back(v);
+                          return true;
+                        }});
+  return *this;
+}
+
 const Cli::Spec* Cli::find_option(const std::string& name) const {
   for (const auto& s : specs_)
     if (s.name == name) return &s;
@@ -225,7 +234,40 @@ void StreamCli::register_options(Cli& cli, bool with_metrics_option) {
   cli.add_flag("--pin-cores", &pin_cores_,
                "throughput mode: pin each chain's worker to a core "
                "(graceful no-op where unsupported)");
+  cli.add_option("--graph", &graph_,
+                 "build the session from this graph description file "
+                 "(docs/STREAMING.md) instead of the built-in topology");
+  cli.add_repeatable("--set", &sets_,
+                     "call a write handler before the run: elem.handler=value "
+                     "(repeatable, e.g. --set fir.set_taps=(0.9,0))");
   if (with_metrics_option) sink_.register_options(cli);
+}
+
+namespace {
+
+/// Split "elem.handler=value" (first '.', first '='); false on malformed.
+bool parse_handler_write(const std::string& text, HandlerWrite& out) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string target = text.substr(0, eq);
+  const auto dot = target.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == target.size()) return false;
+  out.element = target.substr(0, dot);
+  out.handler = target.substr(dot + 1);
+  out.value = text.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+std::vector<HandlerWrite> StreamCli::writes() const {
+  std::vector<HandlerWrite> out;
+  out.reserve(sets_.size());
+  for (const std::string& s : sets_) {
+    HandlerWrite w;
+    if (parse_handler_write(s, w)) out.push_back(std::move(w));
+  }
+  return out;
 }
 
 bool StreamCli::validate() const {
@@ -250,6 +292,13 @@ bool StreamCli::validate() const {
   if (batch_size_ == 0) {
     std::fprintf(stderr, "--batch-size must be >= 1 block\n");
     ok = false;
+  }
+  for (const std::string& s : sets_) {
+    HandlerWrite w;
+    if (!parse_handler_write(s, w)) {
+      std::fprintf(stderr, "--set expects elem.handler=value, got '%s'\n", s.c_str());
+      ok = false;
+    }
   }
   return ok;
 }

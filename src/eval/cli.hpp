@@ -78,6 +78,11 @@ class Cli {
   /// Bind `--name` (no value) to *target = true.
   Cli& add_flag(const std::string& name, bool* target, const std::string& help);
 
+  /// Bind `--name value`, repeatable: every occurrence appends to *target
+  /// (`--set a.b=1 --set c.d=2` collects both, in argv order).
+  Cli& add_repeatable(const std::string& name, std::vector<std::string>* target,
+                      const std::string& help);
+
   /// Bind the next positional argument to *target. Positionals are
   /// optional: trailing ones keep their defaults when omitted.
   template <typename T>
@@ -168,26 +173,39 @@ class ExperimentCli {
   MetricsSink sink_;
 };
 
+/// One parsed `--set elem.handler=value` request: call write handler
+/// `handler` on element `elem` with `value` before the run starts. Plain
+/// strings — StreamCli stays ff_stream-agnostic; the host binary resolves
+/// them through Graph::handler.
+struct HandlerWrite {
+  std::string element;
+  std::string handler;
+  std::string value;
+};
+
 /// The streaming-runtime surface shared by examples/streaming_relay and
 /// bench_runtime's stream_relay kernel: how the session is blocked
 /// (--block-size), how long it runs (--duration), how deep the bounded
 /// queues are (--backpressure), which scheduler executes it (--mode,
-/// --batch-size, --pin-cores), worker threads, and the metrics sink.
+/// --batch-size, --pin-cores), worker threads, the metrics sink, and the
+/// declarative surface (--graph file.ff, repeatable --set elem.handler=v).
 ///
 /// The mode is kept as a validated string ("reference" | "throughput")
 /// rather than a stream::SchedulerMode so ff_eval stays independent of
-/// ff_stream; callers map it with is_throughput().
+/// ff_stream; callers map it with is_throughput(). --graph/--set follow the
+/// same rule: StreamCli validates the shape, the host builds the graph.
 class StreamCli {
  public:
   /// Adds --block-size, --duration, --backpressure, --threads, --mode,
-  /// --batch-size, --pin-cores, --metrics. Hosts that already own a
-  /// --metrics option (bench_runtime) pass with_metrics_option = false to
-  /// keep the option name unambiguous.
+  /// --batch-size, --pin-cores, --graph, --set, --metrics. Hosts that
+  /// already own a --metrics option (bench_runtime) pass
+  /// with_metrics_option = false to keep the option name unambiguous.
   void register_options(Cli& cli, bool with_metrics_option = true);
 
   /// Range-check the parsed values (block size, queue capacity and batch
-  /// size >= 1, duration positive and finite, mode a known name). Reports
-  /// violations on stderr; callers exit non-zero when this returns false.
+  /// size >= 1, duration positive and finite, mode a known name, every
+  /// --set of the form elem.handler=value). Reports violations on stderr;
+  /// callers exit non-zero when this returns false.
   bool validate() const;
 
   std::size_t block_size() const { return block_size_; }
@@ -204,6 +222,15 @@ class StreamCli {
   /// Throughput mode: pin chain workers to cores (no-op where unsupported).
   bool pin_cores() const { return pin_cores_; }
 
+  /// Graph description file to build the session from ("" = the host's
+  /// hand-wired default topology).
+  const std::string& graph() const { return graph_; }
+  /// The raw `--set` arguments, argv order.
+  const std::vector<std::string>& sets() const { return sets_; }
+  /// The `--set` arguments parsed as elem.handler=value triples (validate()
+  /// has already rejected malformed ones).
+  std::vector<HandlerWrite> writes() const;
+
   MetricsSink& metrics_sink() { return sink_; }
   MetricsRegistry* metrics() { return sink_.registry(); }
   bool write_metrics() const { return sink_.write(); }
@@ -216,6 +243,8 @@ class StreamCli {
   std::string mode_ = "reference";
   std::size_t batch_size_ = 8;
   bool pin_cores_ = false;
+  std::string graph_;
+  std::vector<std::string> sets_;
   MetricsSink sink_;
 };
 

@@ -228,29 +228,4 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   return results;
 }
 
-// Deprecated shims: kept one release so out-of-tree callers keep building.
-// Their definitions would trip their own [[deprecated]] warning under GCC,
-// so the loops are duplicated instead of delegating.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::vector<double> extract(const std::vector<LocationResult>& results,
-                            double SchemeResult::*field) {
-  std::vector<double> out;
-  out.reserve(results.size());
-  for (const auto& r : results) out.push_back(r.schemes.*field);
-  return out;
-}
-
-std::vector<double> extract(const ExperimentResults& results, double SchemeResult::*field) {
-  std::vector<double> out;
-  out.reserve(results.size());
-  for (const auto& r : results) out.push_back(r.schemes.*field);
-  return out;
-}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace ff::eval

@@ -173,11 +173,4 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg);
 /// Default relay design options for a testbed (fills the subcarrier grid).
 relay::DesignOptions default_design_options(const TestbedConfig& cfg);
 
-/// Extract one scheme's throughputs from results.
-[[deprecated("use ExperimentResults::throughputs(Scheme)")]]
-std::vector<double> extract(const std::vector<LocationResult>& results,
-                            double SchemeResult::*field);
-[[deprecated("use ExperimentResults::throughputs(Scheme)")]]
-std::vector<double> extract(const ExperimentResults& results, double SchemeResult::*field);
-
 }  // namespace ff::eval

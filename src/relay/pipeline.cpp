@@ -35,6 +35,17 @@ ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
   }
 }
 
+void ForwardPipeline::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == cfg_.metrics) return;
+  cfg_.metrics = metrics;
+  if (cfg_.metrics) {
+    metrics::add(cfg_.metrics, "relay.pipeline.instances");
+    metrics::observe(cfg_.metrics, "relay.pipeline.max_delay_s", max_delay_s());
+    metrics::set(cfg_.metrics, "relay.pipeline.prefilter_taps",
+                 static_cast<double>(cfg_.prefilter.size()));
+  }
+}
+
 std::size_t ForwardPipeline::delay_fifo_len() const {
   // With a TX filter, the converter latency lives in the filter's group
   // delay; only the artificial buffering remains a FIFO.

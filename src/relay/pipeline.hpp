@@ -93,6 +93,14 @@ class ForwardPipeline {
   /// Non-finite input samples zeroed so far (see PipelineConfig::scrub_nonfinite).
   std::uint64_t scrubbed_samples() const { return scrubbed_; }
 
+  /// Install (or remove, nullptr) a telemetry sink after construction — the
+  /// declarative stream path builds the pipeline before a registry exists
+  /// and injects it via Graph::set_metrics. Transitioning from no registry
+  /// to one records the same construction-time gauges the metrics-carrying
+  /// constructor would have; re-installing the current registry is a no-op
+  /// (no double-counted instances).
+  void set_metrics(MetricsRegistry* metrics);
+
   /// Return to the freshly-constructed state: clears every delay line, both
   /// CFO phases, and the scrubbed-sample count.
   void reset();

@@ -1,5 +1,7 @@
 #include "stream/element.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ff::stream {
@@ -7,6 +9,60 @@ namespace ff::stream {
 Element::Element(std::string name, std::size_t n_inputs, std::size_t n_outputs)
     : name_(std::move(name)), inputs_(n_inputs, nullptr), outputs_(n_outputs, nullptr) {
   FF_CHECK_MSG(!name_.empty(), "stream elements need a non-empty name");
+}
+
+void Element::add_handlers(HandlerRegistry& handlers) {
+  handlers.add_read("class", [this] { return std::string(class_name()); });
+  handlers.add_read("stalls", [this] { return std::to_string(stalls()); });
+}
+
+const HandlerRegistry& Element::handlers() {
+  if (!handlers_built_) {
+    add_handlers(handler_registry_);
+    handlers_built_ = true;
+  }
+  return handler_registry_;
+}
+
+std::string Element::call_read(const std::string& handler) {
+  const Handler* h = handlers().find(handler);
+  FF_CHECK_MSG(h != nullptr, name_ << " (" << class_name() << ") has no handler '"
+                                   << handler << "'");
+  FF_CHECK_MSG(h->readable(), name_ << "." << handler << " is not readable");
+  return h->read();
+}
+
+void Element::call_write(const std::string& handler, const std::string& value) {
+  const Handler* h = handlers().find(handler);
+  FF_CHECK_MSG(h != nullptr, name_ << " (" << class_name() << ") has no handler '"
+                                   << handler << "'");
+  FF_CHECK_MSG(h->writable(), name_ << "." << handler << " is not writable");
+  h->write(value);
+}
+
+void Element::write_at(std::uint64_t pos, const std::string& handler,
+                       const std::string& value) {
+  FF_CHECK_MSG(supports_positioned_writes(),
+               name_ << " (" << class_name()
+                     << ") does not support positioned writes; use call_write at "
+                        "a quiescent point instead");
+  const Handler* h = handlers().find(handler);
+  FF_CHECK_MSG(h != nullptr && h->writable(),
+               name_ << " has no write handler '" << handler << "'");
+  // Sorted by position, FIFO among equal positions (stable insertion).
+  auto it = std::upper_bound(
+      writes_.begin(), writes_.end(), pos,
+      [](std::uint64_t p, const PendingWrite& w) { return p < w.pos; });
+  writes_.insert(it, PendingWrite{pos, handler, value});
+}
+
+void Element::set_port_counts(std::size_t n_inputs, std::size_t n_outputs) {
+  for (const Channel* ch : inputs_)
+    FF_CHECK_MSG(ch == nullptr, name_ << ": port counts can only change before wiring");
+  for (const Channel* ch : outputs_)
+    FF_CHECK_MSG(ch == nullptr, name_ << ": port counts can only change before wiring");
+  inputs_.assign(n_inputs, nullptr);
+  outputs_.assign(n_outputs, nullptr);
 }
 
 Block Element::pop(std::size_t port) {
@@ -70,12 +126,14 @@ void Element::attach_output(std::size_t port, Channel* ch) {
 
 void Element::set_metrics(MetricsRegistry* metrics) {
   metrics_ = metrics;
-  if (!metrics_) return;
-  const std::string prefix = "stream." + name_ + ".";
-  m_blocks_ = prefix + "blocks";
-  m_samples_ = prefix + "samples";
-  m_block_us_ = prefix + "block_us";
-  m_stalls_ = prefix + "stalls";
+  if (metrics_) {
+    const std::string prefix = "stream." + name_ + ".";
+    m_blocks_ = prefix + "blocks";
+    m_samples_ = prefix + "samples";
+    m_block_us_ = prefix + "block_us";
+    m_stalls_ = prefix + "stalls";
+  }
+  on_metrics(metrics);
 }
 
 // ------------------------------------------------------------------ Source
@@ -83,6 +141,17 @@ void Element::set_metrics(MetricsRegistry* metrics) {
 Source::Source(std::string name, std::size_t block_size)
     : Element(std::move(name), 0, 1), block_size_(block_size) {
   FF_CHECK_MSG(block_size_ > 0, "Source block_size must be >= 1");
+}
+
+void Source::add_handlers(HandlerRegistry& handlers) {
+  Element::add_handlers(handlers);
+  handlers.add_read("produced", [this] { return std::to_string(produced()); });
+}
+
+void Source::set_block_size(std::size_t block_size) {
+  FF_CHECK_MSG(block_size > 0, name() << ": block size must be >= 1");
+  FF_CHECK_MSG(pos_ == 0, name() << ": block size can only change before streaming");
+  block_size_ = block_size;
 }
 
 bool Source::work() {
@@ -110,13 +179,55 @@ bool Source::work() {
 
 // --------------------------------------------------------------- Transform
 
+void Transform::process_with_writes(Block& block) {
+  if (writes_.empty()) {
+    process(block);
+    return;
+  }
+  const std::size_t n = block.samples.size();
+  std::size_t off = 0;
+  while (off < n) {
+    // Fire every write due at (or before — late-scheduled positions apply
+    // at the next boundary) the current sample position.
+    while (!writes_.empty() && writes_.front().pos <= block.start + off) {
+      const PendingWrite w = std::move(writes_.front());
+      writes_.erase(writes_.begin());
+      call_write(w.handler, w.value);
+    }
+    std::size_t chunk = n - off;
+    if (!writes_.empty() && writes_.front().pos < block.start + n)
+      chunk = std::min<std::size_t>(
+          chunk, static_cast<std::size_t>(writes_.front().pos - (block.start + off)));
+    if (off == 0 && chunk == n) {
+      // No position falls inside this block: whole-block fast path.
+      process(block);
+      return;
+    }
+    // Process the sub-block [off, off+chunk) as its own Block. The wrapped
+    // kernels are stateful and length-preserving, so piecewise == whole
+    // bit-for-bit, and copying back keeps downstream block structure
+    // unchanged (combiners require block-aligned inputs).
+    Block piece;
+    piece.samples.assign(
+        block.samples.begin() + static_cast<std::ptrdiff_t>(off),
+        block.samples.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+    piece.start = block.start + off;
+    process(piece);
+    FF_CHECK_MSG(piece.samples.size() == chunk,
+                 name() << ": positioned writes need a length-preserving process()");
+    std::copy(piece.samples.begin(), piece.samples.end(),
+              block.samples.begin() + static_cast<std::ptrdiff_t>(off));
+    off += chunk;
+  }
+}
+
 bool Transform::work() {
   bool moved = false;
   while (in_available(0) && out_ready(0)) {
     Block b = pop(0);
     {
       MetricsRegistry::ScopedTimer timer(metrics(), block_timer_name());
-      process(b);
+      process_with_writes(b);
     }
     emit(0, std::move(b));
     moved = true;
@@ -127,7 +238,9 @@ bool Transform::work() {
 }
 
 bool Transform::work_batch(std::size_t max_blocks) {
-  if (max_blocks <= 1) return work();
+  // Pending positioned writes force the per-block path: a write position
+  // must be able to split the exact block containing it.
+  if (max_blocks <= 1 || !writes_.empty()) return work();
   bool moved = false;
   for (;;) {
     std::size_t n = in_count(0);

@@ -28,6 +28,8 @@
 
 #include "common/telemetry.hpp"
 #include "stream/block.hpp"
+#include "stream/handlers.hpp"
+#include "stream/params.hpp"
 
 namespace ff::stream {
 
@@ -68,6 +70,46 @@ class Element {
   std::size_t n_inputs() const { return inputs_.size(); }
   std::size_t n_outputs() const { return outputs_.size(); }
 
+  /// Click-style class name ("Fir", "PacketSource", ...): the name this
+  /// element is declared with in the graph language and registered under in
+  /// the ElementRegistry. A class constant, not the instance name.
+  virtual const char* class_name() const = 0;
+
+  /// Apply declarative key=value configuration (the graph-language path;
+  /// equivalent to the convenience constructors). Must be called before the
+  /// element processes any block. The base class consumes nothing, so any
+  /// key left unread fails Params::check_all_used() with a field-naming
+  /// error — the ElementRegistry runs that check after every configure().
+  virtual void configure(const Params& params) { (void)params; }
+
+  /// This element's handler table, built lazily from add_handlers() on
+  /// first access. Every element carries at least the base read handlers
+  /// `class` and `stalls`.
+  const HandlerRegistry& handlers();
+
+  /// Invoke a read handler by name (FF_CHECK: exists and is readable).
+  std::string call_read(const std::string& handler);
+
+  /// Invoke a write handler immediately (FF_CHECK: exists and is
+  /// writable). Only safe at quiescent points — before/after a run or
+  /// between reference-mode rounds (SchedulerConfig::on_round); for a
+  /// sample-exact mid-stream write under ANY scheduler, use write_at().
+  void call_write(const std::string& handler, const std::string& value);
+
+  /// Queue a write handler to fire at exact input-stream position `pos`:
+  /// the element splits the enclosing block so the write lands between
+  /// samples pos-1 and pos, regardless of block size, batch size, thread
+  /// count or scheduler mode — the determinism contract for live retunes
+  /// (docs/STREAMING.md). A position already consumed applies at the next
+  /// block boundary; one at/after end-of-stream never fires. FF_CHECKs the
+  /// element supports positioned writes (Transforms do) and the handler is
+  /// writable.
+  void write_at(std::uint64_t pos, const std::string& handler, const std::string& value);
+
+  /// True when write_at() queues are applied sample-exactly by this class.
+  virtual bool supports_positioned_writes() const { return false; }
+  std::size_t pending_writes() const { return writes_.size(); }
+
   /// One scheduling opportunity: move whatever the channels allow without
   /// blocking. Returns true when any block was consumed or emitted.
   virtual bool work() = 0;
@@ -90,6 +132,29 @@ class Element {
   std::uint64_t stalls() const { return stalls_; }
 
  protected:
+  /// Register this class's handlers. Overrides call the base first (it
+  /// registers `class` and `stalls`), then add their own.
+  virtual void add_handlers(HandlerRegistry& handlers);
+
+  /// Resize the port arrays (configure-time only: FF_CHECKs every current
+  /// port is still unwired). Lets declarative classes with variable arity
+  /// (Tee) pick their port count from Params.
+  void set_port_counts(std::size_t n_inputs, std::size_t n_outputs);
+
+  /// Hook invoked when a telemetry sink is (un)installed — override to
+  /// forward the registry into wrapped components that record their own
+  /// metrics (e.g. relay::ForwardPipeline).
+  virtual void on_metrics(MetricsRegistry* metrics) { (void)metrics; }
+
+  /// A write handler scheduled at an exact input-stream position
+  /// (write_at); the queue is kept sorted by pos, FIFO among equals.
+  struct PendingWrite {
+    std::uint64_t pos = 0;
+    std::string handler;
+    std::string value;
+  };
+  std::vector<PendingWrite> writes_;
+
   // ---- channel access for concrete elements -------------------------
   bool in_available(std::size_t port) const { return !inputs_[port]->empty(); }
   /// Blocks currently queued on an input.
@@ -141,6 +206,9 @@ class Element {
   std::string m_samples_;   // stream.<name>.samples
   std::string m_block_us_;  // stream.<name>.block_us
   std::string m_stalls_;    // stream.<name>.stalls
+
+  HandlerRegistry handler_registry_;
+  bool handlers_built_ = false;
 };
 
 /// Convenience base for 0-in/1-out sources. Concrete sources implement
@@ -164,6 +232,12 @@ class Source : public Element {
   /// stream tail); must not return an empty vector.
   virtual CVec generate() = 0;
 
+  /// Base handlers plus the `produced` stream-clock read.
+  void add_handlers(HandlerRegistry& handlers) override;
+
+  /// Configure-time block-size change (FF_CHECK: >= 1, nothing emitted yet).
+  void set_block_size(std::size_t block_size);
+
  private:
   std::size_t block_size_;
   std::uint64_t pos_ = 0;
@@ -185,6 +259,13 @@ class Transform : public Element {
   bool work() final;
   bool work_batch(std::size_t max_blocks) override;
 
+  /// Transforms apply write_at() queues sample-exactly: the block containing
+  /// a queued position is processed as split sub-blocks around it, with the
+  /// write handler fired at the boundary. The wrapped kernels are stateful
+  /// and length-preserving, so piecewise processing is bit-identical to
+  /// whole-block processing, and downstream block structure is unchanged.
+  bool supports_positioned_writes() const override { return true; }
+
  protected:
   virtual void process(Block& block) = 0;
   /// Process a run of consecutive blocks (stream order). Must equal
@@ -194,6 +275,11 @@ class Transform : public Element {
   }
 
  private:
+  /// process(), with any due positioned writes applied sample-exactly
+  /// (splits the block when a write position falls inside it). The
+  /// writes_-empty fast path is a single branch on top of process().
+  void process_with_writes(Block& block);
+
   std::vector<Block> batch_;  // work_batch staging (reused across calls)
 };
 
@@ -223,6 +309,9 @@ class SinkBase : public Element {
 
  protected:
   virtual void consume(const Block& block) = 0;
+
+  /// Configure-time throttle change (Params key max_blocks_per_work).
+  void set_max_blocks_per_work(std::size_t n) { max_blocks_per_work_ = n; }
 
  private:
   std::size_t max_blocks_per_work_;

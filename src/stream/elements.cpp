@@ -9,11 +9,34 @@
 
 namespace ff::stream {
 
+namespace {
+
+/// Split one `left:right` list entry at its first colon (path taps, client
+/// registrations). FF_CHECKs the colon is present.
+std::pair<std::string, std::string> split_pair(const std::string& context,
+                                               const std::string& entry) {
+  const auto colon = entry.find(':');
+  FF_CHECK_MSG(colon != std::string::npos,
+               context << ": expected 'a:b', got '" << entry << "'");
+  return {entry.substr(0, colon), entry.substr(colon + 1)};
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- sources
+
+VectorSource::VectorSource(std::string name) : Source(std::move(name), kDefaultBlockSize) {}
 
 VectorSource::VectorSource(std::string name, CVec data, std::size_t block_size)
     : Source(std::move(name), block_size), data_(std::move(data)) {
   FF_CHECK_MSG(!data_.empty(), "VectorSource needs a non-empty record");
+}
+
+void VectorSource::configure(const Params& p) {
+  FF_CHECK_MSG(produced() == 0, name() << ": configure before streaming");
+  data_ = p.get_cvec("data");
+  FF_CHECK_MSG(!data_.empty(), p.context() << ": data: needs a non-empty record");
+  set_block_size(p.get_size_or("block", block_size()));
 }
 
 CVec VectorSource::generate() {
@@ -24,6 +47,9 @@ CVec VectorSource::generate() {
   return out;
 }
 
+PacketSource::PacketSource(std::string name)
+    : PacketSource(std::move(name), PacketSourceConfig{}, kDefaultBlockSize) {}
+
 PacketSource::PacketSource(std::string name, PacketSourceConfig cfg, std::size_t block_size)
     : Source(std::move(name), block_size),
       cfg_(cfg),
@@ -32,6 +58,37 @@ PacketSource::PacketSource(std::string name, PacketSourceConfig cfg, std::size_t
   FF_CHECK_MSG(cfg_.n_packets > 0, "PacketSource needs at least one packet");
   FF_CHECK_MSG(cfg_.payload_bits > 0, "PacketSource needs a non-empty payload");
   FF_CHECK_MSG(cfg_.oversample >= 1, "PacketSource oversample must be >= 1");
+}
+
+void PacketSource::configure(const Params& p) {
+  FF_CHECK_MSG(produced() == 0 && packets_done_ == 0,
+               name() << ": configure before streaming");
+  PacketSourceConfig cfg;
+  cfg.params.fft_size = p.get_size_or("fft_size", cfg.params.fft_size);
+  cfg.params.cp_len = p.get_size_or("cp_len", cfg.params.cp_len);
+  cfg.params.sample_rate_hz = p.get_double_or("rate", cfg.params.sample_rate_hz);
+  cfg.params.carrier_hz = p.get_double_or("carrier", cfg.params.carrier_hz);
+  cfg.params.used_half = p.get_size_or("used_half", cfg.params.used_half);
+  cfg.mcs_index = p.get_int_or("mcs", cfg.mcs_index);
+  cfg.payload_bits = p.get_size_or("payload_bits", cfg.payload_bits);
+  cfg.n_packets = p.get_size_or("packets", cfg.n_packets);
+  cfg.gap_samples = p.get_size_or("gap", cfg.gap_samples);
+  cfg.signature_client =
+      static_cast<std::uint32_t>(p.get_u64_or("signature_client", cfg.signature_client));
+  cfg.oversample = p.get_size_or("oversample", cfg.oversample);
+  cfg.seed = p.get_u64_or("seed", cfg.seed);
+  FF_CHECK_MSG(cfg.n_packets > 0, p.context() << ": packets: must be >= 1");
+  FF_CHECK_MSG(cfg.payload_bits > 0, p.context() << ": payload_bits: must be >= 1");
+  FF_CHECK_MSG(cfg.oversample >= 1, p.context() << ": oversample: must be >= 1");
+  cfg_ = cfg;
+  tx_ = phy::Transmitter(cfg_.params);
+  rng_ = Rng(cfg_.seed);
+  set_block_size(p.get_size_or("block", block_size()));
+}
+
+void PacketSource::add_handlers(HandlerRegistry& h) {
+  Source::add_handlers(h);
+  h.add_read("packets_done", [this] { return std::to_string(packets_done_); });
 }
 
 void PacketSource::stage_next_packet() {
@@ -58,25 +115,153 @@ CVec PacketSource::generate() {
 
 // -------------------------------------------------------------- transforms
 
+FirElement::FirElement(std::string name)
+    : FirElement(std::move(name), CVec{Complex{1.0, 0.0}}) {}
+
 FirElement::FirElement(std::string name, CVec taps)
     : Transform(std::move(name)), fir_(std::move(taps)) {}
+
+void FirElement::configure(const Params& p) {
+  CVec taps = p.get_cvec("taps");
+  FF_CHECK_MSG(!taps.empty(), p.context() << ": taps: needs at least one tap");
+  // set_taps over the all-zero initial delay line is state-identical to
+  // constructing FirFilter(taps) directly — the text path stays bit-exact.
+  fir_.set_taps(std::move(taps));
+}
+
+void FirElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("taps", [this] { return format_cvec(fir_.taps()); });
+  h.add_write("set_taps", [this](const std::string& v) {
+    CVec taps = parse_cvec_value(name() + ".set_taps", v);
+    FF_CHECK_MSG(!taps.empty(), name() << ".set_taps: needs at least one tap");
+    fir_.set_taps(std::move(taps));
+  });
+}
 
 void FirElement::process(Block& block) {
   fir_.process_into(block.samples, block.samples);
 }
 
+CfoElement::CfoElement(std::string name) : CfoElement(std::move(name), 0.0, 20e6) {}
+
 CfoElement::CfoElement(std::string name, double cfo_hz, double sample_rate_hz)
-    : Transform(std::move(name)), rot_(cfo_hz, sample_rate_hz) {}
+    : Transform(std::move(name)), rot_(cfo_hz, sample_rate_hz),
+      sample_rate_hz_(sample_rate_hz) {}
+
+void CfoElement::configure(const Params& p) {
+  sample_rate_hz_ = p.get_double_or("rate", sample_rate_hz_);
+  FF_CHECK_MSG(sample_rate_hz_ > 0.0, p.context() << ": rate: must be positive");
+  // set_cfo at phase 0 is state-identical to constructing the rotator.
+  rot_.set_cfo(p.get_double("hz"), sample_rate_hz_);
+}
+
+void CfoElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("cfo_hz", [this] { return format_double(rot_.cfo_hz()); });
+  h.add_read("phase", [this] { return format_double(rot_.phase()); });
+  h.add_write("set_cfo", [this](const std::string& v) {
+    rot_.set_cfo(parse_double_value(name() + ".set_cfo", v), sample_rate_hz_);
+  });
+}
 
 void CfoElement::process(Block& block) {
   rot_.process_into(block.samples, block.samples);
 }
 
+PipelineElement::PipelineElement(std::string name)
+    : PipelineElement(std::move(name), relay::PipelineConfig{}) {}
+
 PipelineElement::PipelineElement(std::string name, relay::PipelineConfig cfg)
     : Transform(std::move(name)), pipeline_(std::move(cfg)) {}
 
+void PipelineElement::configure(const Params& p) {
+  relay::PipelineConfig cfg;
+  cfg.sample_rate_hz = p.get_double_or("rate", cfg.sample_rate_hz);
+  cfg.adc_dac_delay_samples = p.get_size_or("adc_dac_delay", cfg.adc_dac_delay_samples);
+  cfg.extra_buffer_samples = p.get_size_or("extra_buffer", cfg.extra_buffer_samples);
+  cfg.cfo_hz = p.get_double_or("cfo_hz", cfg.cfo_hz);
+  cfg.restore_cfo = p.get_bool_or("restore_cfo", cfg.restore_cfo);
+  cfg.prefilter = p.get_cvec_or("prefilter", cfg.prefilter);
+  FF_CHECK_MSG(!cfg.prefilter.empty(), p.context() << ": prefilter: needs >= 1 tap");
+  cfg.analog_rotation = p.get_complex_or("analog_rotation", cfg.analog_rotation);
+  cfg.gain_db = p.get_double_or("gain_db", cfg.gain_db);
+  cfg.tx_filter = p.get_cvec_or("tx_filter", cfg.tx_filter);
+  cfg.scrub_nonfinite = p.get_bool_or("scrub_nonfinite", cfg.scrub_nonfinite);
+  pipeline_ = relay::ForwardPipeline(std::move(cfg));
+}
+
+void PipelineElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("scrubbed",
+             [this] { return std::to_string(pipeline_.scrubbed_samples()); });
+  h.add_read("max_delay_s", [this] { return format_double(pipeline_.max_delay_s()); });
+}
+
+void PipelineElement::on_metrics(MetricsRegistry* metrics) {
+  pipeline_.set_metrics(metrics);
+}
+
 void PipelineElement::process(Block& block) {
   pipeline_.process_into(block.samples, block.samples);
+}
+
+ChannelElement::ChannelElement(std::string name)
+    : ChannelElement(std::move(name), ChannelElementConfig{}) {}
+
+void ChannelElement::configure(const Params& p) {
+  FF_CHECK_MSG(pos_ == 0, name() << ": configure before streaming");
+  ChannelElementConfig cfg;
+  std::vector<channel::PathTap> taps;
+  if (p.has("paths")) {
+    const std::string ctx = p.context() + ": paths";
+    for (const std::string& entry : split_list_value(p.get_string("paths"))) {
+      const auto [delay, amp] = split_pair(ctx, entry);
+      taps.push_back(channel::PathTap{parse_double_value(ctx, delay),
+                                      parse_complex_value(ctx, amp)});
+    }
+  }
+  const double fc = p.get_double_or("fc", 2.45e9);
+  cfg.channel = channel::MultipathChannel(std::move(taps), fc);
+  cfg.sample_rate_hz = p.get_double_or("rate", cfg.sample_rate_hz);
+  cfg.delay_ref_s = p.get_double_or("delay_ref", cfg.delay_ref_s);
+  cfg.sinc_half_width = p.get_size_or("sinc_half_width", cfg.sinc_half_width);
+  cfg.noise_power = p.get_double_or("noise", cfg.noise_power);
+  cfg.coherence_time_s = p.get_double_or("coherence", cfg.coherence_time_s);
+  cfg.retune_interval_samples = p.get_size_or("retune_interval", cfg.retune_interval_samples);
+  cfg.seed = p.get_u64_or("seed", cfg.seed);
+  FF_CHECK_MSG(cfg.sample_rate_hz > 0.0, p.context() << ": rate: must be positive");
+  FF_CHECK_MSG(cfg.noise_power >= 0.0, p.context() << ": noise: must be >= 0");
+  FF_CHECK_MSG(cfg.coherence_time_s >= 0.0, p.context() << ": coherence: must be >= 0");
+  cfg_ = std::move(cfg);
+  drift_ = net::DriftingChannel(cfg_.channel,
+                                cfg_.coherence_time_s > 0.0 ? cfg_.coherence_time_s : 1.0);
+  fir_ = dsp::FirFilter(cfg_.channel.empty()
+                            ? CVec{Complex{}}
+                            : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                                  cfg_.sinc_half_width));
+  noise_rng_ = Rng(cfg_.seed).fork(fnv1a_64("noise"));
+  drift_rng_ = Rng(cfg_.seed).fork(fnv1a_64("drift"));
+  retunes_ = 0;
+}
+
+void ChannelElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("retunes", [this] { return std::to_string(retunes_); });
+  // Manual retune: advance the drift process by dt seconds and
+  // re-discretize (history-preserving). The scheduled retune_interval
+  // machinery is unaffected; this is the hook for externally-driven
+  // channel swaps while the stream runs.
+  h.add_write("retune", [this](const std::string& v) {
+    const double dt = parse_double_value(name() + ".retune", v);
+    FF_CHECK_MSG(dt > 0.0, name() << ".retune: dt must be positive seconds");
+    FF_CHECK_MSG(cfg_.coherence_time_s > 0.0,
+                 name() << ".retune: needs a drifting channel (coherence > 0)");
+    drift_.advance(dt, drift_rng_);
+    fir_.set_taps(drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                      cfg_.sinc_half_width));
+    ++retunes_;
+  });
 }
 
 ChannelElement::ChannelElement(std::string name, ChannelElementConfig cfg)
@@ -129,16 +314,83 @@ void ChannelElement::process(Block& block) {
   }
 }
 
+FaultElement::FaultElement(std::string name)
+    : FaultElement(std::move(name), eval::FaultConfig{}) {}
+
 FaultElement::FaultElement(std::string name, eval::FaultConfig cfg)
     : Transform(std::move(name)), injector_(cfg) {}
 
+void FaultElement::configure(const Params& p) {
+  FF_CHECK_MSG(injector_.samples_seen() == 0, name() << ": configure before streaming");
+  eval::FaultConfig cfg;
+  cfg.sample_drop_rate = p.get_double_or("drop", cfg.sample_drop_rate);
+  cfg.sample_corrupt_rate = p.get_double_or("corrupt", cfg.sample_corrupt_rate);
+  cfg.sample_nan_rate = p.get_double_or("nan", cfg.sample_nan_rate);
+  cfg.corrupt_amplitude = p.get_double_or("corrupt_amplitude", cfg.corrupt_amplitude);
+  cfg.estimate_sigma = p.get_double_or("estimate_sigma", cfg.estimate_sigma);
+  cfg.sounding_failure_rate = p.get_double_or("sounding_failure", cfg.sounding_failure_rate);
+  cfg.seed = p.get_u64_or("seed", cfg.seed);
+  // FaultInjector's constructor validates every rate/amplitude, so a bad
+  // value fails here with the field named by the Params context.
+  injector_ = eval::FaultInjector(cfg);
+}
+
+void FaultElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("samples_seen", [this] { return std::to_string(injector_.samples_seen()); });
+  h.add_read("dropped", [this] { return std::to_string(injector_.samples_dropped()); });
+  h.add_read("corrupted", [this] { return std::to_string(injector_.samples_corrupted()); });
+  h.add_read("poisoned", [this] { return std::to_string(injector_.samples_poisoned()); });
+}
+
 void FaultElement::process(Block& block) { injector_.apply(block.samples); }
+
+GateElement::GateElement(std::string name)
+    : Transform(std::move(name)), detector_(), window_(1) {}
 
 GateElement::GateElement(std::string name, ident::PnSignatureDetector detector,
                          std::size_t window)
     : Transform(std::move(name)), detector_(std::move(detector)), window_(window) {
   FF_CHECK_MSG(window_ > 0, "GateElement needs a positive decision window");
   buffer_.reserve(window_);
+}
+
+void GateElement::configure(const Params& p) {
+  FF_CHECK_MSG(!decided_ && buffer_.empty(), name() << ": configure before streaming");
+  window_ = p.get_size("window");
+  FF_CHECK_MSG(window_ > 0, p.context() << ": window: must be >= 1");
+  const double threshold = p.get_double_or("threshold", 0.6);
+  FF_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+               p.context() << ": threshold: must be in (0, 1], got " << threshold);
+  detector_ = ident::PnSignatureDetector(threshold);
+  const std::string ctx = p.context() + ": clients";
+  const auto entries = split_list_value(p.get_string("clients"));
+  FF_CHECK_MSG(!entries.empty(), ctx << ": needs at least one id:len registration");
+  for (const std::string& entry : entries) {
+    const auto [id, len] = split_pair(ctx, entry);
+    const std::uint64_t client = parse_u64_value(ctx, id);
+    const std::uint64_t sig_len = parse_u64_value(ctx, len);
+    FF_CHECK_MSG(sig_len >= 1, ctx << ": signature length must be >= 1");
+    detector_.register_client(static_cast<std::uint32_t>(client),
+                              static_cast<std::size_t>(sig_len));
+  }
+  buffer_.reserve(window_);
+}
+
+void GateElement::add_handlers(HandlerRegistry& h) {
+  Transform::add_handlers(h);
+  h.add_read("decided", [this] { return decided_ ? std::string("true") : std::string("false"); });
+  h.add_read("client", [this] {
+    return decision_ ? std::to_string(decision_->client) : std::string("none");
+  });
+  // Force the gate decision (true = pass, false = mute), overriding
+  // detection — the operator's override for a stuck or misdetected gate.
+  h.add_write("set_open", [this](const std::string& v) {
+    pass_ = parse_bool_value(name() + ".set_open", v);
+    decided_ = true;
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+  });
 }
 
 void GateElement::process(Block& block) {
@@ -163,8 +415,16 @@ void GateElement::process(Block& block) {
 
 // --------------------------------------------------------------- plumbing
 
+Tee::Tee(std::string name) : Tee(std::move(name), 2) {}
+
 Tee::Tee(std::string name, std::size_t n_outputs) : Element(std::move(name), 1, n_outputs) {
   FF_CHECK_MSG(n_outputs >= 2, "Tee needs at least two outputs (use a wire otherwise)");
+}
+
+void Tee::configure(const Params& p) {
+  const std::size_t outputs = p.get_size_or("outputs", n_outputs());
+  FF_CHECK_MSG(outputs >= 2, p.context() << ": outputs: must be >= 2");
+  set_port_counts(1, outputs);
 }
 
 bool Tee::work() {
@@ -202,10 +462,30 @@ CVec CancellerElement::or_zero_tap(CVec taps) {
   return taps;
 }
 
+CancellerElement::CancellerElement(std::string name)
+    : CancellerElement(std::move(name), CVec{}, CVec{}) {}
+
 CancellerElement::CancellerElement(std::string name, CVec analog_fir, CVec digital_taps)
     : Combine2(std::move(name)),
       analog_(or_zero_tap(std::move(analog_fir))),
       digital_(or_zero_tap(std::move(digital_taps))) {}
+
+void CancellerElement::configure(const Params& p) {
+  analog_.set_taps(or_zero_tap(p.get_cvec_or("analog", CVec{})));
+  digital_.set_taps(or_zero_tap(p.get_cvec_or("digital", CVec{})));
+}
+
+void CancellerElement::add_handlers(HandlerRegistry& h) {
+  Combine2::add_handlers(h);
+  h.add_read("analog_taps", [this] { return format_cvec(analog_.taps()); });
+  h.add_read("digital_taps", [this] { return format_cvec(digital_.taps()); });
+  h.add_write("set_analog_taps", [this](const std::string& v) {
+    analog_.set_taps(or_zero_tap(parse_cvec_value(name() + ".set_analog_taps", v)));
+  });
+  h.add_write("set_digital_taps", [this](const std::string& v) {
+    digital_.set_taps(or_zero_tap(parse_cvec_value(name() + ".set_digital_taps", v)));
+  });
+}
 
 CancellerElement::CancellerElement(std::string name, const fd::CancellationStack& stack)
     : CancellerElement(std::move(name), stack.analog_fir(), stack.digital().taps()) {
@@ -245,6 +525,16 @@ void CancellerElement::process(Block& rx, const Block& tx) {
 AccumulatorSink::AccumulatorSink(std::string name, std::size_t max_blocks_per_work)
     : SinkBase(std::move(name), max_blocks_per_work) {}
 
+void AccumulatorSink::configure(const Params& p) {
+  set_max_blocks_per_work(p.get_size_or("max_blocks_per_work", 0));
+}
+
+void AccumulatorSink::add_handlers(HandlerRegistry& h) {
+  SinkBase::add_handlers(h);
+  h.add_read("samples", [this] { return std::to_string(samples_.size()); });
+  h.add_read("blocks", [this] { return std::to_string(blocks_seen_); });
+}
+
 void AccumulatorSink::consume(const Block& block) {
   FF_CHECK_MSG(block.start == samples_.size(),
                name() << " received out-of-order block: starts at " << block.start
@@ -255,6 +545,16 @@ void AccumulatorSink::consume(const Block& block) {
 
 NullSink::NullSink(std::string name, std::size_t max_blocks_per_work)
     : SinkBase(std::move(name), max_blocks_per_work) {}
+
+void NullSink::configure(const Params& p) {
+  set_max_blocks_per_work(p.get_size_or("max_blocks_per_work", 0));
+}
+
+void NullSink::add_handlers(HandlerRegistry& h) {
+  SinkBase::add_handlers(h);
+  h.add_read("samples_seen", [this] { return std::to_string(samples_seen_); });
+  h.add_read("mean_power", [this] { return format_double(mean_power()); });
+}
 
 void NullSink::consume(const Block& block) {
   for (const Complex s : block.samples) power_acc_ += std::norm(s);

@@ -29,11 +29,21 @@ namespace ff::stream {
 
 // ---------------------------------------------------------------- sources
 
+/// Default block size for declaratively-constructed sources that don't
+/// specify `block=`.
+inline constexpr std::size_t kDefaultBlockSize = 256;
+
 /// Replays a fixed sample record (a captured trace, a precomputed packet)
 /// as a stream of `block_size` blocks.
+///
+/// Params: data (complex list, required), block (default 256).
 class VectorSource : public Source {
  public:
+  explicit VectorSource(std::string name);
   VectorSource(std::string name, CVec data, std::size_t block_size);
+
+  const char* class_name() const override { return "VectorSource"; }
+  void configure(const Params& params) override;
 
  protected:
   bool exhausted() const override { return offset_ >= data_.size(); }
@@ -65,13 +75,24 @@ struct PacketSourceConfig {
 /// Generates a deterministic sequence of modulated packets with random
 /// payloads, lazily one packet at a time (a session of N packets never
 /// holds more than one packet of staging memory).
+///
+/// Params: packets, payload_bits, gap, signature_client, oversample, seed,
+/// mcs, block, plus OFDM numerology overrides fft_size, cp_len, rate,
+/// carrier, used_half (defaults = the WiFi-20 prototype PHY).
 class PacketSource : public Source {
  public:
+  explicit PacketSource(std::string name);
   PacketSource(std::string name, PacketSourceConfig cfg, std::size_t block_size);
 
+  const char* class_name() const override { return "PacketSource"; }
+  void configure(const Params& params) override;
+
   const PacketSourceConfig& config() const { return cfg_; }
+  std::size_t packets_done() const { return packets_done_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
+
   bool exhausted() const override {
     return packets_done_ == cfg_.n_packets && offset_ >= staging_.size();
   }
@@ -92,13 +113,21 @@ class PacketSource : public Source {
 
 /// Stateful FIR filtering (dsp::FirFilter): the delay line spans block
 /// boundaries, so streaming equals one batch dsp::filter() call bit-for-bit.
+///
+/// Params: taps (complex list, required).
+/// Handlers: taps (read), set_taps (write, history-preserving live retune).
 class FirElement : public Transform {
  public:
+  explicit FirElement(std::string name);
   FirElement(std::string name, CVec taps);
+
+  const char* class_name() const override { return "Fir"; }
+  void configure(const Params& params) override;
 
   const dsp::FirFilter& filter() const { return fir_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& block) override;
 
  private:
@@ -106,29 +135,48 @@ class FirElement : public Transform {
 };
 
 /// Phase-continuous CFO rotation (channel::CfoRotator).
+///
+/// Params: hz (required), rate (default 20e6).
+/// Handlers: cfo_hz, phase (read), set_cfo (write, phase-continuous retune).
 class CfoElement : public Transform {
  public:
+  explicit CfoElement(std::string name);
   CfoElement(std::string name, double cfo_hz, double sample_rate_hz);
+
+  const char* class_name() const override { return "Cfo"; }
+  void configure(const Params& params) override;
 
   const channel::CfoRotator& rotator() const { return rot_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& block) override;
 
  private:
   channel::CfoRotator rot_;
+  double sample_rate_hz_;
 };
 
 /// The relay's forward path (relay::ForwardPipeline) as a stream stage:
 /// CFO remove -> digital CNF -> CFO restore -> amplify -> analog CNF ->
 /// TX filter / bulk delay, all stateful across blocks.
+/// Params: rate, adc_dac_delay, extra_buffer, cfo_hz, restore_cfo,
+/// prefilter (complex list), analog_rotation, gain_db, tx_filter
+/// (complex list), scrub_nonfinite.
+/// Handlers: scrubbed, max_delay_s (read).
 class PipelineElement : public Transform {
  public:
+  explicit PipelineElement(std::string name);
   PipelineElement(std::string name, relay::PipelineConfig cfg);
+
+  const char* class_name() const override { return "Pipeline"; }
+  void configure(const Params& params) override;
 
   const relay::ForwardPipeline& pipeline() const { return pipeline_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
+  void on_metrics(MetricsRegistry* metrics) override;
   void process(Block& block) override;
 
  private:
@@ -160,15 +208,25 @@ struct ChannelElementConfig {
 /// at exact sample positions. Drift changes amplitudes, never delays, so
 /// the FIR length is constant and set_taps() keeps the delay-line history
 /// across retunes (no re-discretization transient).
+/// Params: paths (list of `delay:amp` entries, amp complex), fc (carrier,
+/// default 2.45e9), rate, delay_ref, sinc_half_width, noise, coherence,
+/// retune_interval, seed.
+/// Handlers: retunes (read), retune (write: advance drift by the given dt
+/// seconds and re-discretize — a manual retune step).
 class ChannelElement : public Transform {
  public:
+  explicit ChannelElement(std::string name);
   ChannelElement(std::string name, ChannelElementConfig cfg);
+
+  const char* class_name() const override { return "Channel"; }
+  void configure(const Params& params) override;
 
   const ChannelElementConfig& config() const { return cfg_; }
   /// Retunes performed so far (drift steps applied to the FIR).
   std::uint64_t retunes() const { return retunes_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& block) override;
 
  private:
@@ -188,13 +246,22 @@ class ChannelElement : public Transform {
 
 /// Deterministic front-end faults (eval::FaultInjector) applied in stream
 /// order; the injector's schedules are already batch-invariant by design.
+/// Params: drop, corrupt, nan (rates in [0,1]), corrupt_amplitude,
+/// estimate_sigma, sounding_failure, seed — all routed through
+/// FaultInjector's own validation, so a bad rate names the field.
+/// Handlers: samples_seen, dropped, corrupted, poisoned (read).
 class FaultElement : public Transform {
  public:
+  explicit FaultElement(std::string name);
   FaultElement(std::string name, eval::FaultConfig cfg);
+
+  const char* class_name() const override { return "Fault"; }
+  void configure(const Params& params) override;
 
   const eval::FaultInjector& injector() const { return injector_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& block) override;
 
  private:
@@ -207,9 +274,17 @@ class FaultElement : public Transform {
 /// `window` (or end-of-stream if shorter) — a sample-exact decision point,
 /// so gating is block-size invariant. Before the decision the output is
 /// muted (zeros); after it, samples pass iff a signature matched.
+/// Params: window (required, >= 1), clients (required, list of `id:len`
+/// signature registrations), threshold (default 0.6, in (0, 1]).
+/// Handlers: decided, client (read), set_open (write: force the gate
+/// decision — true opens, false mutes; overrides detection).
 class GateElement : public Transform {
  public:
+  explicit GateElement(std::string name);
   GateElement(std::string name, ident::PnSignatureDetector detector, std::size_t window);
+
+  const char* class_name() const override { return "Gate"; }
+  void configure(const Params& params) override;
 
   /// The decision, once made (empty optional before, and forever when no
   /// signature matched).
@@ -217,6 +292,7 @@ class GateElement : public Transform {
   bool decided() const { return decided_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& block) override;
 
  private:
@@ -238,6 +314,8 @@ class Queue : public Transform {
  public:
   explicit Queue(std::string name) : Transform(std::move(name)) {}
 
+  const char* class_name() const override { return "Queue"; }
+
  protected:
   void process(Block&) override {}
   /// A queue moves blocks untouched, so the batch path needs no per-block
@@ -249,9 +327,15 @@ class Queue : public Transform {
 /// signal splitter — e.g. the over-the-air signal reaching both the direct
 /// path and the relay). Pops only when every output can accept the copy,
 /// so one slow branch backpressures the other.
+///
+/// Params: outputs (default 2, >= 2).
 class Tee : public Element {
  public:
+  explicit Tee(std::string name);
   Tee(std::string name, std::size_t n_outputs);
+
+  const char* class_name() const override { return "Tee"; }
+  void configure(const Params& params) override;
 
   bool work() override;
 };
@@ -260,6 +344,8 @@ class Tee : public Element {
 class Add2 : public Combine2 {
  public:
   explicit Add2(std::string name) : Combine2(std::move(name)) {}
+
+  const char* class_name() const override { return "Add2"; }
 
  protected:
   void process(Block& a, const Block& b) override;
@@ -271,13 +357,21 @@ class Add2 : public Combine2 {
 /// i.e. fd::CancellationStack::apply() restated with stateful FIRs so it
 /// runs online. Requires a causal digital stage (lookahead 0) — the paper's
 /// whole point (Sec. 3.3) is that the causal canceller needs no future tx.
+/// Params: analog, digital (complex lists, either may be omitted).
+/// Handlers: analog_taps, digital_taps (read), set_analog_taps,
+/// set_digital_taps (write, history-preserving live retunes).
 class CancellerElement : public Combine2 {
  public:
+  explicit CancellerElement(std::string name);
+
   /// From raw tap sets (empty digital taps = analog stage only).
   CancellerElement(std::string name, CVec analog_fir, CVec digital_taps);
 
   /// From a tuned stack (FF_CHECKs tuned() and a causal digital stage).
   CancellerElement(std::string name, const fd::CancellationStack& stack);
+
+  const char* class_name() const override { return "Canceller"; }
+  void configure(const Params& params) override;
 
   /// The steady-state hot loop: cancel one aligned block in place
   /// (rx[i] = (rx[i] - analog[i]) - digital[i], both stages stateful).
@@ -288,6 +382,7 @@ class CancellerElement : public Combine2 {
   void cancel_into(CMutSpan rx, CSpan tx);
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void process(Block& rx, const Block& tx) override;
 
  private:
@@ -307,11 +402,15 @@ class AccumulatorSink : public SinkBase {
  public:
   explicit AccumulatorSink(std::string name, std::size_t max_blocks_per_work = 0);
 
+  const char* class_name() const override { return "AccumulatorSink"; }
+  void configure(const Params& params) override;
+
   const CVec& samples() const { return samples_; }
   CVec take() { return std::move(samples_); }
   std::uint64_t blocks_seen() const { return blocks_seen_; }
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void consume(const Block& block) override;
 
  private:
@@ -325,11 +424,15 @@ class NullSink : public SinkBase {
  public:
   explicit NullSink(std::string name, std::size_t max_blocks_per_work = 0);
 
+  const char* class_name() const override { return "NullSink"; }
+  void configure(const Params& params) override;
+
   std::uint64_t samples_seen() const { return samples_seen_; }
   /// Mean |x|^2 over everything consumed (0 before any sample).
   double mean_power() const;
 
  protected:
+  void add_handlers(HandlerRegistry& handlers) override;
   void consume(const Block& block) override;
 
  private:

@@ -25,6 +25,33 @@ void Graph::connect(Element& from, std::size_t out_port, Element& to, std::size_
   invalidate();
 }
 
+Element* Graph::find(const std::string& name) const {
+  for (const auto& e : elements_)
+    if (e->name() == name) return e.get();
+  return nullptr;
+}
+
+Element& Graph::at(const std::string& name) const {
+  Element* e = find(name);
+  if (!e) {
+    std::string known;
+    for (const auto& el : elements_) {
+      if (!known.empty()) known += ", ";
+      known += el->name();
+    }
+    FF_CHECK_MSG(false, "no element named '" << name << "' (have: " << known << ")");
+  }
+  return *e;
+}
+
+const Handler& Graph::handler(const std::string& elem, const std::string& name) {
+  Element& e = at(elem);
+  const Handler* h = e.handlers().find(name);
+  FF_CHECK_MSG(h != nullptr, elem << " (" << e.class_name() << ") has no handler '"
+                                  << name << "'");
+  return *h;
+}
+
 void Graph::validate() {
   if (validated_) return;
   FF_CHECK_MSG(!elements_.empty(), "stream graph has no elements");

@@ -57,6 +57,21 @@ class Graph {
   std::size_t n_elements() const { return elements_.size(); }
   std::size_t n_channels() const { return channels_.size(); }
 
+  /// Look up an element by instance name (nullptr when absent).
+  Element* find(const std::string& name) const;
+  /// Look up an element by instance name (FF_CHECK: present, naming the
+  /// known elements in the error).
+  Element& at(const std::string& name) const;
+
+  /// The handler `elem.name` (FF_CHECK: element and handler both exist) —
+  /// the runtime introspection surface: call h.read() / h.write(value) at a
+  /// quiescent point (between reference-mode rounds, or before/after a
+  /// run); for sample-exact mid-stream writes use Element::write_at.
+  const Handler& handler(const std::string& elem, const std::string& name);
+
+  /// The owned elements, insertion order (e.g. for handler catalogs).
+  const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
+
   /// Every channel closed and empty: the run is complete.
   bool finished() const;
 

@@ -1,0 +1,35 @@
+#include "stream/handlers.hpp"
+
+#include "common/check.hpp"
+
+namespace ff::stream {
+
+Handler& HandlerRegistry::at_or_new(const std::string& name) {
+  for (Handler& h : handlers_)
+    if (h.name == name) return h;
+  handlers_.push_back(Handler{name, {}, {}});
+  return handlers_.back();
+}
+
+void HandlerRegistry::add_read(const std::string& name, std::function<std::string()> fn) {
+  FF_CHECK_MSG(!name.empty() && fn, "read handler needs a name and a function");
+  Handler& h = at_or_new(name);
+  FF_CHECK_MSG(!h.readable(), "read handler '" << name << "' registered twice");
+  h.read = std::move(fn);
+}
+
+void HandlerRegistry::add_write(const std::string& name,
+                                std::function<void(const std::string&)> fn) {
+  FF_CHECK_MSG(!name.empty() && fn, "write handler needs a name and a function");
+  Handler& h = at_or_new(name);
+  FF_CHECK_MSG(!h.writable(), "write handler '" << name << "' registered twice");
+  h.write = std::move(fn);
+}
+
+const Handler* HandlerRegistry::find(const std::string& name) const {
+  for (const Handler& h : handlers_)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+}  // namespace ff::stream

@@ -1,0 +1,103 @@
+// Typed key=value configuration for declarative element construction.
+//
+// A Params carries the parsed `key=value` pairs of one element declaration
+// in the graph language (lang.hpp) — or, equivalently, of one programmatic
+// Element::configure() call. Values are stored as raw text; the typed
+// getters parse on demand with FF_CHECK errors that name the owning element
+// and the offending field ("Fir 'fir': taps: expected a complex list"), so
+// a typo in a 40-line graph file fails crisply instead of deep inside DSP.
+//
+// Getters mark their key as consumed; check_all_used() then rejects any
+// leftover key — the "unknown parameter" diagnostic that catches
+// `Fir(tap=...)` (the ElementRegistry calls it after every configure()).
+//
+// Value syntax (shared with write-handler values, docs/STREAMING.md):
+//   double    3.25, -110, 2e6          (finite; inf/nan rejected)
+//   bool      true | false | 1 | 0
+//   complex   (re,im)  or a bare real
+//   list      comma-separated entries; parentheses protect inner commas,
+//             so taps=(0.8,-0.6),(0.1,0) is two complex taps
+// The format_* helpers print values that round-trip bit-exactly (%.17g),
+// which is what makes a text-built graph reproduce a hand-wired one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ff::stream {
+
+class Params {
+ public:
+  Params() = default;
+
+  /// Name the owner for error messages (e.g. "Fir 'fir'"). Set by the
+  /// ElementRegistry before configure(); empty = messages omit the owner.
+  void set_context(std::string context) { context_ = std::move(context); }
+  const std::string& context() const { return context_; }
+
+  /// Insert a key (FF_CHECK: a duplicate key is a configuration bug).
+  void set(const std::string& key, std::string value);
+  bool has(const std::string& key) const;
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Insertion-ordered view (keys print back in declaration order).
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+
+  // ---- typed getters -------------------------------------------------
+  // The plain forms FF_CHECK the key is present; the *_or forms fall back.
+  // Every getter marks the key consumed (see check_all_used).
+  std::string get_string(const std::string& key) const;
+  std::string get_string_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key) const;
+  std::size_t get_size_or(const std::string& key, std::size_t fallback) const;
+  std::uint64_t get_u64(const std::string& key) const;
+  std::uint64_t get_u64_or(const std::string& key, std::uint64_t fallback) const;
+  int get_int(const std::string& key) const;
+  int get_int_or(const std::string& key, int fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+  Complex get_complex(const std::string& key) const;
+  Complex get_complex_or(const std::string& key, Complex fallback) const;
+  CVec get_cvec(const std::string& key) const;
+  CVec get_cvec_or(const std::string& key, CVec fallback) const;
+
+  /// FF_CHECK every key was consumed by a getter — the unknown-parameter
+  /// diagnostic, naming the first leftover key.
+  void check_all_used() const;
+
+ private:
+  const std::string* find(const std::string& key) const;
+  const std::string& require(const std::string& key) const;
+  [[noreturn]] void fail(const std::string& key, const std::string& what) const;
+
+  std::string context_;
+  std::vector<std::pair<std::string, std::string>> items_;
+  mutable std::vector<bool> used_;  // parallel to items_
+};
+
+// ---- value parsing shared with write handlers ------------------------
+// `context` prefixes the FF_CHECK message ("fir: set_taps"); pass what the
+// reader should grep for.
+double parse_double_value(const std::string& context, const std::string& text);
+bool parse_bool_value(const std::string& context, const std::string& text);
+std::uint64_t parse_u64_value(const std::string& context, const std::string& text);
+Complex parse_complex_value(const std::string& context, const std::string& text);
+CVec parse_cvec_value(const std::string& context, const std::string& text);
+/// Split a list value at top-level commas (parentheses protect inner ones).
+std::vector<std::string> split_list_value(const std::string& text);
+
+// ---- exact round-trip formatting -------------------------------------
+std::string format_double(double v);
+std::string format_complex(Complex v);
+std::string format_cvec(CSpan v);
+
+}  // namespace ff::stream

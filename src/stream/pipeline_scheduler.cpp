@@ -111,6 +111,10 @@ struct Chain {
 }  // namespace
 
 std::uint64_t Scheduler::run_throughput() {
+  FF_CHECK_MSG(!cfg_.on_round,
+               "SchedulerConfig.on_round is reference-mode only: the throughput "
+               "pipeline has no global quiescent point between rounds — queue "
+               "sample-exact writes with Element::write_at instead");
   graph_.validate();
   graph_.set_metrics(cfg_.metrics);
 

@@ -40,6 +40,10 @@ std::uint64_t Scheduler::run_reference() {
       }
     }
     ++rounds;
+    // Quiescent point: every element's work() for this round has returned,
+    // and none runs until the next round starts — live handler calls here
+    // observe and mutate element state race-free.
+    if (cfg_.on_round) cfg_.on_round(rounds);
     if (graph_.finished()) break;
     FF_CHECK_MSG(any_moved,
                  "stream graph stalled after " << rounds

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "stream/graph.hpp"
 
@@ -80,6 +81,16 @@ struct SchedulerConfig {
   /// across any ring (and no chain makes local progress) for this long.
   /// The error lists per-chain ring occupancies. 0 = disabled.
   double watchdog_ms = 10000.0;
+
+  /// Reference mode: invoked after every round (with the 1-based round
+  /// number) at the global quiescent point — no element is mid-work, so
+  /// this is the safe place to call live read/write handlers
+  /// (Graph::handler) or queue positioned writes. Must not change the
+  /// graph topology. The round structure is thread-count independent, so
+  /// handler calls made here keep the determinism contract. Throughput
+  /// mode has no global quiescent point and FF_CHECKs this is empty —
+  /// use Element::write_at for sample-exact writes there.
+  std::function<void(std::uint64_t round)> on_round;
 };
 
 class Scheduler {

@@ -165,5 +165,52 @@ TEST(StreamCli, ValidateRejectsDegenerateValues) {
   EXPECT_TRUE(parse_one("--mode=throughput"));
 }
 
+TEST(StreamCli, GraphAndSetOptions) {
+  StreamCli stream;
+  Cli cli("test", "test program");
+  stream.register_options(cli);
+  char arg0[] = "test";
+  char arg1[] = "--graph=session.ff";
+  char arg2[] = "--set";
+  char arg3[] = "fir.set_taps=(0.9,0),(0.1,0)";
+  char arg4[] = "--set=cfo.set_cfo=1500";
+  char* argv[] = {arg0, arg1, arg2, arg3, arg4};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_TRUE(stream.validate());
+  EXPECT_EQ(stream.graph(), "session.ff");
+
+  // --set is repeatable and keeps argv order.
+  ASSERT_EQ(stream.sets().size(), 2u);
+  const auto writes = stream.writes();
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0].element, "fir");
+  EXPECT_EQ(writes[0].handler, "set_taps");
+  // The value is everything after the first '=', inner '='-free commas kept.
+  EXPECT_EQ(writes[0].value, "(0.9,0),(0.1,0)");
+  EXPECT_EQ(writes[1].element, "cfo");
+  EXPECT_EQ(writes[1].handler, "set_cfo");
+  EXPECT_EQ(writes[1].value, "1500");
+}
+
+TEST(StreamCli, ValidateRejectsMalformedSet) {
+  const auto set_one = [](const char* set_value) {
+    StreamCli stream;
+    Cli cli("test", "test program");
+    stream.register_options(cli);
+    char arg0[] = "test";
+    char arg1[] = "--set";
+    std::string owned(set_value);
+    char* argv[] = {arg0, arg1, owned.data()};
+    EXPECT_TRUE(cli.parse(3, argv)) << set_value;
+    return stream.validate();
+  };
+  EXPECT_FALSE(set_one("no-equals"));          // no '=' at all
+  EXPECT_FALSE(set_one("nodot=value"));        // no elem.handler split
+  EXPECT_FALSE(set_one(".handler=value"));     // empty element
+  EXPECT_FALSE(set_one("elem.=value"));        // empty handler
+  EXPECT_TRUE(set_one("elem.handler="));       // empty value is legal
+  EXPECT_TRUE(set_one("gate.set_open=true"));
+}
+
 }  // namespace
 }  // namespace ff::eval

@@ -571,6 +571,7 @@ namespace {
 class StuckElement : public stream::Element {
  public:
   explicit StuckElement(std::string name) : Element(std::move(name), 1, 1) {}
+  const char* class_name() const override { return "Stuck"; }
   bool work() override { return false; }
 };
 }  // namespace

@@ -15,6 +15,8 @@
 #include "net/network.hpp"
 #include "relay/design.hpp"
 #include "relay/pipeline.hpp"
+#include "stream/elements.hpp"
+#include "stream/params.hpp"
 
 namespace ff {
 namespace {
@@ -116,6 +118,45 @@ TEST(EvalValidation, ExperimentRejectsDegenerateConfig) {
   cfg.clients_per_plan = 1;
   cfg.testbed.cancellation_db = kInf;
   EXPECT_THROW(eval::run_experiment(cfg), std::logic_error);
+}
+
+// --------------------------------------------------------------- stream
+
+TEST(StreamValidation, GateRejectsDegenerateParams) {
+  const auto configure = [](const char* key, const char* value) {
+    stream::GateElement gate("gate");
+    stream::Params p;
+    p.set_context("Gate 'gate'");
+    if (std::string(key) != "window") p.set("window", "64");
+    if (std::string(key) != "clients") p.set("clients", "7:127");
+    p.set(key, value);
+    gate.configure(p);
+  };
+  EXPECT_THROW(configure("window", "0"), std::logic_error);
+  EXPECT_THROW(configure("threshold", "0"), std::logic_error);
+  EXPECT_THROW(configure("threshold", "1.5"), std::logic_error);
+  EXPECT_THROW(configure("clients", ""), std::logic_error);
+  EXPECT_THROW(configure("clients", "7"), std::logic_error);     // no id:len
+  EXPECT_THROW(configure("clients", "7:0"), std::logic_error);   // len < 1
+  EXPECT_NO_THROW(configure("threshold", "0.6"));
+}
+
+TEST(StreamValidation, FaultRejectsBadRatesThroughInjectorValidation) {
+  const auto configure = [](const char* key, const char* value) {
+    stream::FaultElement fault("fault");
+    stream::Params p;
+    p.set_context("Fault 'fault'");
+    p.set(key, value);
+    fault.configure(p);
+  };
+  EXPECT_THROW(configure("drop", "1.5"), std::logic_error);
+  EXPECT_THROW(configure("drop", "-0.1"), std::logic_error);
+  EXPECT_THROW(configure("corrupt", "2"), std::logic_error);
+  EXPECT_THROW(configure("nan", "nan"), std::logic_error);  // non-finite value
+  EXPECT_THROW(configure("corrupt_amplitude", "-1"), std::logic_error);
+  EXPECT_THROW(configure("estimate_sigma", "-0.5"), std::logic_error);
+  EXPECT_THROW(configure("sounding_failure", "1.01"), std::logic_error);
+  EXPECT_NO_THROW(configure("drop", "0.25"));
 }
 
 // ------------------------------------------------------------------ net
