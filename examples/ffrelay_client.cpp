@@ -1,0 +1,247 @@
+// ffrelay_client: the peer side of ffrelayd, three tools in one binary.
+//
+//   control   ffrelay_client --ctl unix:/tmp/ff.ctl --cmd stats --cmd "read relay.scrubbed"
+//             Sends each --cmd line to the control socket and prints the
+//             response line. Exit 0 when every response is `ok ...`.
+//
+//   receive   ffrelay_client --recv unix:/tmp/ff.out [--out iq.raw] [--decode]
+//             Connects to a listening SocketSink endpoint, reads ff-iq-v1
+//             frames to EOS, prints the sample count and FNV-1a checksum
+//             (the value tests/stream_test.cpp pins), optionally dumps raw
+//             interleaved float64 IQ and/or decodes the stream with the
+//             WiFi receiver (crc=OK/FAIL). An FFERR admission-rejection
+//             line is reported and exits with code 3.
+//
+//   send      ffrelay_client --send unix:/tmp/ff.in --in iq.raw [--frame N]
+//             Streams a raw interleaved float64 IQ file to a listening
+//             SocketSource endpoint, N samples per frame, then EOS. The
+//             frame size only shapes the receiver's blocks — the relayed
+//             stream is block-size invariant.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "common/types.hpp"
+#include "dsp/resample.hpp"
+#include "eval/cli.hpp"
+#include "eval/testbed.hpp"
+#include "phy/frame.hpp"
+#include "serve/control.hpp"
+#include "stream/wire.hpp"
+
+using namespace ff;
+
+namespace {
+
+/// FNV-1a over the raw Complex bytes — the stream-checksum convention the
+/// tests pin (tests/stream_test.cpp).
+std::uint64_t fnv1a(const CVec& samples) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(samples.data());
+  for (std::size_t i = 0; i < samples.size() * sizeof(Complex); ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Read exactly n bytes (the peer is mid-line or mid-stream); false on EOF.
+bool recv_all(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// Read one '\n'-terminated line byte-by-byte (control responses are short).
+bool recv_line(int fd, std::string& out) {
+  out.clear();
+  char c = 0;
+  while (recv_all(fd, &c, 1)) {
+    if (c == '\n') return true;
+    out.push_back(c);
+  }
+  return false;
+}
+
+int run_control(const std::string& endpoint, const std::vector<std::string>& cmds,
+                double timeout_s) {
+  const auto ep = stream::parse_endpoint("--ctl", endpoint);
+  const stream::OwnedFd fd = stream::wire_connect(ep, timeout_s);
+  bool all_ok = true;
+  for (const std::string& cmd : cmds) {
+    stream::wire_send_text(fd.get(), cmd + "\n");
+    std::string resp;
+    if (!recv_line(fd.get(), resp)) {
+      std::fprintf(stderr, "control connection closed mid-command\n");
+      return 1;
+    }
+    std::printf("%s\n", resp.c_str());
+    if (resp.rfind("ok", 0) != 0) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int run_receive(const std::string& endpoint, const std::string& out_path, bool decode,
+                std::size_t oversample, double timeout_s) {
+  const auto ep = stream::parse_endpoint("--recv", endpoint);
+  const stream::OwnedFd fd = stream::wire_connect(ep, timeout_s);
+
+  // First 6 bytes: either the ff-iq-v1 magic or an "FFERR " admission
+  // rejection (both are exactly 6 bytes by design).
+  char head[6] = {};
+  if (!recv_all(fd.get(), head, sizeof head)) {
+    std::fprintf(stderr, "peer closed before the stream header\n");
+    return 1;
+  }
+  if (std::memcmp(head, "FFERR ", 6) == 0) {
+    std::string rest;
+    recv_line(fd.get(), rest);
+    std::fprintf(stderr, "rejected: FFERR %s\n", rest.c_str());
+    return 3;
+  }
+  if (std::memcmp(head, stream::kWireMagic, sizeof stream::kWireMagic) != 0) {
+    std::fprintf(stderr, "peer is not speaking ff-iq-v1\n");
+    return 1;
+  }
+
+  CVec samples;
+  CVec frame;
+  std::uint64_t frames = 0;
+  for (;;) {
+    const stream::WireRecv r = stream::wire_recv_frame(fd.get(), frame, -1);
+    if (r != stream::WireRecv::kFrame) break;  // kEos / kEof end the stream
+    samples.insert(samples.end(), frame.begin(), frame.end());
+    ++frames;
+  }
+  std::printf("received %zu samples in %llu frames, checksum=%016llx\n",
+              samples.size(), static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(fnv1a(samples)));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (out)
+      out.write(reinterpret_cast<const char*>(samples.data()),
+                static_cast<std::streamsize>(samples.size() * sizeof(Complex)));
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  if (decode) {
+    const eval::TestbedConfig tb;
+    const CVec rx20 = dsp::downsample(samples, oversample);
+    const phy::Receiver rx(tb.ofdm);
+    if (const auto result = rx.receive(rx20)) {
+      std::printf("decode: crc=%s mcs=%d snr=%.1f dB\n",
+                  result->crc_ok ? "OK" : "FAIL", result->mcs_index, result->snr_db);
+      if (!result->crc_ok) return 1;
+    } else {
+      std::printf("decode: no packet found\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_send(const std::string& endpoint, const std::string& in_path,
+             std::size_t frame_samples, double timeout_s) {
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.size() % sizeof(Complex) != 0) {
+    std::fprintf(stderr, "%s is not whole complex128 samples (%zu bytes)\n",
+                 in_path.c_str(), bytes.size());
+    return 1;
+  }
+  CVec samples(bytes.size() / sizeof(Complex));
+  std::memcpy(samples.data(), bytes.data(), bytes.size());
+
+  const auto ep = stream::parse_endpoint("--send", endpoint);
+  const stream::OwnedFd fd = stream::wire_connect(ep, timeout_s);
+  stream::wire_send_magic(fd.get());
+  std::size_t sent = 0;
+  while (sent < samples.size()) {
+    const std::size_t n = std::min(frame_samples, samples.size() - sent);
+    stream::wire_send_frame(fd.get(), CSpan{samples.data() + sent, n});
+    sent += n;
+  }
+  stream::wire_send_eos(fd.get());
+  std::printf("sent %zu samples in %zu-sample frames\n", samples.size(),
+              frame_samples);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ctl, recv_ep, send_ep, out_path, in_path;
+  std::vector<std::string> cmds;
+  bool decode = false;
+  std::size_t frame = 256;
+  std::size_t oversample = 4;
+  double timeout_s = 10.0;
+
+  eval::Cli cli("ffrelay_client",
+                "Talk to ffrelayd: send control commands (--ctl/--cmd), receive "
+                "a relayed IQ stream (--recv), or feed one in (--send).");
+  cli.add_option("--ctl", &ctl, "control endpoint to send --cmd lines to");
+  cli.add_repeatable("--cmd", &cmds,
+                     "control command line (repeatable, sent in order)");
+  cli.add_option("--recv", &recv_ep, "data endpoint to receive a stream from");
+  cli.add_option("--out", &out_path,
+                 "receive: also dump raw interleaved float64 IQ to this file");
+  cli.add_flag("--decode", &decode,
+               "receive: decode the stream with the WiFi receiver and report "
+               "crc=OK/FAIL (non-zero exit on failure)");
+  cli.add_option("--oversample", &oversample,
+                 "receive --decode: converter oversampling to undo");
+  cli.add_option("--send", &send_ep, "data endpoint to stream an IQ file to");
+  cli.add_option("--in", &in_path, "send: raw interleaved float64 IQ file");
+  cli.add_option("--frame", &frame, "send: samples per ff-iq-v1 frame");
+  cli.add_option("--timeout", &timeout_s, "connect timeout in seconds");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const int modes = (!ctl.empty() ? 1 : 0) + (!recv_ep.empty() ? 1 : 0) +
+                    (!send_ep.empty() ? 1 : 0);
+  if (modes != 1) {
+    std::fprintf(stderr, "exactly one of --ctl, --recv, --send is required\n");
+    return 2;
+  }
+  if (!ctl.empty() && cmds.empty()) {
+    std::fprintf(stderr, "--ctl needs at least one --cmd\n");
+    return 2;
+  }
+  if (!send_ep.empty() && in_path.empty()) {
+    std::fprintf(stderr, "--send needs --in\n");
+    return 2;
+  }
+  if (frame == 0 || oversample == 0) {
+    std::fprintf(stderr, "--frame and --oversample must be >= 1\n");
+    return 2;
+  }
+
+  try {
+    if (!ctl.empty()) return run_control(ctl, cmds, timeout_s);
+    if (!recv_ep.empty())
+      return run_receive(recv_ep, out_path, decode, oversample, timeout_s);
+    return run_send(send_ep, in_path, frame, timeout_s);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ffrelay_client: %s\n", e.what());
+    return 1;
+  }
+}

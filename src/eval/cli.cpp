@@ -243,9 +243,6 @@ void StreamCli::register_options(Cli& cli, bool with_metrics_option) {
   if (with_metrics_option) sink_.register_options(cli);
 }
 
-namespace {
-
-/// Split "elem.handler=value" (first '.', first '='); false on malformed.
 bool parse_handler_write(const std::string& text, HandlerWrite& out) {
   const auto eq = text.find('=');
   if (eq == std::string::npos) return false;
@@ -257,8 +254,6 @@ bool parse_handler_write(const std::string& text, HandlerWrite& out) {
   out.value = text.substr(eq + 1);
   return true;
 }
-
-}  // namespace
 
 std::vector<HandlerWrite> StreamCli::writes() const {
   std::vector<HandlerWrite> out;

@@ -183,6 +183,10 @@ struct HandlerWrite {
   std::string value;
 };
 
+/// Parse one `elem.handler=value` request (first '.', first '='); false on
+/// a malformed string. Shared by StreamCli's --set and ffrelayd's presets.
+bool parse_handler_write(const std::string& text, HandlerWrite& out);
+
 /// The streaming-runtime surface shared by examples/streaming_relay and
 /// bench_runtime's stream_relay kernel: how the session is blocked
 /// (--block-size), how long it runs (--duration), how deep the bounded

@@ -1,0 +1,23 @@
+#include "serve/snapshot.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace ff::serve {
+
+void write_snapshot_atomic(const MetricsRegistry& registry, const std::string& path) {
+  FF_CHECK_MSG(!path.empty(), "snapshot path must not be empty");
+  const std::string json = registry.snapshot().to_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  FF_CHECK_MSG(f != nullptr, "snapshot: cannot open '" << tmp << "'");
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool write_ok = n == json.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  FF_CHECK_MSG(write_ok, "snapshot: short write to '" << tmp << "'");
+  FF_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "snapshot: rename '" << tmp << "' -> '" << path << "' failed");
+}
+
+}  // namespace ff::serve

@@ -1,0 +1,21 @@
+// Atomic ff-metrics-v1 snapshot files: ffrelayd's periodic telemetry export.
+//
+// A long-running daemon can't wait for exit to dump metrics, and a scraper
+// reading the file mid-write must never see half a JSON document. So the
+// writer renders the full snapshot to `<path>.tmp` and rename(2)s it over
+// `<path>` — readers always observe either the previous complete snapshot
+// or the new complete snapshot, never a torn one (rename within a
+// filesystem is atomic on POSIX).
+#pragma once
+
+#include <string>
+
+#include "common/telemetry.hpp"
+
+namespace ff::serve {
+
+/// Render `registry` as ff-metrics-v1 JSON and atomically replace `path`
+/// with it (tmp file + rename). FF_CHECK on I/O failure.
+void write_snapshot_atomic(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace ff::serve

@@ -128,6 +128,18 @@ class Element {
     return work();
   }
 
+  /// True when the element's last work() ended idle waiting on an EXTERNAL
+  /// peer (e.g. a socket with no frame ready) rather than on another
+  /// element. Both schedulers use it to tell "idle" from "wedged": the
+  /// reference mode's stuck-graph check tolerates a round that moved
+  /// nothing while some element waits externally, and the throughput
+  /// watchdog keeps ticking. Such elements must throttle themselves (poll
+  /// with a timeout) — the schedulers will call work() again immediately.
+  /// Note this makes scheduling observables (round counts, stall counters)
+  /// timing-dependent for graphs containing such elements; sample streams
+  /// stay deterministic.
+  virtual bool waiting_external() const { return false; }
+
   /// Blocks this element stalled on a full output (backpressure events).
   std::uint64_t stalls() const { return stalls_; }
 

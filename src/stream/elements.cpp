@@ -215,7 +215,7 @@ void ChannelElement::configure(const Params& p) {
   std::vector<channel::PathTap> taps;
   if (p.has("paths")) {
     const std::string ctx = p.context() + ": paths";
-    for (const std::string& entry : split_list_value(p.get_string("paths"))) {
+    for (const std::string& entry : split_list_value(ctx, p.get_string("paths"))) {
       const auto [delay, amp] = split_pair(ctx, entry);
       taps.push_back(channel::PathTap{parse_double_value(ctx, delay),
                                       parse_complex_value(ctx, amp)});
@@ -364,7 +364,7 @@ void GateElement::configure(const Params& p) {
                p.context() << ": threshold: must be in (0, 1], got " << threshold);
   detector_ = ident::PnSignatureDetector(threshold);
   const std::string ctx = p.context() + ": clients";
-  const auto entries = split_list_value(p.get_string("clients"));
+  const auto entries = split_list_value(ctx, p.get_string("clients"));
   FF_CHECK_MSG(!entries.empty(), ctx << ": needs at least one id:len registration");
   for (const std::string& entry : entries) {
     const auto [id, len] = split_pair(ctx, entry);

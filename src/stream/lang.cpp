@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "stream/elements.hpp"
+#include "stream/io_elements.hpp"
 
 namespace ff::stream {
 
@@ -298,7 +299,7 @@ class Parser {
     // top-level comma after the first tap, leaving a tail fragment with no
     // '=' — glue such fragments back onto the preceding entry.
     std::vector<std::string> entries;
-    for (std::string& fragment : split_list_value(raw)) {
+    for (std::string& fragment : split_list_value(d.class_name + " configuration", raw)) {
       if (!entries.empty() && fragment.find('=') == std::string::npos)
         entries.back() += "," + fragment;
       else
@@ -416,6 +417,9 @@ const ElementRegistry& ElementRegistry::builtin() {
     r.add<CancellerElement>("Canceller");
     r.add<AccumulatorSink>("AccumulatorSink");
     r.add<NullSink>("NullSink");
+    r.add<SocketSource>("SocketSource");
+    r.add<SocketSink>("SocketSink");
+    r.add<FileTapSink>("FileTapSink");
     return r;
   }();
   return registry;

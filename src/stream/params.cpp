@@ -38,7 +38,14 @@ void Params::set(const std::string& key, std::string value) {
   used_.push_back(false);
 }
 
-bool Params::has(const std::string& key) const { return find(key) != nullptr; }
+bool Params::has(const std::string& key) const {
+  // Deliberately a non-consuming probe: an element that checks for a key but
+  // never reads it must still trip check_all_used()'s unknown-parameter
+  // diagnostic, so has() must not mark the key used the way find() does.
+  for (const auto& item : items_)
+    if (item.first == key) return true;
+  return false;
+}
 
 const std::string* Params::find(const std::string& key) const {
   for (std::size_t i = 0; i < items_.size(); ++i)
@@ -101,10 +108,14 @@ std::uint64_t Params::get_u64_or(const std::string& key, std::uint64_t fallback)
 
 int Params::get_int(const std::string& key) const {
   const std::string& text = require(key);
+  // Trim like every other parser: strtol would skip leading whitespace on
+  // its own but reject trailing whitespace via whole_token, accepting " 5"
+  // while rejecting "5 " — inconsistent with get_u64/get_double.
+  const std::string t = trim(text);
   errno = 0;
   char* end = nullptr;
-  const long v = std::strtol(text.c_str(), &end, 10);
-  if (!whole_token(text, end) || v < INT_MIN || v > INT_MAX)
+  const long v = std::strtol(t.c_str(), &end, 10);
+  if (!whole_token(t, end) || v < INT_MIN || v > INT_MAX)
     fail(key, "expected an integer, got '" + text + "'");
   return static_cast<int>(v);
 }
@@ -194,13 +205,21 @@ Complex parse_complex_value(const std::string& context, const std::string& text)
   return Complex{parse_double_value(context, t), 0.0};
 }
 
-std::vector<std::string> split_list_value(const std::string& text) {
+std::vector<std::string> split_list_value(const std::string& context,
+                                          const std::string& text) {
   std::vector<std::string> out;
   std::string cur;
   int depth = 0;
   for (const char c : text) {
     if (c == '(') ++depth;
-    if (c == ')') --depth;
+    if (c == ')') {
+      // A stray ')' would drive depth negative, silently mis-splitting the
+      // rest of the list (a later top-level ',' looks nested); fail here
+      // with the field-naming message instead of a confusing one downstream.
+      FF_CHECK_MSG(depth > 0,
+                   context << ": unbalanced ')' in list '" << text << "'");
+      --depth;
+    }
     if (c == ',' && depth == 0) {
       out.push_back(trim(cur));
       cur.clear();
@@ -208,6 +227,8 @@ std::vector<std::string> split_list_value(const std::string& text) {
     }
     cur.push_back(c);
   }
+  FF_CHECK_MSG(depth == 0,
+               context << ": unterminated '(' in list '" << text << "'");
   const std::string last = trim(cur);
   if (!last.empty() || !out.empty()) out.push_back(last);
   return out;
@@ -215,7 +236,7 @@ std::vector<std::string> split_list_value(const std::string& text) {
 
 CVec parse_cvec_value(const std::string& context, const std::string& text) {
   CVec out;
-  for (const std::string& entry : split_list_value(text)) {
+  for (const std::string& entry : split_list_value(context, text)) {
     FF_CHECK_MSG(!entry.empty(), context << ": empty entry in list '" << text << "'");
     out.push_back(parse_complex_value(context, entry));
   }

@@ -41,6 +41,8 @@ class Params {
 
   /// Insert a key (FF_CHECK: a duplicate key is a configuration bug).
   void set(const std::string& key, std::string value);
+  /// Presence probe. Non-consuming: probing a key does not mark it used, so
+  /// a probed-but-never-read key still fails check_all_used().
   bool has(const std::string& key) const;
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
@@ -93,7 +95,10 @@ std::uint64_t parse_u64_value(const std::string& context, const std::string& tex
 Complex parse_complex_value(const std::string& context, const std::string& text);
 CVec parse_cvec_value(const std::string& context, const std::string& text);
 /// Split a list value at top-level commas (parentheses protect inner ones).
-std::vector<std::string> split_list_value(const std::string& text);
+/// A stray ')' or an unterminated '(' is an immediate FF_CHECK failure
+/// naming `context`, not a silent mis-split.
+std::vector<std::string> split_list_value(const std::string& context,
+                                          const std::string& text);
 
 // ---- exact round-trip formatting -------------------------------------
 std::string format_double(double v);

@@ -237,6 +237,15 @@ std::uint64_t Scheduler::run_throughput() {
           continue;
         }
         if (chain.finished(chain.internal_channels)) return;
+        // An element idle on an external peer (waiting_external) is not a
+        // wedge: feed the watchdog so a socket session with a quiet sender
+        // outlives watchdog_ms. The element throttles itself (timeout poll
+        // inside work()), so this pass isn't a busy spin.
+        for (Element* e : chain.elements)
+          if (e->waiting_external()) {
+            progress.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
         backoff.pause();
       }
     } catch (...) {

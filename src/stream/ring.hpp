@@ -86,9 +86,18 @@ class SpinBackoff {
   std::uint64_t total_ = 0;
 };
 
-/// Round `n` up to the next power of two (n >= 1).
+/// Largest power of two representable in size_t (the ring capacity ceiling).
+inline constexpr std::size_t kMaxRingCapacity =
+    (static_cast<std::size_t>(-1) >> 1) + 1;
+
+/// Round `n` up to the next power of two (1 <= n <= kMaxRingCapacity).
 inline std::size_t ring_capacity_for(std::size_t n) {
   FF_CHECK_MSG(n >= 1, "ring capacity must be >= 1");
+  // Beyond the largest size_t power of two `cap <<= 1` wraps to 0 and the
+  // loop never terminates; such a request is a bug, not a big ring.
+  FF_CHECK_MSG(n <= kMaxRingCapacity,
+               "ring capacity " << n << " exceeds the largest size_t power of two ("
+                                << kMaxRingCapacity << ")");
   std::size_t cap = 1;
   while (cap < n) cap <<= 1;
   return cap;
@@ -110,8 +119,11 @@ class SpscRing {
   // ---- producer side (exactly one thread) ---------------------------
 
   /// Push one item; false when the ring is full. Must not be called after
-  /// close().
+  /// close() (FF_CHECK-enforced via a producer-local flag: close() is a
+  /// producer-side call, so the check needs no atomic and costs one
+  /// predictable branch on an already-hot line).
   bool try_push(T&& v) {
+    FF_CHECK_MSG(!prod_.closed, "SpscRing: try_push after close()");
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - prod_.cached_head >= capacity()) {
       prod_.cached_head = head_.load(std::memory_order_acquire);
@@ -131,6 +143,7 @@ class SpscRing {
   /// publication; returns how many were taken (a full ring takes fewer).
   template <typename PopFront>
   std::size_t try_push_batch(std::size_t n, PopFront&& pop_front) {
+    FF_CHECK_MSG(!prod_.closed, "SpscRing: try_push_batch after close()");
     std::size_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t space = capacity() - (tail - prod_.cached_head);
     if (space < n) {
@@ -149,8 +162,13 @@ class SpscRing {
     return take;
   }
 
-  /// End of stream: no further pushes. Idempotent.
-  void close() { closed_.store(true, std::memory_order_release); }
+  /// End of stream: no further pushes. Idempotent. Producer-side call (the
+  /// close-semantics contract above), which is what lets the push-after-close
+  /// check read a plain flag.
+  void close() {
+    prod_.closed = true;
+    closed_.store(true, std::memory_order_release);
+  }
 
   /// Peak occupancy as observed by the producer (exact whenever the
   /// producer saw the ring at its fullest, which it does — it caused it).
@@ -224,6 +242,7 @@ class SpscRing {
     std::size_t cached_head = 0;
     std::size_t depth_peak = 0;
     std::uint64_t stalls = 0;
+    bool closed = false;  // producer-thread mirror of closed_ for try_push checks
   };
   struct alignas(kCacheLine) ConsumerSide {
     std::size_t cached_tail = 0;

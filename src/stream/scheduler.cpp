@@ -45,11 +45,19 @@ std::uint64_t Scheduler::run_reference() {
     // observe and mutate element state race-free.
     if (cfg_.on_round) cfg_.on_round(rounds);
     if (graph_.finished()) break;
-    FF_CHECK_MSG(any_moved,
-                 "stream graph stalled after " << rounds
-                                               << " rounds: no element can make progress "
-                                                  "(undrained channel with a blocked "
-                                                  "producer — check queue capacities)");
+    if (!any_moved) {
+      // A round that moved nothing is a stuck graph — unless some element is
+      // merely waiting on an external peer (a socket with no frame ready),
+      // which is idleness, not deadlock. Such elements throttle the loop
+      // themselves (they poll with a timeout inside work()).
+      bool waiting = false;
+      for (const auto& e : graph_.elements()) waiting |= e->waiting_external();
+      FF_CHECK_MSG(waiting,
+                   "stream graph stalled after " << rounds
+                                                 << " rounds: no element can make progress "
+                                                    "(undrained channel with a blocked "
+                                                    "producer — check queue capacities)");
+    }
     FF_CHECK_MSG(cfg_.max_rounds == 0 || rounds < cfg_.max_rounds,
                  "stream graph exceeded max_rounds = " << cfg_.max_rounds);
   }

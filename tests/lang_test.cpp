@@ -120,6 +120,38 @@ TEST(Params, DuplicateKeyRejected) {
   EXPECT_THROW(p.set("a", "2"), std::logic_error);
 }
 
+TEST(Params, HasIsNonConsuming) {
+  // Regression: has() used to mark the key consumed, so an element could
+  // probe a typo'd key and check_all_used() would silently pass it.
+  Params p;
+  p.set_context("Fir 'f'");
+  p.set("bogus", "1");
+  EXPECT_TRUE(p.has("bogus"));
+  EXPECT_FALSE(p.has("absent"));
+  const std::string msg = thrown_message([&] { p.check_all_used(); });
+  EXPECT_NE(msg.find("bogus: unknown parameter"), std::string::npos) << msg;
+}
+
+TEST(Params, ListParenErrorsAreImmediateAndNameTheField) {
+  // Regression: a stray ')' used to underflow the depth counter and an
+  // unterminated '(' swallowed the rest of the value; both mis-split the
+  // list silently instead of failing.
+  const std::string stray = thrown_message(
+      [] { stream::split_list_value("Channel 'c': paths", "1:2),3:4"); });
+  EXPECT_NE(stray.find("unbalanced ')'"), std::string::npos) << stray;
+  EXPECT_NE(stray.find("paths"), std::string::npos) << stray;
+
+  const std::string open = thrown_message(
+      [] { stream::split_list_value("Channel 'c': paths", "(1,2"); });
+  EXPECT_NE(open.find("unterminated '('"), std::string::npos) << open;
+  EXPECT_NE(open.find("paths"), std::string::npos) << open;
+
+  const auto ok = stream::split_list_value("t", "(1,2),(3,4)");
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_EQ(ok[0], "(1,2)");
+  EXPECT_EQ(ok[1], "(3,4)");
+}
+
 TEST(Params, FormattingRoundTripsExactly) {
   Rng rng(99);
   for (int i = 0; i < 200; ++i) {

@@ -27,6 +27,27 @@ TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(ring.capacity(), 4u);
 }
 
+TEST(SpscRing, CapacityRequestsBeyondMaxAreRejected) {
+  // Regression: requests above the largest representable power of two used
+  // to spin the doubling loop forever (the shift wrapped to zero).
+  EXPECT_EQ(ring_capacity_for(kMaxRingCapacity), kMaxRingCapacity);
+  EXPECT_THROW(ring_capacity_for(kMaxRingCapacity + 1), std::logic_error);
+  EXPECT_THROW(ring_capacity_for(static_cast<std::size_t>(-1)), std::logic_error);
+}
+
+TEST(SpscRing, PushAfterCloseIsAContractViolation) {
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.try_push(1));
+  ring.close();
+  EXPECT_THROW(ring.try_push(2), std::logic_error);
+  EXPECT_THROW(ring.try_push_batch(1, [] { return 3; }), std::logic_error);
+  // Draining the closed ring still works.
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.drained());
+}
+
 TEST(SpscRing, FullAndEmptyBoundaries) {
   SpscRing<int> ring(4);
   EXPECT_TRUE(ring.empty());

@@ -141,6 +141,26 @@ TEST(StreamValidation, GateRejectsDegenerateParams) {
   EXPECT_NO_THROW(configure("threshold", "0.6"));
 }
 
+TEST(StreamValidation, ParamsGetIntTrimsSurroundingWhitespace) {
+  // Regression: get_int rejected trailing whitespace ("5 ") that every
+  // other numeric getter accepted, because strtol's end pointer was
+  // compared against the untrimmed text.
+  stream::Params p;
+  p.set("lead", " 5");
+  p.set("trail", "5 ");
+  p.set("both", "  -3  ");
+  EXPECT_EQ(p.get_int("lead"), 5);
+  EXPECT_EQ(p.get_int("trail"), 5);
+  EXPECT_EQ(p.get_int("both"), -3);
+
+  stream::Params bad;
+  bad.set("x", "5 x");
+  EXPECT_THROW(bad.get_int("x"), std::logic_error);
+  stream::Params blank;
+  blank.set("x", "  ");
+  EXPECT_THROW(blank.get_int("x"), std::logic_error);
+}
+
 TEST(StreamValidation, FaultRejectsBadRatesThroughInjectorValidation) {
   const auto configure = [](const char* key, const char* value) {
     stream::FaultElement fault("fault");
