@@ -26,20 +26,30 @@ struct SessionAborted {};
 /// command; cut it off before the buffer grows without bound.
 constexpr std::size_t kMaxCtlLine = 1 << 16;
 
-/// How long the driver waits for a session quiescent point to execute an
-/// element command. Reference rounds tick at worst every SocketSource
-/// poll_ms (~50 ms), so 2 s only fires on a genuinely wedged session.
+/// How long a queued element command may wait for a session quiescent
+/// point before its client gets `err timeout`. Reference rounds tick at
+/// worst every SocketSource poll_ms (~50 ms), so 2 s only fires on a
+/// genuinely wedged session. The wait is serviced from the driver loop
+/// (service_ctl_replies), never blocked on.
 constexpr auto kCtlReplyTimeout = std::chrono::seconds(2);
 
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n' || c == '\r')
-      out.push_back(' ');
-    else
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
       out.push_back(c);
+    } else if (u < 0x20) {
+      // Control characters (errno/detail strings can carry tabs or
+      // newlines) would make the FFERR line invalid JSON if passed raw.
+      char esc[8];
+      std::snprintf(esc, sizeof esc, "\\u%04x", u);
+      out += esc;
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -129,13 +139,17 @@ void RelayDaemon::run() {
 
   while (true) {
     reap_session();
-    if (stopping() && !session_) break;
+    // Break even with a session in flight: the post-loop block aborts it
+    // (shutting down its data connections unblocks socket I/O) and joins,
+    // so request_stop()/SIGINT never hangs on a quiet peer.
+    if (stopping()) break;
     // --once / --max-sessions: once the quota of sessions has been started
     // and the last one reaped, there is nothing left to serve.
     if (!session_ && cfg_.max_sessions != 0 && sessions_started_ >= cfg_.max_sessions)
       break;
     maybe_start_session();
     poll_once(/*timeout_ms=*/50);
+    service_ctl_replies();
     maybe_periodic_snapshot();
   }
 
@@ -145,6 +159,9 @@ void RelayDaemon::run() {
     reap_session();
   }
   flush_ctl_queue("no-session", "daemon shutting down");
+  // Deliver the flushed answers before dropping the control clients, so a
+  // command caught by the shutdown gets `err no-session`, not silence.
+  service_ctl_replies();
   write_snapshot("shutdown");
 
   ctl_clients_.clear();
@@ -178,7 +195,7 @@ void RelayDaemon::maybe_start_session() {
     s->graph.handler(w.element, w.handler).write(w.value);
   for (const SocketPort& p : ports_) {
     auto it = pending_.find(p.element);
-    stream::OwnedFd conn = std::move(it->second);
+    stream::OwnedFd conn = std::move(it->second.fd);
     pending_.erase(it);
     // Raw fd recorded for abort_session(): the element keeps the fd open
     // until the graph dies, which is strictly after the thread join, so a
@@ -266,20 +283,30 @@ void RelayDaemon::abort_session() {
 void RelayDaemon::poll_once(int timeout_ms) {
   struct Entry {
     int fd;
-    enum { kCtlListener, kCtlClient, kDataListener } type;
+    enum { kCtlListener, kCtlClient, kPendingPeer, kDataListener } type;
     std::size_t index;
+    std::string elem;  // kPendingPeer: the pending_ key
   };
   std::vector<Entry> entries;
   if (control_listener_.valid())
-    entries.push_back({control_listener_.get(), Entry::kCtlListener, 0});
+    entries.push_back({control_listener_.get(), Entry::kCtlListener, 0, {}});
   for (std::size_t i = 0; i < ctl_clients_.size(); ++i)
-    entries.push_back({ctl_clients_[i].fd.get(), Entry::kCtlClient, i});
+    entries.push_back({ctl_clients_[i].fd.get(), Entry::kCtlClient, i, {}});
+  // Pending peers are watched for hangup only (events = 0: POLLHUP/POLLERR
+  // are always reported), so a peer that dies before its session starts
+  // releases the endpoint instead of claiming it forever. Ordered before
+  // the data listeners so a reconnect in the same poll round is admitted.
+  for (const auto& [elem, peer] : pending_)
+    if (!peer.eof_ok) entries.push_back({peer.fd.get(), Entry::kPendingPeer, 0, elem});
   for (std::size_t i = 0; i < data_listeners_.size(); ++i)
-    entries.push_back({data_listeners_[i].get(), Entry::kDataListener, i});
+    entries.push_back({data_listeners_[i].get(), Entry::kDataListener, i, {}});
 
   std::vector<pollfd> fds(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i)
-    fds[i] = pollfd{entries[i].fd, POLLIN, 0};
+    fds[i] = pollfd{entries[i].fd,
+                    static_cast<short>(entries[i].type == Entry::kPendingPeer ? 0
+                                                                              : POLLIN),
+                    0};
   // No sockets at all (no control plane, no socket elements): plain sleep
   // so back-to-back sessions still pace the loop.
   const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
@@ -291,8 +318,8 @@ void RelayDaemon::poll_once(int timeout_ms) {
     if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     switch (entries[i].type) {
       case Entry::kCtlListener:
-        ctl_clients_.push_back(
-            CtlClient{stream::wire_accept(control_listener_.get()), LineBuffer{}});
+        ctl_clients_.emplace_back();
+        ctl_clients_.back().fd = stream::wire_accept(control_listener_.get());
         break;
       case Entry::kCtlClient: {
         char buf[4096];
@@ -307,17 +334,25 @@ void RelayDaemon::poll_once(int timeout_ms) {
           drop.push_back(entries[i].index);
           break;
         }
-        std::string line;
-        bool dead = false;
-        while (client.lines.next_line(line)) {
-          try {
-            handle_control_line(client, line);
-          } catch (const std::exception&) {
-            dead = true;  // response write failed: the peer is gone
-            break;
-          }
+        if (!pump_ctl_client(client)) drop.push_back(entries[i].index);
+        break;
+      }
+      case Entry::kPendingPeer: {
+        auto it = pending_.find(entries[i].elem);
+        if (it == pending_.end()) break;
+        char probe = 0;
+        const ssize_t n = ::recv(it->second.fd.get(), &probe, 1,
+                                 MSG_PEEK | MSG_DONTWAIT);
+        if (n > 0) {
+          // The peer delivered bytes and hung up: the buffered stream is
+          // still a complete session input, so the claim stands (and the
+          // fd leaves the poll set — its state can no longer change).
+          it->second.eof_ok = true;
+        } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+          log("waiting peer on " + entries[i].elem +
+              " disconnected before session start; endpoint released");
+          pending_.erase(it);
         }
-        if (dead) drop.push_back(entries[i].index);
         break;
       }
       case Entry::kDataListener:
@@ -355,80 +390,111 @@ void RelayDaemon::accept_data_client(std::size_t port_index) {
     }
     return;
   }
-  pending_[port.element] = std::move(conn);
+  pending_[port.element] = PendingPeer{std::move(conn)};
   log("peer connected on " + port.endpoint.text() + " (" + port.element + ")");
 }
 
-void RelayDaemon::handle_control_line(CtlClient& client, const std::string& line) {
-  if (line.empty()) return;
+std::string RelayDaemon::handle_control_line(CtlClient& client,
+                                             const std::string& line) {
+  if (line.empty()) return "";
   metrics_->add("serve.control.commands");
 
   ControlCommand cmd;
   std::string error;
-  std::string resp;
-  if (!parse_control_line(line, cmd, error)) {
-    resp = err_response("bad-command", error);
-  } else {
-    using Verb = ControlCommand::Verb;
-    switch (cmd.verb) {
-      case Verb::kPing:
-        resp = ok_response("pong");
-        break;
-      case Verb::kStats:
-        resp = ok_response(stats_line());
-        break;
-      case Verb::kElements:
-        resp = ok_response(elements_line());
-        break;
-      case Verb::kShutdown:
-        resp = ok_response("shutting-down");
-        stop_.store(true, std::memory_order_relaxed);
-        break;
-      case Verb::kSnapshot:
-        if (cfg_.snapshot_path.empty()) {
-          resp = err_response("bad-command", "no snapshot path configured (--snapshot)");
-        } else {
-          try {
-            write_snapshot_atomic(*metrics_, cfg_.snapshot_path);
-            metrics_->add("serve.snapshots_written");
-            resp = ok_response(cfg_.snapshot_path);
-          } catch (const std::exception& e) {
-            resp = err_response("io-error", e.what());
-          }
-        }
-        break;
-      case Verb::kRead:
-      case Verb::kWrite: {
-        if (!session_) {
-          resp = err_response("no-session", "no relay session is running");
-          break;
-        }
-        if (cfg_.throughput) {
-          resp = err_response("busy",
-                              "throughput sessions have no quiescent point; element "
-                              "commands need --mode reference");
-          break;
-        }
-        auto req = std::make_unique<CtlRequest>();
-        req->cmd = cmd;
-        std::future<std::string> reply = req->reply.get_future();
-        {
-          std::lock_guard<std::mutex> lock(ctl_mu_);
-          ctl_queue_.push_back(std::move(req));
-        }
-        // The request stays queued on timeout; the session (or the reap
-        // path) settles its promise later, harmlessly — only this response
-        // gives up on waiting.
-        if (reply.wait_for(kCtlReplyTimeout) == std::future_status::ready)
-          resp = reply.get();
-        else
-          resp = err_response("timeout", "session did not reach a quiescent point");
-        break;
+  if (!parse_control_line(line, cmd, error)) return err_response("bad-command", error);
+
+  using Verb = ControlCommand::Verb;
+  switch (cmd.verb) {
+    case Verb::kPing:
+      return ok_response("pong");
+    case Verb::kStats:
+      return ok_response(stats_line());
+    case Verb::kElements:
+      return ok_response(elements_line());
+    case Verb::kShutdown:
+      stop_.store(true, std::memory_order_relaxed);
+      return ok_response("shutting-down");
+    case Verb::kSnapshot:
+      if (cfg_.snapshot_path.empty())
+        return err_response("bad-command", "no snapshot path configured (--snapshot)");
+      try {
+        write_snapshot_atomic(*metrics_, cfg_.snapshot_path);
+        metrics_->add("serve.snapshots_written");
+        return ok_response(cfg_.snapshot_path);
+      } catch (const std::exception& e) {
+        return err_response("io-error", e.what());
       }
-    }
+    case Verb::kRead:
+    case Verb::kWrite:
+      break;  // queued below
   }
+
+  if (!session_) return err_response("no-session", "no relay session is running");
+  if (cfg_.throughput)
+    return err_response("busy",
+                        "throughput sessions have no quiescent point; element "
+                        "commands need --mode reference");
+  auto req = std::make_unique<CtlRequest>();
+  req->cmd = cmd;
+  client.pending = req->reply.get_future();
+  client.pending_deadline = std::chrono::steady_clock::now() + kCtlReplyTimeout;
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    ctl_queue_.push_back(std::move(req));
+  }
+  return "";  // answered by service_ctl_replies() once the session executes it
+}
+
+void RelayDaemon::send_ctl_response(CtlClient& client, const std::string& resp) {
   if (resp.rfind("err ", 0) == 0) metrics_->add("serve.control.errors");
   stream::wire_send_text(client.fd.get(), resp);
+}
+
+bool RelayDaemon::pump_ctl_client(CtlClient& client) {
+  try {
+    std::string line;
+    while (!client.pending.valid() && client.lines.next_line(line)) {
+      const std::string resp = handle_control_line(client, line);
+      if (!resp.empty()) send_ctl_response(client, resp);
+    }
+  } catch (const std::exception&) {
+    return false;  // response write failed: the peer is gone
+  }
+  return true;
+}
+
+void RelayDaemon::service_ctl_replies() {
+  std::vector<std::size_t> drop;
+  for (std::size_t i = 0; i < ctl_clients_.size(); ++i) {
+    CtlClient& client = ctl_clients_[i];
+    if (!client.pending.valid()) continue;
+    std::string resp;
+    if (client.pending.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      resp = client.pending.get();
+      client.pending = {};
+    } else if (std::chrono::steady_clock::now() >= client.pending_deadline) {
+      // The request stays queued; the session (or the reap path) settles
+      // the abandoned promise later, harmlessly — only this response gives
+      // up on waiting.
+      client.pending = {};
+      resp = err_response("timeout", "session did not reach a quiescent point");
+    } else {
+      continue;
+    }
+    bool alive = true;
+    try {
+      send_ctl_response(client, resp);
+    } catch (const std::exception&) {
+      alive = false;
+    }
+    // The reply unblocks this client's line queue; later commands may have
+    // accumulated behind it.
+    if (alive) alive = pump_ctl_client(client);
+    if (!alive) drop.push_back(i);
+  }
+  for (auto it = drop.rbegin(); it != drop.rend(); ++it)
+    ctl_clients_.erase(ctl_clients_.begin() + static_cast<std::ptrdiff_t>(*it));
 }
 
 std::string RelayDaemon::exec_element_command(stream::Graph& g,

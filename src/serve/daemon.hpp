@@ -131,10 +131,25 @@ class RelayDaemon {
     bool is_source = false;
   };
 
-  /// One connected control client and its partial-line buffer.
+  /// One connected control client, its partial-line buffer, and (for an
+  /// element command awaiting a quiescent point) the in-flight reply. While
+  /// `pending` is valid, further lines from this client stay buffered — the
+  /// protocol answers strictly in order — and the driver loop polls the
+  /// future instead of blocking on it, so one slow command never stalls
+  /// admission, other control clients, or periodic snapshots.
   struct CtlClient {
     stream::OwnedFd fd;
     LineBuffer lines;
+    std::future<std::string> pending;
+    std::chrono::steady_clock::time_point pending_deadline{};
+  };
+
+  /// A data peer accepted before its session starts. `eof_ok` marks a peer
+  /// that already sent bytes and hung up (a complete pre-delivered stream):
+  /// it keeps its claim but is no longer polled for liveness.
+  struct PendingPeer {
+    stream::OwnedFd fd;
+    bool eof_ok = false;
   };
 
   /// One in-flight session: the single-use graph, its worker thread, and
@@ -167,7 +182,16 @@ class RelayDaemon {
 
   void poll_once(int timeout_ms);
   void accept_data_client(std::size_t port_index);
-  void handle_control_line(CtlClient& client, const std::string& line);
+  /// Returns the response to send now, or "" when the command was queued
+  /// for a quiescent point (service_ctl_replies() delivers it later).
+  std::string handle_control_line(CtlClient& client, const std::string& line);
+  /// Processes the client's buffered lines while it has no pending reply.
+  /// Returns false when the client should be dropped (its peer is gone).
+  bool pump_ctl_client(CtlClient& client);
+  /// Sends the response and counts err metrics; throws if the peer is gone.
+  void send_ctl_response(CtlClient& client, const std::string& resp);
+  /// Delivers ready (or timed-out) pending element-command replies.
+  void service_ctl_replies();
   std::string exec_element_command(stream::Graph& g, const ControlCommand& cmd);
   void drain_ctl_queue(stream::Graph& g);
   void flush_ctl_queue(const std::string& code, const std::string& detail);
@@ -188,7 +212,7 @@ class RelayDaemon {
   stream::OwnedFd control_listener_;
   std::vector<stream::OwnedFd> data_listeners_;  // parallel to ports_
   std::vector<CtlClient> ctl_clients_;
-  std::map<std::string, stream::OwnedFd> pending_;  // element -> waiting peer
+  std::map<std::string, PendingPeer> pending_;  // element -> waiting peer
   std::unique_ptr<Session> session_;
 
   std::mutex ctl_mu_;

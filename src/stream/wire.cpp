@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -145,7 +146,25 @@ WireEndpoint parse_endpoint(const std::string& context, const std::string& text)
 OwnedFd wire_listen(const WireEndpoint& ep, int backlog) {
   OwnedFd fd = make_socket(ep);
   if (ep.kind == WireEndpoint::Kind::kUnix) {
-    ::unlink(ep.path.c_str());  // a stale path from a dead process
+    // Reclaim the path only if it is a socket nobody answers on — a stale
+    // leftover from a dead process. A live listener (another daemon) or a
+    // non-socket file at the path must never be silently deleted.
+    struct stat st{};
+    if (::lstat(ep.path.c_str(), &st) == 0) {
+      FF_CHECK_MSG(S_ISSOCK(st.st_mode),
+                   "wire: listen path '" << ep.path
+                                         << "' exists and is not a socket; refusing "
+                                            "to delete it");
+      const sockaddr_un probe_addr = unix_addr(ep);
+      OwnedFd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+      FF_CHECK_MSG(!(probe.valid() &&
+                     ::connect(probe.get(),
+                               reinterpret_cast<const sockaddr*>(&probe_addr),
+                               sizeof probe_addr) == 0),
+                   "wire: " << ep.text()
+                            << " is in use by a live listener; refusing to hijack it");
+      ::unlink(ep.path.c_str());  // stale socket: no listener answered
+    }
     const sockaddr_un addr = unix_addr(ep);
     FF_CHECK_MSG(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                         sizeof addr) == 0,

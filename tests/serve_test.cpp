@@ -132,6 +132,33 @@ TEST(Wire, FramesRoundTripOverSocketPair) {
   EXPECT_EQ(stream::wire_recv_frame(b.get(), frame, -1), stream::WireRecv::kEos);
 }
 
+TEST(Wire, ListenRefusesLiveOrForeignUnixPathsButReclaimsStaleOnes) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/lis.sock";
+  const auto ep = stream::parse_endpoint("t", "unix:" + path);
+
+  {
+    // A live listener on the path must not be hijacked by a second bind...
+    const stream::OwnedFd live = stream::wire_listen(ep);
+    EXPECT_THROW(stream::wire_listen(ep), std::logic_error);
+    // ...and must still be reachable afterwards (its socket file survived).
+    const stream::OwnedFd c = stream::wire_connect(ep, 5.0);
+    EXPECT_TRUE(c.valid());
+  }
+
+  // The dead listener left its socket file behind: stale, reclaimable.
+  { const stream::OwnedFd again = stream::wire_listen(ep); }
+
+  // A non-socket file at the path is never deleted.
+  ::unlink(path.c_str());
+  { std::ofstream f(path); f << "precious"; }
+  EXPECT_THROW(stream::wire_listen(ep), std::logic_error);
+  EXPECT_TRUE(std::ifstream(path).good());
+
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
 TEST(Wire, CleanCloseBetweenFramesIsEofTimeoutWhenQuiet) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
@@ -561,6 +588,115 @@ TEST(RelayDaemon, ServesControlAdmissionAndLiveRetunes) {
   EXPECT_EQ(daemon.sessions_completed(), 1u);
   EXPECT_EQ(daemon.sessions_aborted(), 0u);
   EXPECT_EQ(daemon.admission_rejected(), 1u);
+}
+
+/// Poll `stats` on the control connection until the response contains
+/// `needle` (or ~4 s elapse). Returns the last stats line either way.
+std::string wait_stats(int ctl_fd, const std::string& needle) {
+  std::string last;
+  for (int i = 0; i < 200; ++i) {
+    last = control(ctl_fd, "stats");
+    if (last.find(needle) != std::string::npos) return last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return last;
+}
+
+// Regression: shutdown with a session in flight used to hang run() forever
+// when the data peers stayed connected but quiet — neither driver-loop
+// break condition could fire with session_ alive.
+TEST(RelayDaemon, ShutdownAbortsAnInFlightSession) {
+  const std::string dir = make_temp_dir();
+  const std::string in_ep = "unix:" + dir + "/in.sock";
+  const std::string out_ep = "unix:" + dir + "/out.sock";
+  const std::string ctl_ep = "unix:" + dir + "/ctl.sock";
+
+  serve::DaemonConfig cfg;
+  cfg.graph_text = "in :: SocketSource(endpoint=" + in_ep + ", poll_ms=5);\n" +
+                   "out :: SocketSink(endpoint=" + out_ep + ", listen=true);\n" +
+                   "in -> out;\n";
+  cfg.control = ctl_ep;
+  cfg.log = [](const std::string&) {};
+  serve::RelayDaemon daemon(std::move(cfg));
+  std::thread runner([&] { daemon.run(); });
+
+  const stream::OwnedFd ctl =
+      stream::wire_connect(stream::parse_endpoint("t", ctl_ep), 20.0);
+  const stream::OwnedFd tx =
+      stream::wire_connect(stream::parse_endpoint("t", in_ep), 20.0);
+  stream::wire_send_magic(tx.get());
+  const stream::OwnedFd rx =
+      stream::wire_connect(stream::parse_endpoint("t", out_ep), 20.0);
+
+  // One frame through the graph proves the session is live; no EOS is ever
+  // sent, so without the abort the session would idle forever.
+  CVec ramp(16, Complex{1.0, 0.0});
+  stream::wire_send_frame(tx.get(), CSpan{ramp.data(), ramp.size()});
+  stream::wire_expect_magic(rx.get());
+  CVec frame;
+  ASSERT_EQ(stream::wire_recv_frame(rx.get(), frame, -1), stream::WireRecv::kFrame);
+
+  EXPECT_EQ(control(ctl.get(), "shutdown"), "ok shutting-down");
+  runner.join();  // hangs without the stop-with-session abort path
+
+  EXPECT_EQ(daemon.sessions_started(), 1u);
+  EXPECT_EQ(daemon.sessions_aborted(), 1u);
+}
+
+// Regression: a data peer that connected and died before its session
+// started used to hold its endpoint claim forever (pending fds were never
+// polled for hangup), rejecting every reconnect as "already claimed".
+TEST(RelayDaemon, DeadPendingPeerReleasesItsEndpoint) {
+  const std::string dir = make_temp_dir();
+  const std::string in_ep = "unix:" + dir + "/in.sock";
+  const std::string out_ep = "unix:" + dir + "/out.sock";
+  const std::string ctl_ep = "unix:" + dir + "/ctl.sock";
+
+  serve::DaemonConfig cfg;
+  cfg.graph_text = "in :: SocketSource(endpoint=" + in_ep + ", poll_ms=5);\n" +
+                   "out :: SocketSink(endpoint=" + out_ep + ", listen=true);\n" +
+                   "in -> out;\n";
+  cfg.control = ctl_ep;
+  cfg.max_sessions = 1;
+  cfg.log = [](const std::string&) {};
+  serve::RelayDaemon daemon(std::move(cfg));
+  std::thread runner([&] { daemon.run(); });
+
+  const stream::OwnedFd ctl =
+      stream::wire_connect(stream::parse_endpoint("t", ctl_ep), 20.0);
+
+  {
+    // A peer claims the source endpoint, then dies before the session
+    // starts (the sink endpoint never gets a peer).
+    const stream::OwnedFd ghost =
+        stream::wire_connect(stream::parse_endpoint("t", in_ep), 20.0);
+    EXPECT_NE(wait_stats(ctl.get(), "pending=1").find("pending=1"),
+              std::string::npos);
+  }
+  // The daemon notices the hangup and releases the claim...
+  ASSERT_NE(wait_stats(ctl.get(), "pending=0").find("pending=0"),
+            std::string::npos);
+
+  // ...so a reconnecting peer is admitted and the session runs to
+  // completion instead of being rejected as "already claimed".
+  const stream::OwnedFd tx =
+      stream::wire_connect(stream::parse_endpoint("t", in_ep), 20.0);
+  stream::wire_send_magic(tx.get());
+  ASSERT_NE(wait_stats(ctl.get(), "pending=1").find("pending=1"),
+            std::string::npos);
+  const stream::OwnedFd rx =
+      stream::wire_connect(stream::parse_endpoint("t", out_ep), 20.0);
+  CVec ramp(16, Complex{1.0, 0.0});
+  stream::wire_send_frame(tx.get(), CSpan{ramp.data(), ramp.size()});
+  stream::wire_send_eos(tx.get());
+  stream::wire_expect_magic(rx.get());
+  CVec frame;
+  ASSERT_EQ(stream::wire_recv_frame(rx.get(), frame, -1), stream::WireRecv::kFrame);
+  EXPECT_EQ(frame.size(), ramp.size());
+
+  runner.join();  // max_sessions=1: the daemon exits once the session ends
+  EXPECT_EQ(daemon.sessions_completed(), 1u);
+  EXPECT_EQ(daemon.admission_rejected(), 0u);
 }
 
 TEST(RelayDaemon, ConstructorRejectsBadGraphsAndPresets) {
