@@ -22,15 +22,25 @@
 // ignored here. Knobs: --block-size / --duration / --backpressure /
 // --threads (eval::StreamCli, shared with examples/streaming_relay).
 //
+// The city row (v4) times the sharded many-relay city simulation
+// (src/city/): client-sessions/sec, the whole-city FF throughput CDF, and
+// the measured FastForward-vs-half-duplex-mesh gain, with the shard x
+// thread determinism grid (checksums AND streamed JSONL bytes) folded into
+// the exit code. Knobs: --city-grid / --city-clients.
+//
 // Usage: bench_runtime [--clients N] [--out PATH] [--reps R] [--metrics PATH]
 //                      [--block-size N] [--duration S] [--backpressure B]
 //                      [--batch-size N] [--pin-cores]
+//                      [--city-grid N] [--city-clients N]
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "channel/floorplan.hpp"
+#include "city/city.hpp"
+#include "city/jsonl.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
 #include "common/units.hpp"
@@ -275,24 +285,89 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
   return r;
 }
 
+// -------------------------------------------------------------------- city
+
+struct CityBench {
+  ff::city::CityRun run;            // 1-thread reference run
+  double wall_ms_1t = 0.0;          // 1 worker thread, auto shards
+  double wall_ms = 0.0;             // hardware-default worker threads
+  double sessions_per_sec = 0.0;    // from the hardware-default run
+  bool deterministic = true;        // checksums AND JSONL bytes across the grid
+};
+
+/// Time the city simulation at 1 thread and at the hardware default, then
+/// re-run it across shard counts {1,2,4,8} x thread counts {1,2,4} with a
+/// JSONL sink attached: every run must reproduce the reference checksum and
+/// the streamed bytes exactly (the city's execution-schedule-independence
+/// contract, tests/city_test.cpp).
+CityBench run_city_bench(std::size_t grid, std::size_t clients_per_site,
+                         MetricsRegistry* registry) {
+  namespace ct = ff::city;
+  const auto base = [&] {
+    return ct::CityConfig::grid(grid, grid)
+        .with_clients(clients_per_site)
+        .with_seed(20140817);  // same seed family as the experiment sweep
+  };
+
+  CityBench b;
+  {
+    auto cfg = base().with_threads(1).with_metrics(registry);
+    b.wall_ms_1t = time_once_ms([&] { b.run = ct::run_city(cfg); });
+  }
+  {
+    auto cfg = base();  // threads = 0: FF_THREADS / hardware default
+    ct::CityRun run_auto;
+    b.wall_ms = time_once_ms([&] { run_auto = ct::run_city(cfg); });
+    if (run_auto.checksum != b.run.checksum) b.deterministic = false;
+  }
+  b.sessions_per_sec = b.wall_ms > 0.0
+                           ? 1e3 * static_cast<double>(b.run.summary.sessions) / b.wall_ms
+                           : 0.0;
+
+  std::string jsonl_reference;
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    for (const std::size_t threads : {1, 2, 4}) {
+      std::ostringstream os;
+      ct::JsonlWriter writer(os, "<bench>");
+      ct::JsonlSessionSink sink(writer);
+      auto cfg = base().with_shards(shards).with_threads(threads);
+      const ct::CityRun r = ct::run_city(cfg, &sink);
+      writer.close();
+      if (r.checksum != b.run.checksum) b.deterministic = false;
+      if (jsonl_reference.empty())
+        jsonl_reference = os.str();
+      else if (os.str() != jsonl_reference)
+        b.deterministic = false;
+    }
+  }
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t clients = 50;
+  std::size_t city_grid = 3;
+  std::size_t city_clients = 4;
   std::string out_path = "BENCH_runtime.json";
   std::string metrics_path;
   int reps = 3;
   StreamCli stream_cli;
   Cli cli("bench_runtime",
           "Wall-time the standard evaluation run at 1/2/4/N threads with "
-          "bit-exactness checksums, plus hot micro-kernel timings and the "
-          "stream_relay element-graph session.");
+          "bit-exactness checksums, plus hot micro-kernel timings, the "
+          "stream_relay element-graph session, and the sharded city "
+          "simulation.");
   cli.add_option("--clients", &clients, "client locations per floor plan")
       .add_option("--out", &out_path, "output JSON path")
       .add_option("--reps", &reps, "best-of repetitions for the kernel timings")
       .add_option("--metrics", &metrics_path,
                   "record telemetry, cross-check it across thread counts, and "
-                  "write the 1-thread ff-metrics-v1 snapshot here");
+                  "write the 1-thread ff-metrics-v1 snapshot here")
+      .add_option("--city-grid", &city_grid,
+                  "city simulation grid dimension (N x N AP+relay sites)")
+      .add_option("--city-clients", &city_clients,
+                  "client locations per city site");
   // --threads here scopes to the stream session; the experiment sweep is
   // fixed at 1/2/4/N by design.
   stream_cli.register_options(cli, /*with_metrics_option=*/false);
@@ -442,9 +517,37 @@ int main(int argc, char** argv) {
               "modes and batch sizes: %s\n",
               stream_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
 
+  // ---- city: the sharded many-relay simulation. Like the pipeline row,
+  // the parallel-speedup claim needs real cores; the checksum/JSONL
+  // determinism grid is meaningful (and enforced) everywhere.
+  MetricsRegistry city_registry;
+  const CityBench city = run_city_bench(city_grid, city_clients, &city_registry);
+  const double city_speedup = city.wall_ms > 0.0 ? city.wall_ms_1t / city.wall_ms : 0.0;
+  std::string city_skipped_reason;
+  if (hw_concurrency <= 1)
+    city_skipped_reason =
+        "single visible CPU: shard workers time-slice one core, "
+        "speedup-vs-1t not meaningful";
+  const auto city_cdf = city_registry.histogram_cdf("city.session_mbps.ff", 10);
+
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(city.run.checksum));
+  std::printf("\ncity %zux%zu (%zu sessions): %.0f client-sessions/sec, "
+              "FF %.2fx HD mesh city-wide (%.2fx median session), checksum %s",
+              city_grid, city_grid, city.run.summary.sessions,
+              city.sessions_per_sec, city.run.summary.gain_vs_hd_mesh,
+              city.run.summary.median_gain_vs_hd_mesh, cs);
+  if (city_skipped_reason.empty())
+    std::printf(", %.2fx vs 1T\n", city_speedup);
+  else
+    std::printf(", speedup check skipped: %s\n", city_skipped_reason.c_str());
+  std::printf("city results and JSONL bytes bit-identical across shard and "
+              "thread counts: %s\n",
+              city.deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value(std::string("ff-bench-runtime-v3"));
+  json.key("schema").value(std::string("ff-bench-runtime-v4"));
   json.key("clients_per_plan").value(clients);
   json.key("hardware_threads").value(hw_threads);
   // v3: the CPUs actually visible to this process — perf rows that depend
@@ -529,6 +632,43 @@ int main(int argc, char** argv) {
   else
     json.key("skipped_reason").value(tp_skipped_reason);
   json.end_object();
+  // v4: the sharded many-relay city simulation — deployment-scale
+  // throughput under inter-site interference, the whole-city FF session
+  // CDF, and an honest parallel-speedup field following the same
+  // speedup-XOR-skipped_reason rule as stream_throughput.
+  json.key("city");
+  json.begin_object();
+  json.key("grid").value(city_grid);
+  json.key("clients_per_site").value(city_clients);
+  json.key("sites").value(city.run.summary.sites);
+  json.key("sessions").value(city.run.summary.sessions);
+  json.key("shards").value(city.run.summary.shards);
+  json.key("wall_ms_1t").value(city.wall_ms_1t);
+  json.key("wall_ms").value(city.wall_ms);
+  json.key("client_sessions_per_sec").value(city.sessions_per_sec);
+  json.key("ff_total_mbps").value(city.run.summary.ff_total_mbps);
+  json.key("hd_mesh_total_mbps").value(city.run.summary.hd_mesh_total_mbps);
+  json.key("direct_total_mbps").value(city.run.summary.direct_total_mbps);
+  json.key("gain_vs_hd_mesh").value(city.run.summary.gain_vs_hd_mesh);
+  json.key("median_gain_vs_hd_mesh").value(city.run.summary.median_gain_vs_hd_mesh);
+  json.key("throughput_cdf_mbps");
+  json.begin_array();
+  for (const auto& pt : city_cdf) {
+    json.begin_object();
+    json.key("p").value(pt.prob);
+    json.key("mbps").value(pt.value);
+    json.end_object();
+  }
+  json.end_array();
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(city.run.checksum));
+  json.key("checksum").value(std::string(cs));
+  json.key("deterministic").value(city.deterministic);
+  if (city_skipped_reason.empty())
+    json.key("speedup_vs_1t").value(city_speedup);
+  else
+    json.key("skipped_reason").value(city_skipped_reason);
+  json.end_object();
   json.end_object();
 
   if (!json.write_file(out_path)) {
@@ -545,5 +685,8 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", metrics_path.c_str());
   }
-  return deterministic && metrics_deterministic && stream_deterministic ? 0 : 1;
+  return deterministic && metrics_deterministic && stream_deterministic &&
+                 city.deterministic
+             ? 0
+             : 1;
 }

@@ -1,5 +1,5 @@
 # streaming-smoke: run bench_runtime with a short stream session and
-# validate the stream_relay entries in the emitted ff-bench-runtime-v3 JSON:
+# validate the stream_relay entries in the emitted ff-bench-runtime-v4 JSON:
 # the kernels array must carry stream_relay and stream_relay_throughput
 # rows, the top-level "stream" and "stream_throughput" objects must report
 # throughput and per-block latency, the throughput row must carry either a
@@ -29,6 +29,7 @@ set(bench_json ${WORK_DIR}/BENCH_runtime_streaming_smoke.json)
 execute_process(
   COMMAND ${BENCH_RUNTIME} --clients 2 --reps 1
           --duration 5e-4 --block-size 64 --backpressure 4
+          --city-grid 2 --city-clients 2
           --out ${bench_json}
   WORKING_DIRECTORY ${WORK_DIR}
   RESULT_VARIABLE rc
@@ -45,8 +46,8 @@ string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
 if(jerr)
   message(FATAL_ERROR "bench JSON does not parse: ${jerr}")
 endif()
-if(NOT schema STREQUAL "ff-bench-runtime-v3")
-  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v3)")
+if(NOT schema STREQUAL "ff-bench-runtime-v4")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v4)")
 endif()
 
 # v3: the visible-CPU count that perf rows condition their speedup claims on.

@@ -15,6 +15,7 @@ endif()
 set(metrics_json ${WORK_DIR}/BENCH_metrics_smoke.json)
 execute_process(
   COMMAND ${BENCH_RUNTIME} --clients 2 --reps 1
+          --city-grid 2 --city-clients 2
           --out ${WORK_DIR}/BENCH_runtime_metrics_smoke.json
           --metrics ${metrics_json}
   WORKING_DIRECTORY ${WORK_DIR}

@@ -1,0 +1,436 @@
+#include "city/city.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/pathloss.hpp"
+#include "channel/propagation.hpp"
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/seeding.hpp"
+#include "common/telemetry.hpp"
+#include "common/units.hpp"
+#include "eval/experiment.hpp"
+#include "eval/schemes.hpp"
+#include "relay/design.hpp"
+
+namespace ff::city {
+
+std::string to_string(Direction d) {
+  return d == Direction::kDownlink ? "dl" : "ul";
+}
+
+CityConfig CityConfig::grid(std::size_t cols, std::size_t rows, double site_w_m,
+                            double site_h_m, double street_m) {
+  CityConfig cfg;
+  cfg.site_w_m = site_w_m;
+  cfg.site_h_m = site_h_m;
+  cfg.sites.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Site s;
+      s.origin = {static_cast<double>(c) * (site_w_m + street_m),
+                  static_cast<double>(r) * (site_h_m + street_m)};
+      // Same corner-AP / mid-room-relay geometry as eval::make_placement:
+      // relay placement relative to the AP sets the ceiling of FF's gains.
+      s.ap = {0.08 * site_w_m, 0.10 * site_h_m};
+      s.relay = {0.22 * site_w_m, 0.28 * site_h_m};
+      cfg.sites.push_back(s);
+    }
+  }
+  return cfg;
+}
+
+namespace {
+
+// The 0.4 m wall margin eval::random_client_location keeps; a building must
+// be wider than twice that or the client draw has an empty support.
+constexpr double kClientMarginM = 0.4;
+
+channel::Point city_pos(const Site& site, const channel::Point& local) {
+  return {site.origin.x + local.x, site.origin.y + local.y};
+}
+
+bool finite(const channel::Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+/// Every site shares one local floor plan: the Fig. 1 paper home scaled to
+/// the building footprint. Keeping the interior partitions matters — the
+/// relay's value (and the paper's 2.3x claim) lives on the
+/// behind-two-drywalls clients; an open room would leave every direct link
+/// healthy and compress all three deployments together.
+channel::FloorPlan make_site_plan(const CityConfig& cfg) {
+  const channel::FloorPlan home = channel::FloorPlan::paper_home();
+  const double sx = cfg.site_w_m / home.width();
+  const double sy = cfg.site_h_m / home.height();
+  std::vector<channel::Wall> walls = home.walls();
+  for (channel::Wall& w : walls) {
+    w.a = {w.a.x * sx, w.a.y * sy};
+    w.b = {w.b.x * sx, w.b.y * sy};
+  }
+  return channel::FloorPlan("city_site", std::move(walls), cfg.site_w_m, cfg.site_h_m);
+}
+
+// ------------------------------------------------------- interference field
+
+/// Scalar inter-site coupling. Per victim point it sums, over every OTHER
+/// site, the log-distance-attenuated transmit powers of that site's active
+/// nodes under each deployment:
+///   FastForward — AP and FD relay both transmit the whole time;
+///   HD mesh     — AP and mesh router alternate slots (0.5 duty each);
+///   AP only     — just the AP.
+/// Deterministic: a pure function of geometry summed in site order.
+struct InterferenceField {
+  std::vector<channel::Point> ap;     // city coordinates, per site
+  std::vector<channel::Point> relay;  // city coordinates, per site
+  double ap_mw = 0.0;
+  double relay_mw = 0.0;
+  double mesh_mw = 0.0;
+  double carrier_hz = 2.45e9;
+  double exponent = 3.5;
+  double extra_loss_db = 34.0;
+
+  /// Attenuation from a transmitter at `from` to a victim at `to`, as a
+  /// linear power gain. Distances are floored at 1 m (the log-distance
+  /// reference) so a pathological co-located pair cannot blow up the sum.
+  double gain(const channel::Point& from, const channel::Point& to) const {
+    const double d = std::max(channel::distance(from, to), 1.0);
+    return power_from_db(-(channel::log_distance_loss_db(d, carrier_hz, exponent) +
+                           extra_loss_db));
+  }
+};
+
+InterferenceField make_field(const CityConfig& cfg) {
+  InterferenceField f;
+  f.ap.reserve(cfg.sites.size());
+  f.relay.reserve(cfg.sites.size());
+  for (const Site& s : cfg.sites) {
+    f.ap.push_back(city_pos(s, s.ap));
+    f.relay.push_back(city_pos(s, s.relay));
+  }
+  f.ap_mw = power_from_db(cfg.testbed.ap_power_dbm);
+  f.relay_mw = power_from_db(cfg.relay_tx_power_dbm);
+  f.mesh_mw = power_from_db(cfg.mesh_power_dbm);
+  f.carrier_hz = cfg.testbed.ofdm.carrier_hz;
+  f.exponent = cfg.intersite_path_loss_exponent;
+  f.extra_loss_db = cfg.intersite_extra_loss_db;
+  return f;
+}
+
+struct InterferenceAt {
+  double ff_mw = 0.0;  // FastForward city: every foreign AP + FD relay
+  double hd_mw = 0.0;  // HD mesh city: alternating slots, 0.5 duty each
+  double ap_mw = 0.0;  // AP-only city: foreign APs alone
+};
+
+InterferenceAt interference_at(const InterferenceField& f, const channel::Point& p,
+                               std::size_t self_site) {
+  InterferenceAt out;
+  for (std::size_t i = 0; i < f.ap.size(); ++i) {
+    if (i == self_site) continue;
+    const double g_ap = f.gain(f.ap[i], p);
+    const double g_relay = f.gain(f.relay[i], p);
+    out.ap_mw += f.ap_mw * g_ap;
+    out.ff_mw += f.ap_mw * g_ap + f.relay_mw * g_relay;
+    out.hd_mw += 0.5 * (f.ap_mw * g_ap + f.mesh_mw * g_relay);
+  }
+  return out;
+}
+
+/// Thermal floor (dBm) raised by an interference power (mW).
+double raised_noise_dbm(double floor_dbm, double interference_mw) {
+  return db_from_power(power_from_db(floor_dbm) + interference_mw);
+}
+
+// --------------------------------------------------------------- sessions
+
+struct SessionJob {
+  std::uint32_t site = 0;
+  std::uint32_t client = 0;
+  Direction direction = Direction::kDownlink;
+  channel::Point client_local{};
+  Rng rng{0};
+};
+
+/// Evaluate one session under all three deployments. The three variants
+/// share ONE synthesized channel realization (drawn from the job's private
+/// stream in a fixed order) and differ only in the interference-raised
+/// noise floors, so the comparison isolates the deployment, not the fading
+/// draw. The relay's residual self-interference stays inside
+/// cancellation_db (handled by design_ff_relay) and is NOT double counted
+/// in the city field.
+SessionResult evaluate_session(const CityConfig& cfg, const channel::FloorPlan& plan,
+                               const InterferenceField& field,
+                               const relay::DesignOptions& dopts, SessionJob& job) {
+  const Site& site = cfg.sites[job.site];
+  channel::PropagationConfig prop = cfg.testbed.prop;
+  prop.carrier_hz = cfg.testbed.ofdm.carrier_hz;
+  const channel::IndoorPropagation model(plan, prop);
+
+  // Uplink swaps the endpoints: client -> (relay) -> AP at client power.
+  const bool uplink = job.direction == Direction::kUplink;
+  const channel::Point src = uplink ? job.client_local : site.ap;
+  const channel::Point dst = uplink ? site.ap : job.client_local;
+
+  // Same draw order as eval::build_link: direct, then source->relay, then
+  // relay->destination — the order is part of the pinned-stream contract.
+  const auto ch_sd = model.link(src, dst, 1, 1, job.rng);
+  const auto ch_sr = model.link(src, site.relay, 1, 1, job.rng);
+  const auto ch_rd = model.link(site.relay, dst, 1, 1, job.rng);
+
+  const auto freqs = cfg.testbed.ofdm.used_subcarrier_freqs();
+  relay::RelayLink link;
+  link.h_sd.reserve(freqs.size());
+  link.h_sr.reserve(freqs.size());
+  link.h_rd.reserve(freqs.size());
+  for (const double f : freqs) {
+    link.h_sd.push_back(ch_sd.response(f));
+    link.h_sr.push_back(ch_sr.response(f));
+    // The relay's bulk processing delay rides on the relay->destination leg.
+    const double phase = -kTwoPi * f * cfg.testbed.relay_chain_delay_s;
+    link.h_rd.push_back(ch_rd.response(f) * Complex{std::cos(phase), std::sin(phase)});
+  }
+  link.source_power_dbm = uplink ? cfg.client_power_dbm : cfg.testbed.ap_power_dbm;
+  link.cancellation_db = cfg.testbed.cancellation_db;
+
+  const InterferenceAt i_dst = interference_at(field, city_pos(site, dst), job.site);
+  const InterferenceAt i_relay =
+      interference_at(field, city_pos(site, site.relay), job.site);
+
+  SessionResult r;
+  r.site = job.site;
+  r.client = job.client;
+  r.direction = job.direction;
+  r.client_pos = city_pos(site, job.client_local);
+  r.interference_dbm = i_dst.ff_mw > 0.0 ? db_from_power(i_dst.ff_mw) : -400.0;
+
+  // AP-only city.
+  link.dest_noise_dbm = raised_noise_dbm(cfg.testbed.noise_floor_dbm, i_dst.ap_mw);
+  r.direct_mbps = eval::ap_only_rate(link).throughput_mbps;
+
+  // Half-duplex mesh city: the AP still picks max(direct, two-hop/2), both
+  // evaluated under the mesh deployment's own interference.
+  link.dest_noise_dbm = raised_noise_dbm(cfg.testbed.noise_floor_dbm, i_dst.hd_mw);
+  link.relay_noise_dbm = raised_noise_dbm(cfg.testbed.relay_noise_dbm, i_relay.hd_mw);
+  r.hd_mesh_mbps = std::max(eval::ap_only_rate(link).throughput_mbps,
+                            eval::hd_two_hop_mbps(link, cfg.mesh_power_dbm));
+
+  // FastForward city.
+  link.dest_noise_dbm = raised_noise_dbm(cfg.testbed.noise_floor_dbm, i_dst.ff_mw);
+  link.relay_noise_dbm = raised_noise_dbm(cfg.testbed.relay_noise_dbm, i_relay.ff_mw);
+  const relay::RelayDesign design = relay::design_ff_relay(link, dopts);
+  r.ff_mbps = eval::relayed_rate(link, design).throughput_mbps;
+  return r;
+}
+
+// --------------------------------------------------------------- checksum
+
+// FNV-1a byte folding, the same rule the bench harness uses for its result
+// checksums; duplicated here (it is 6 lines) because bench/ headers are not
+// part of the library.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fold_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fold_u64(std::uint64_t& h, std::uint64_t v) { fold_bytes(h, &v, sizeof(v)); }
+
+void fold_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fold_u64(h, bits);
+}
+
+void fold_session(std::uint64_t& h, const SessionResult& r) {
+  fold_u64(h, r.site);
+  fold_u64(h, r.client);
+  fold_u64(h, r.direction == Direction::kUplink ? 1 : 0);
+  fold_double(h, r.client_pos.x);
+  fold_double(h, r.client_pos.y);
+  fold_double(h, r.ff_mbps);
+  fold_double(h, r.hd_mesh_mbps);
+  fold_double(h, r.direct_mbps);
+  fold_double(h, r.interference_dbm);
+}
+
+}  // namespace
+
+void validate(const CityConfig& cfg) {
+  FF_CHECK_MSG(!cfg.sites.empty(),
+               "CityConfig.sites must be non-empty — a city with zero relay sites has "
+               "nothing to simulate");
+  FF_CHECK_MSG(std::isfinite(cfg.site_w_m) && std::isfinite(cfg.site_h_m) &&
+                   cfg.site_w_m > 2.0 * kClientMarginM && cfg.site_h_m > 2.0 * kClientMarginM,
+               "CityConfig.site_w_m/site_h_m must be finite and exceed "
+                   << 2.0 * kClientMarginM
+                   << " m — client locations keep a " << kClientMarginM
+                   << " m margin from every wall");
+  FF_CHECK_MSG(cfg.clients_per_site > 0,
+               "CityConfig.clients_per_site must be positive — a city with no clients "
+               "has no sessions to run");
+  FF_CHECK_MSG(std::isfinite(cfg.client_power_dbm) && std::isfinite(cfg.mesh_power_dbm) &&
+                   std::isfinite(cfg.relay_tx_power_dbm),
+               "CityConfig.client_power_dbm/mesh_power_dbm/relay_tx_power_dbm must be "
+               "finite");
+  FF_CHECK_MSG(std::isfinite(cfg.intersite_path_loss_exponent) &&
+                   cfg.intersite_path_loss_exponent > 0.0,
+               "CityConfig.intersite_path_loss_exponent must be positive and finite");
+  FF_CHECK_MSG(std::isfinite(cfg.intersite_extra_loss_db) && cfg.intersite_extra_loss_db >= 0.0,
+               "CityConfig.intersite_extra_loss_db must be non-negative and finite");
+  FF_CHECK_MSG(std::isfinite(cfg.min_site_separation_m) && cfg.min_site_separation_m >= 0.0,
+               "CityConfig.min_site_separation_m must be non-negative and finite");
+  FF_CHECK_MSG(std::isfinite(cfg.testbed.cancellation_db),
+               "TestbedConfig.cancellation_db must be finite");
+
+  for (std::size_t i = 0; i < cfg.sites.size(); ++i) {
+    const Site& s = cfg.sites[i];
+    FF_CHECK_MSG(finite(s.origin),
+                 "CityConfig.sites[" << i << "].origin must have finite coordinates");
+    FF_CHECK_MSG(finite(s.ap) && s.ap.x > 0.0 && s.ap.x < cfg.site_w_m && s.ap.y > 0.0 &&
+                     s.ap.y < cfg.site_h_m,
+                 "CityConfig.sites[" << i
+                                     << "].ap must lie strictly inside the building "
+                                        "footprint (finite local coordinates in (0, "
+                                     << cfg.site_w_m << ") x (0, " << cfg.site_h_m << "))");
+    FF_CHECK_MSG(finite(s.relay) && s.relay.x > 0.0 && s.relay.x < cfg.site_w_m &&
+                     s.relay.y > 0.0 && s.relay.y < cfg.site_h_m,
+                 "CityConfig.sites[" << i
+                                     << "].relay must lie strictly inside the building "
+                                        "footprint (finite local coordinates in (0, "
+                                     << cfg.site_w_m << ") x (0, " << cfg.site_h_m << "))");
+    FF_CHECK_MSG(channel::distance(s.ap, s.relay) > 0.0,
+                 "CityConfig.sites[" << i
+                                     << "].relay must not sit on top of its own AP — "
+                                        "the relay needs a distinct placement");
+  }
+  for (std::size_t i = 0; i < cfg.sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < cfg.sites.size(); ++j) {
+      const double d =
+          channel::distance(city_pos(cfg.sites[i], cfg.sites[i].ap),
+                            city_pos(cfg.sites[j], cfg.sites[j].ap));
+      FF_CHECK_MSG(d >= cfg.min_site_separation_m,
+                   "CityConfig.sites[" << i << "] and sites[" << j
+                                       << "] have overlapping AP placements ("
+                                       << d << " m apart, min_site_separation_m = "
+                                       << cfg.min_site_separation_m << ")");
+    }
+  }
+}
+
+CityRun run_city(const CityConfig& cfg, SessionSink* sink) {
+  validate(cfg);
+  MetricsRegistry* m = cfg.metrics;
+  MetricsRegistry::ScopedTimer run_timer(m, "city.run.wall_us");
+
+  const channel::FloorPlan plan = make_site_plan(cfg);
+  const InterferenceField field = make_field(cfg);
+  relay::DesignOptions dopts = eval::default_design_options(cfg.testbed);
+  dopts.metrics = m;
+
+  // Phase 1 (serial): plan every session in a fixed order. Each site gets
+  // its own FNV-1a-labelled stream off the master seed; each client draws
+  // its location from the site stream, then each of its two sessions forks
+  // a private per-session stream by index. All randomness is pinned here,
+  // so the execution below can be split into any shards and any thread
+  // schedule and still produce bit-identical results.
+  std::vector<SessionJob> jobs;
+  jobs.reserve(cfg.sessions());
+  Rng master(cfg.seed);
+  for (std::uint32_t s = 0; s < cfg.sites.size(); ++s) {
+    Rng site_rng = seeding::fork_named(master, "site." + std::to_string(s));
+    for (std::uint32_t c = 0; c < cfg.clients_per_site; ++c) {
+      const channel::Point local = eval::random_client_location(plan, site_rng);
+      for (const Direction dir : {Direction::kDownlink, Direction::kUplink}) {
+        SessionJob job;
+        job.site = s;
+        job.client = c;
+        job.direction = dir;
+        job.client_local = local;
+        job.rng = seeding::fork_indexed(
+            site_rng, 2ULL * c + (dir == Direction::kUplink ? 1 : 0));
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  // Phase 2 (sharded): each shard is a contiguous slice of the session
+  // list. The shard runs on the worker pool into pre-sized slots, then a
+  // serial fold streams its results in session order — so peak memory is
+  // one shard's results, and the stream/checksum/aggregates are invariant
+  // to BOTH the shard count and the thread count.
+  const std::size_t n = jobs.size();
+  std::size_t shards = cfg.shards != 0 ? cfg.shards : (n + 1023) / 1024;
+  shards = std::max<std::size_t>(1, std::min(shards, n));
+
+  CitySummary summary;
+  summary.sites = cfg.sites.size();
+  summary.sessions = n;
+  summary.shards = shards;
+  std::uint64_t checksum = kFnvOffset;
+  // One double per mesh-live session (the same footprint the telemetry
+  // histograms keep) — full SessionResults never accumulate beyond a shard.
+  std::vector<double> session_gains;
+  std::vector<SessionResult> slot;
+  for (std::size_t sh = 0; sh < shards; ++sh) {
+    const std::size_t lo = sh * n / shards;
+    const std::size_t hi = (sh + 1) * n / shards;
+    slot.assign(hi - lo, SessionResult{});
+    parallel_for(
+        hi - lo,
+        [&](std::size_t i) {
+          MetricsRegistry::ScopedTimer session_timer(m, "city.session.wall_us");
+          slot[i] = evaluate_session(cfg, plan, field, dopts, jobs[lo + i]);
+        },
+        cfg.threads);
+    for (const SessionResult& r : slot) {
+      fold_session(checksum, r);
+      summary.ff_total_mbps += r.ff_mbps;
+      summary.hd_mesh_total_mbps += r.hd_mesh_mbps;
+      summary.direct_total_mbps += r.direct_mbps;
+      metrics::observe(m, "city.session_mbps.ff", r.ff_mbps);
+      metrics::observe(m, "city.session_mbps.hd_mesh", r.hd_mesh_mbps);
+      metrics::observe(m, "city.session_mbps.direct", r.direct_mbps);
+      metrics::observe(m, "city.interference_dbm", r.interference_dbm);
+      if (r.hd_mesh_mbps > 0.0) {
+        session_gains.push_back(r.ff_mbps / r.hd_mesh_mbps);
+        metrics::observe(m, "city.session_gain_vs_hd_mesh", session_gains.back());
+      }
+      if (sink) sink->on_session(r);
+    }
+  }
+  summary.gain_vs_hd_mesh = summary.hd_mesh_total_mbps > 0.0
+                                ? summary.ff_total_mbps / summary.hd_mesh_total_mbps
+                                : 0.0;
+  std::sort(session_gains.begin(), session_gains.end());
+  summary.median_gain_vs_hd_mesh = quantile_sorted(session_gains, 0.5);
+
+  // Serial post-pass tallies (whole-run descriptors).
+  metrics::add(m, "city.runs");
+  metrics::add(m, "city.sites", summary.sites);
+  metrics::add(m, "city.sessions", summary.sessions);
+  metrics::add(m, "city.shards", summary.shards);
+  metrics::set(m, "city.gain_vs_hd_mesh", summary.gain_vs_hd_mesh);
+  metrics::set(m, "city.median_gain_vs_hd_mesh", summary.median_gain_vs_hd_mesh);
+  metrics::set(m, "city.total_mbps.ff", summary.ff_total_mbps);
+  metrics::set(m, "city.total_mbps.hd_mesh", summary.hd_mesh_total_mbps);
+  metrics::set(m, "city.total_mbps.direct", summary.direct_total_mbps);
+
+  CityRun run;
+  run.summary = summary;
+  run.checksum = checksum;
+  return run;
+}
+
+}  // namespace ff::city

@@ -1,0 +1,196 @@
+// Sharded many-relay "city" simulation: the millions-of-users axis of the
+// evaluation.
+//
+// A city is a grid (or any custom set) of sites — one AP + one FastForward
+// relay per building — with many client locations per site and one
+// concurrent uplink + downlink session per client. Per-session PHY
+// throughput reuses the evaluator's machinery (eval::build-link-style
+// channel synthesis through channel::IndoorPropagation, relay::design_ff_relay,
+// the eval::schemes rate helpers), while relay-to-relay coupling across
+// sites is a scalar interference budget over the channel/pathloss
+// log-distance model:
+//
+//   * FastForward city — every site's AP AND relay transmit concurrently
+//     (full duplex), so each victim's noise floor is raised by the sum of
+//     both transmitters at every other site. The relay's own residual
+//     self-interference stays inside the link's cancellation_db budget
+//     (Sahai et al., "Pushing the limits of Full-duplex"), exactly as in
+//     the single-link evaluation.
+//   * Half-duplex mesh baseline — the multi-AP deployment framing of
+//     Duarte et al.: a decode-and-forward router at each relay position,
+//     perfectly scheduled alternating slots. Each node transmits half the
+//     time, so inter-site interference carries a 0.5 duty factor — and each
+//     packet costs two slots (eval::hd_two_hop_mbps).
+//   * AP-only city — no relays anywhere; only APs interfere.
+//
+// This makes the paper's headline ~2.3x-over-half-duplex-mesh claim a
+// measured, regression-tracked number at city scale.
+//
+// Determinism and scale: the session list is planned serially (per-site RNG
+// streams forked by FNV-1a label, per-session streams forked by index —
+// common/seeding.hpp), then executed shard by shard on the common/parallel
+// worker pool. Per-session results stream to a SessionSink in global
+// session order as each shard completes, so memory stays bounded by the
+// shard size at any city size, and both the aggregate summary and the
+// streamed bytes are bit-identical at any shard count x thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/floorplan.hpp"
+#include "eval/testbed.hpp"
+
+namespace ff {
+class MetricsRegistry;
+}
+
+namespace ff::city {
+
+/// One AP + FF-relay site. The building occupies
+/// [origin, origin + (site_w_m, site_h_m)) in city coordinates; ap/relay
+/// are in LOCAL building coordinates (the per-site floor plan's frame).
+struct Site {
+  channel::Point origin;  // building's SW corner, city coordinates (m)
+  channel::Point ap;      // local building coordinates (m)
+  channel::Point relay;   // local building coordinates (m)
+};
+
+struct CityConfig {
+  std::vector<Site> sites;
+  /// Building footprint shared by every site (the per-site floor plan).
+  double site_w_m = 12.0;
+  double site_h_m = 9.0;
+  /// Client locations per site; each client runs one downlink AND one
+  /// uplink session, so sessions = sites * clients_per_site * 2.
+  std::size_t clients_per_site = 4;
+  std::uint64_t seed = 1;
+  /// Contiguous shards the session list is split into. Each shard runs on
+  /// the worker pool, then streams its results serially; peak memory is one
+  /// shard's results. 0 = auto (ceil(sessions / 1024)). Results are
+  /// bit-identical at ANY shard count — randomness is pinned per session in
+  /// the serial planning phase, never per shard.
+  std::size_t shards = 0;
+  /// Worker threads within a shard (common/parallel.hpp; 0 = FF_THREADS /
+  /// hardware default). Bit-identical at every thread count.
+  std::size_t threads = 0;
+  /// Per-link PHY parameters (antennas forced to 1: the city is SISO, like
+  /// the net::network deployment machinery). cancellation_db is the relay's
+  /// self-interference budget; ap_power_dbm / noise floors seed the link
+  /// budgets exactly as in the single-link evaluator.
+  eval::TestbedConfig testbed{};
+  /// Uplink transmit power of an unmodified client.
+  double client_power_dbm = 15.0;
+  /// Transmit power of a half-duplex mesh router (hop 2 of the baseline).
+  double mesh_power_dbm = 20.0;
+  /// Transmit power an FD relay injects into OTHER sites (its interference
+  /// footprint; its own link keeps the design's amplification).
+  double relay_tx_power_dbm = 20.0;
+  /// Inter-site coupling: log-distance path loss at this exponent between
+  /// city positions, plus a fixed excess for the two building shells (plus
+  /// street clutter) every cross-site ray penetrates. The defaults put an
+  /// adjacent site's AP a few dB under the -90 dBm thermal floor — strong
+  /// enough to measurably tax the full-duty FD city, weak enough that the
+  /// deployment is interference-aware rather than interference-collapsed.
+  double intersite_path_loss_exponent = 3.5;
+  double intersite_extra_loss_db = 34.0;
+  /// Two APs closer than this (city coordinates) are an overlapping
+  /// placement and rejected by validation.
+  double min_site_separation_m = 1.0;
+  /// Optional metrics sink (`city.*`, docs/OBSERVABILITY.md). Default
+  /// nullptr records nothing.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Fluent construction mirroring ExperimentConfig:
+  ///   CityConfig::grid(4, 4).with_clients(8).with_seed(7).with_shards(4)
+  static CityConfig grid(std::size_t cols, std::size_t rows, double site_w_m = 12.0,
+                         double site_h_m = 9.0, double street_m = 6.0);
+  CityConfig& with_clients(std::size_t n) {
+    clients_per_site = n;
+    return *this;
+  }
+  CityConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  CityConfig& with_shards(std::size_t n) {
+    shards = n;
+    return *this;
+  }
+  CityConfig& with_threads(std::size_t n) {
+    threads = n;
+    return *this;
+  }
+  CityConfig& with_metrics(MetricsRegistry* m) {
+    metrics = m;
+    return *this;
+  }
+
+  std::size_t sessions() const { return sites.size() * clients_per_site * 2; }
+};
+
+enum class Direction { kDownlink, kUplink };
+
+/// JSONL-stable slug ("dl" | "ul").
+std::string to_string(Direction d);
+
+/// One session's outcome under all three city deployments.
+struct SessionResult {
+  std::uint32_t site = 0;
+  std::uint32_t client = 0;
+  Direction direction = Direction::kDownlink;
+  channel::Point client_pos;       // city coordinates
+  double ff_mbps = 0.0;            // FastForward city
+  double hd_mesh_mbps = 0.0;       // half-duplex mesh city (baseline)
+  double direct_mbps = 0.0;        // AP-only city
+  /// Aggregate FD inter-site interference at this session's destination.
+  double interference_dbm = -400.0;
+};
+
+/// Streaming consumer of per-session results. on_session is called from the
+/// serial fold phase, once per session, in global session order — never
+/// concurrently — so sinks need no locking and their output is
+/// deterministic at any shard/thread count.
+class SessionSink {
+ public:
+  virtual ~SessionSink() = default;
+  virtual void on_session(const SessionResult& r) = 0;
+};
+
+/// Aggregate view of a whole city run (bounded memory: totals only; the
+/// per-session stream goes to the SessionSink / telemetry histograms).
+struct CitySummary {
+  std::size_t sites = 0;
+  std::size_t sessions = 0;
+  std::size_t shards = 0;  // the count actually used (auto resolved)
+  double ff_total_mbps = 0.0;
+  double hd_mesh_total_mbps = 0.0;
+  double direct_total_mbps = 0.0;
+  /// The headline: city-wide FastForward throughput over the half-duplex
+  /// mesh baseline (0 when the mesh total is 0).
+  double gain_vs_hd_mesh = 0.0;
+  /// Median per-session FF/HD-mesh gain (sessions with a live mesh rate) —
+  /// the apples-to-apples counterpart of the paper's per-location ~2.3x
+  /// median; the total above is diluted by healthy near-AP clients whose
+  /// direct link needs no relay.
+  double median_gain_vs_hd_mesh = 0.0;
+};
+
+struct CityRun {
+  CitySummary summary;
+  /// FNV-1a over every session's numeric fields in session order: two runs
+  /// are bit-identical iff the checksums match (tests/city_test.cpp pins it
+  /// across shard counts {1,2,4,8} x FF_THREADS {1,2,4}).
+  std::uint64_t checksum = 0;
+};
+
+/// Validate `cfg` (FF_CHECK with field-naming messages: zero sites,
+/// non-finite/out-of-building coordinates, overlapping AP placements, ...).
+/// run_city calls this; exposed so CLIs can fail fast before planning.
+void validate(const CityConfig& cfg);
+
+/// Run the city simulation. Sink may be nullptr (aggregates only).
+CityRun run_city(const CityConfig& cfg, SessionSink* sink = nullptr);
+
+}  // namespace ff::city

@@ -1,0 +1,70 @@
+#include "city/jsonl.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/json_writer.hpp"
+
+namespace ff::city {
+
+JsonlWriter::JsonlWriter(std::ostream& os, std::string label)
+    : os_(&os), label_(std::move(label)) {}
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)), label_(path) {
+  if (!*owned_)
+    throw std::runtime_error("city jsonl: cannot open '" + path + "' for writing");
+  os_ = owned_.get();
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (closed_ || os_ == nullptr) return;
+  os_->flush();  // best effort; errors are only surfaced by close()
+}
+
+void JsonlWriter::check_stream(const char* what) {
+  if (os_->good()) return;
+  throw std::runtime_error("city jsonl: short write to '" + label_ + "' (" + what +
+                           " after " + std::to_string(lines_) +
+                           " complete lines) — results file is truncated");
+}
+
+void JsonlWriter::write_line(const std::string& json_object) {
+  if (closed_)
+    throw std::runtime_error("city jsonl: write to '" + label_ + "' after close()");
+  *os_ << json_object << '\n';
+  check_stream("write failed");
+  ++lines_;
+}
+
+void JsonlWriter::close() {
+  if (closed_) return;
+  os_->flush();
+  check_stream("flush failed");
+  closed_ = true;
+  if (owned_) {
+    owned_->close();
+    if (!*owned_)
+      throw std::runtime_error("city jsonl: closing '" + label_ + "' failed after " +
+                               std::to_string(lines_) + " lines");
+  }
+}
+
+std::string to_jsonl(const SessionResult& r, std::size_t session_index) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("session").value(static_cast<std::uint64_t>(session_index));
+  json.key("site").value(static_cast<std::uint64_t>(r.site));
+  json.key("client").value(static_cast<std::uint64_t>(r.client));
+  json.key("dir").value(to_string(r.direction));
+  json.key("x").value(r.client_pos.x);
+  json.key("y").value(r.client_pos.y);
+  json.key("ff_mbps").value(r.ff_mbps);
+  json.key("hd_mesh_mbps").value(r.hd_mesh_mbps);
+  json.key("direct_mbps").value(r.direct_mbps);
+  json.key("interference_dbm").value(r.interference_dbm);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace ff::city

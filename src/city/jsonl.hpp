@@ -1,0 +1,84 @@
+// Streaming JSON-Lines output for per-session city results.
+//
+// One self-contained JSON object per line (schema `ff-city-session-v1`,
+// docs/CITYSIM.md), appended as each shard's serial fold delivers its
+// sessions — so the file grows incrementally with bounded memory at any
+// city size, and its bytes are identical at any shard/thread count
+// (numbers go through JsonWriter's %.6g rule).
+//
+// Error surfacing: every write is checked against the sink's stream state.
+// A short write (disk full, closed pipe, failed flush) raises a
+// std::runtime_error naming the sink and the line that failed, instead of
+// silently truncating a results file that a later analysis would read as
+// complete. close() performs the final flush-and-check; the destructor
+// flushes but never throws.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "city/city.hpp"
+
+namespace ff::city {
+
+class JsonlWriter {
+ public:
+  /// Borrow an existing stream (in-memory byte comparisons, tests). `label`
+  /// names the sink in error messages.
+  explicit JsonlWriter(std::ostream& os, std::string label = "<stream>");
+
+  /// Own a file opened for (truncating) write. Throws std::runtime_error if
+  /// it cannot be opened.
+  explicit JsonlWriter(const std::string& path);
+
+  ~JsonlWriter();
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Append one serialized JSON object as a line. Throws std::runtime_error
+  /// if the sink rejects any byte.
+  void write_line(const std::string& json_object);
+
+  /// Flush and verify the sink took every byte; throws on failure. Called
+  /// implicitly by the destructor, which swallows the error — call close()
+  /// explicitly when you need short writes surfaced.
+  void close();
+
+  std::size_t lines_written() const { return lines_; }
+
+ private:
+  void check_stream(const char* what);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_ = nullptr;
+  std::string label_;
+  std::size_t lines_ = 0;
+  bool closed_ = false;
+};
+
+/// Serialize one session result as its JSONL object (no trailing newline):
+///   {"session":12,"site":1,"client":2,"dir":"dl","x":...,"y":...,
+///    "ff_mbps":...,"hd_mesh_mbps":...,"direct_mbps":...,
+///    "interference_dbm":...}
+/// `session` is the global session index (assigned by arrival order, which
+/// IS the deterministic global session order).
+std::string to_jsonl(const SessionResult& r, std::size_t session_index);
+
+/// SessionSink adapter: streams every session through a JsonlWriter.
+class JsonlSessionSink : public SessionSink {
+ public:
+  explicit JsonlSessionSink(JsonlWriter& writer) : writer_(writer) {}
+
+  void on_session(const SessionResult& r) override {
+    writer_.write_line(to_jsonl(r, index_++));
+  }
+
+ private:
+  JsonlWriter& writer_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace ff::city

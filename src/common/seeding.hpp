@@ -1,0 +1,49 @@
+// Deterministic RNG stream derivation — the "PR 1 trick" as a shared
+// vocabulary.
+//
+// Every deterministic-parallel subsystem (the experiment engine, the stream
+// elements, the city simulation) pins its randomness the same way: a master
+// Rng forks one child stream per named sub-domain (floor plan, city site,
+// "noise"/"drift" role) with the label hashed by FNV-1a — pinned by
+// common/rng.hpp, so streams are identical across standard libraries — and
+// each item within a sub-domain forks again by its index. All forking
+// happens in a serial planning phase; the parallel compute phase then only
+// ever draws from pre-forked per-item streams, which is what makes results
+// bit-identical at any thread, shard, or chunk count.
+//
+// These helpers replace the previously duplicated inline spellings
+// (`master.fork(fnv1a_64(plan.name()))` in eval/experiment.cpp,
+// `Rng(seed).fork(fnv1a_64("noise"))` in stream/elements.cpp). They are
+// byte-for-byte equivalent to those spellings: the committed experiment and
+// stream checksums depend on it (tests/parallel_test.cpp pins the
+// equivalence).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace ff::seeding {
+
+/// Child stream for the named sub-domain `name` under `parent`. Advances
+/// `parent` by exactly one engine draw (forking IS a parent draw), like any
+/// other fork.
+inline Rng fork_named(Rng& parent, std::string_view name) {
+  return parent.fork(fnv1a_64(name));
+}
+
+/// Child stream for the `index`-th item of a sub-domain. Thin alias for
+/// Rng::fork kept so planning loops read as named-then-indexed derivation.
+inline Rng fork_indexed(Rng& parent, std::uint64_t index) { return parent.fork(index); }
+
+/// Named stream rooted directly at a raw seed (no shared master): the
+/// stream elements' per-role streams, where one config seed feeds several
+/// independent consumers ("noise", "drift"). Each call builds a fresh root,
+/// so sibling roles never perturb each other's sequences.
+inline Rng named_stream(std::uint64_t seed, std::string_view name) {
+  Rng root(seed);
+  return fork_named(root, name);
+}
+
+}  // namespace ff::seeding

@@ -59,12 +59,7 @@ double canonical(double v) { return v == 0.0 ? 0.0 : v; }
 
 /// Nearest-rank percentile over an ascending-sorted sample set.
 double percentile_sorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size());
-  std::size_t idx = static_cast<std::size_t>(rank);
-  if (static_cast<double>(idx) < rank) ++idx;  // ceil
-  if (idx == 0) idx = 1;
-  return sorted[std::min(idx, sorted.size()) - 1];
+  return quantile_sorted(sorted, p / 100.0);
 }
 
 MetricValue aggregate_samples(const std::string& name, MetricKind kind,
@@ -112,6 +107,15 @@ void write_histogram_entries(JsonWriter& json, const std::vector<MetricValue>& m
 }
 
 }  // namespace
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx == 0) idx = 1;
+  return sorted[std::min(idx, sorted.size()) - 1];
+}
 
 MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
 MetricsRegistry::~MetricsRegistry() = default;
@@ -197,6 +201,40 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (auto& [name, vs] : timers)
     snap.timers.push_back(aggregate_samples(name, MetricKind::kTimer, std::move(vs)));
   return snap;
+}
+
+std::vector<double> MetricsRegistry::histogram_samples(std::string_view name) const {
+  // The same shard merge snapshot() performs, restricted to one histogram:
+  // concatenation across shards (any order) then an ascending sort, so the
+  // result — and every quantile of it — is thread-count-invariant.
+  std::vector<double> samples;
+  const std::string key(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    const auto it = shard->histograms.find(key);
+    if (it != shard->histograms.end())
+      samples.insert(samples.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+double MetricsRegistry::histogram_quantile(std::string_view name, double q) const {
+  return quantile_sorted(histogram_samples(name), q);
+}
+
+std::vector<HistogramCdfPoint> MetricsRegistry::histogram_cdf(std::string_view name,
+                                                              std::size_t points) const {
+  const std::vector<double> samples = histogram_samples(name);
+  std::vector<HistogramCdfPoint> cdf;
+  if (samples.empty() || points == 0) return cdf;
+  cdf.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points);
+    cdf.push_back({p, quantile_sorted(samples, p)});
+  }
+  return cdf;
 }
 
 void MetricsRegistry::clear() {

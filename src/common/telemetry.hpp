@@ -90,6 +90,20 @@ struct MetricsSnapshot {
   std::string to_csv() const;
 };
 
+/// One point of a deterministic histogram CDF: P(X <= value) = prob.
+struct HistogramCdfPoint {
+  double prob = 0.0;   // cumulative probability in (0, 1]
+  double value = 0.0;  // nearest-rank quantile at that probability
+};
+
+/// Nearest-rank quantile (q in [0, 1]) over an ascending-sorted sample set —
+/// the exact rule snapshot() uses for p50/p90/p99, exposed so callers can
+/// take any quantile of a histogram (the city throughput CDF). Returns the
+/// sample at index ceil(q*n)-1 (clamped); 0.0 on an empty set. Because the
+/// input is the merged-and-sorted sample set, the result is bit-identical
+/// however the observations were sharded across threads.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
 class MetricsRegistry {
  public:
   MetricsRegistry();
@@ -111,6 +125,23 @@ class MetricsRegistry {
 
   /// Merge every shard into a deterministic snapshot.
   MetricsSnapshot snapshot() const;
+
+  /// All observations of one histogram metric, merged across shards and
+  /// sorted ascending — the exact sample set snapshot() aggregates. Empty
+  /// when the metric has never been observed (or is not a histogram).
+  std::vector<double> histogram_samples(std::string_view name) const;
+
+  /// Deterministic quantile of a histogram: quantile_sorted() over the
+  /// merged sample set. q in [0, 1]; 0.0 for an unrecorded metric.
+  double histogram_quantile(std::string_view name, double q) const;
+
+  /// Deterministic CDF of a histogram sampled at `points` evenly spaced
+  /// probabilities (1/points, 2/points, ..., 1): each entry pairs the
+  /// probability with the nearest-rank quantile there. Empty when the
+  /// metric has never been observed. Like every snapshot aggregate, the
+  /// result is byte-identical at any thread count.
+  std::vector<HistogramCdfPoint> histogram_cdf(std::string_view name,
+                                               std::size_t points = 20) const;
 
   /// Drop all recorded values (shards stay registered to their threads).
   void clear();

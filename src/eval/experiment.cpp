@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/seeding.hpp"
 #include "common/telemetry.hpp"
 #include "dsp/kernels/kernels.hpp"
 #include "eval/stats.hpp"
@@ -193,12 +194,12 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   Rng master(cfg.seed);
   for (const auto& plan : plans) {
     placements.push_back(make_placement(plan));
-    Rng plan_rng = master.fork(fnv1a_64(plan.name()));
+    Rng plan_rng = seeding::fork_named(master, plan.name());
     for (std::size_t c = 0; c < cfg.clients_per_plan; ++c) {
       LocationJob job;
       job.placement = &placements.back();
       job.client = random_client_location(plan, plan_rng);
-      job.rng = plan_rng.fork(c);
+      job.rng = seeding::fork_indexed(plan_rng, c);
       jobs.push_back(std::move(job));
     }
   }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/seeding.hpp"
 #include "dsp/resample.hpp"
 
 namespace ff::stream {
@@ -240,8 +241,8 @@ void ChannelElement::configure(const Params& p) {
                             ? CVec{Complex{}}
                             : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
                                                   cfg_.sinc_half_width));
-  noise_rng_ = Rng(cfg_.seed).fork(fnv1a_64("noise"));
-  drift_rng_ = Rng(cfg_.seed).fork(fnv1a_64("drift"));
+  noise_rng_ = seeding::named_stream(cfg_.seed, "noise");
+  drift_rng_ = seeding::named_stream(cfg_.seed, "drift");
   retunes_ = 0;
 }
 
@@ -272,8 +273,8 @@ ChannelElement::ChannelElement(std::string name, ChannelElementConfig cfg)
                ? CVec{Complex{}}
                : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
                                      cfg_.sinc_half_width)),
-      noise_rng_(Rng(cfg_.seed).fork(fnv1a_64("noise"))),
-      drift_rng_(Rng(cfg_.seed).fork(fnv1a_64("drift"))) {
+      noise_rng_(seeding::named_stream(cfg_.seed, "noise")),
+      drift_rng_(seeding::named_stream(cfg_.seed, "drift")) {
   FF_CHECK_MSG(cfg_.sample_rate_hz > 0.0, "ChannelElement needs a positive sample rate");
   FF_CHECK_MSG(cfg_.noise_power >= 0.0, "ChannelElement noise_power must be >= 0");
   FF_CHECK_MSG(cfg_.coherence_time_s >= 0.0,

@@ -1,0 +1,219 @@
+// City simulation: sharded execution determinism, streamed JSONL output,
+// and the physics sanity of the FF-vs-mesh comparison.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "city/city.hpp"
+#include "city/jsonl.hpp"
+#include "common/telemetry.hpp"
+
+namespace ff {
+namespace {
+
+// Every run below uses this city; the checksum is pinned so ANY change to
+// the session plan, the RNG forking scheme, the interference model, or the
+// PHY evaluation shows up as a diff here — and the shard x thread grid
+// proves the execution schedule is not part of the result.
+city::CityConfig test_city() {
+  return city::CityConfig::grid(2, 2).with_clients(2).with_seed(7);
+}
+
+constexpr std::uint64_t kCityChecksum = 0xb24678fcf8fb8934ULL;
+
+struct CapturedRun {
+  city::CityRun run;
+  std::string jsonl;
+  std::vector<city::SessionResult> sessions;
+};
+
+CapturedRun run_city_capturing(std::size_t shards, std::size_t threads) {
+  struct CapturingSink : city::SessionSink {
+    city::JsonlSessionSink jsonl_sink;
+    std::vector<city::SessionResult>* out;
+    explicit CapturingSink(city::JsonlWriter& w, std::vector<city::SessionResult>* o)
+        : jsonl_sink(w), out(o) {}
+    void on_session(const city::SessionResult& r) override {
+      jsonl_sink.on_session(r);
+      out->push_back(r);
+    }
+  };
+
+  CapturedRun captured;
+  std::ostringstream os;
+  city::JsonlWriter writer(os, "<test>");
+  CapturingSink sink(writer, &captured.sessions);
+  captured.run = city::run_city(test_city().with_shards(shards).with_threads(threads), &sink);
+  writer.close();
+  captured.jsonl = os.str();
+  return captured;
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(City, ChecksumIsBitIdenticalAcrossShardAndThreadCounts) {
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    for (const std::size_t threads : {1, 2, 4}) {
+      const city::CityRun run =
+          city::run_city(test_city().with_shards(shards).with_threads(threads));
+      EXPECT_EQ(run.checksum, kCityChecksum)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(run.summary.shards, shards);
+    }
+  }
+}
+
+TEST(City, JsonlBytesAreIdenticalAcrossShardAndThreadCounts) {
+  const CapturedRun reference = run_city_capturing(1, 1);
+  ASSERT_FALSE(reference.jsonl.empty());
+  for (const std::size_t shards : {2, 4, 8}) {
+    for (const std::size_t threads : {1, 2, 4}) {
+      const CapturedRun other = run_city_capturing(shards, threads);
+      EXPECT_EQ(other.jsonl, reference.jsonl)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(City, AutoShardsBoundMemoryWithoutChangingResults) {
+  const city::CityRun pinned = city::run_city(test_city().with_shards(3));
+  const city::CityRun automatic = city::run_city(test_city());  // shards = 0
+  EXPECT_EQ(automatic.checksum, pinned.checksum);
+  EXPECT_EQ(automatic.checksum, kCityChecksum);
+  EXPECT_EQ(automatic.summary.shards, 1u);  // 16 sessions -> one auto shard
+}
+
+// ------------------------------------------------------------------ JSONL
+
+TEST(City, JsonlIsOneObjectPerLineInSessionOrder) {
+  const CapturedRun captured = run_city_capturing(2, 2);
+  ASSERT_EQ(captured.sessions.size(), test_city().sessions());
+
+  std::istringstream lines(captured.jsonl);
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(i, captured.sessions.size());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"session\":" + std::to_string(i) + ","), std::string::npos);
+    EXPECT_NE(line.find("\"dir\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"ff_mbps\":"), std::string::npos);
+    EXPECT_NE(line.find("\"hd_mesh_mbps\":"), std::string::npos);
+    EXPECT_EQ(line, city::to_jsonl(captured.sessions[i], i));
+    ++i;
+  }
+  EXPECT_EQ(i, captured.sessions.size());
+  EXPECT_EQ(captured.jsonl.back(), '\n');  // every line is newline-terminated
+}
+
+TEST(City, SessionsArriveInGlobalPlanOrder) {
+  const CapturedRun captured = run_city_capturing(4, 2);
+  const city::CityConfig cfg = test_city();
+  std::size_t i = 0;
+  for (std::uint32_t site = 0; site < cfg.sites.size(); ++site) {
+    for (std::uint32_t client = 0; client < cfg.clients_per_site; ++client) {
+      for (const auto dir : {city::Direction::kDownlink, city::Direction::kUplink}) {
+        ASSERT_LT(i, captured.sessions.size());
+        EXPECT_EQ(captured.sessions[i].site, site);
+        EXPECT_EQ(captured.sessions[i].client, client);
+        EXPECT_EQ(captured.sessions[i].direction, dir);
+        ++i;
+      }
+    }
+  }
+}
+
+/// streambuf that accepts `budget` bytes and then reports failure — the
+/// deterministic stand-in for a full disk / dead pipe.
+class ShortWriteBuf : public std::streambuf {
+ public:
+  explicit ShortWriteBuf(std::size_t budget) : budget_(budget) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (budget_ == 0) return traits_type::eof();
+    --budget_;
+    return ch;
+  }
+
+ private:
+  std::size_t budget_;
+};
+
+TEST(City, JsonlShortWriteSurfacesStructuredError) {
+  ShortWriteBuf buf(64);  // room for well under one session line set
+  std::ostream os(&buf);
+  city::JsonlWriter writer(os, "full-disk");
+  city::JsonlSessionSink sink(writer);
+  try {
+    city::run_city(test_city(), &sink);
+    FAIL() << "short write must raise";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("short write"), std::string::npos) << what;
+    EXPECT_NE(what.find("full-disk"), std::string::npos) << what;
+  }
+}
+
+TEST(City, JsonlCloseReportsFailedFlush) {
+  ShortWriteBuf buf(16);
+  std::ostream os(&buf);
+  city::JsonlWriter writer(os, "tiny");
+  EXPECT_THROW(writer.write_line("{\"k\":\"0123456789abcdef\"}"), std::runtime_error);
+}
+
+TEST(City, JsonlWriterRejectsUnopenablePath) {
+  EXPECT_THROW(city::JsonlWriter("/nonexistent-dir/city.jsonl"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- physics
+
+TEST(City, SummaryMatchesStreamedSessions) {
+  const CapturedRun captured = run_city_capturing(2, 1);
+  double ff = 0.0, hd = 0.0, direct = 0.0;
+  for (const auto& r : captured.sessions) {
+    ff += r.ff_mbps;
+    hd += r.hd_mesh_mbps;
+    direct += r.direct_mbps;
+  }
+  // The summary folds in the same serial order, so equality is exact.
+  EXPECT_EQ(captured.run.summary.ff_total_mbps, ff);
+  EXPECT_EQ(captured.run.summary.hd_mesh_total_mbps, hd);
+  EXPECT_EQ(captured.run.summary.direct_total_mbps, direct);
+  EXPECT_EQ(captured.run.summary.sessions, captured.sessions.size());
+  EXPECT_EQ(captured.run.summary.sites, test_city().sites.size());
+  EXPECT_DOUBLE_EQ(captured.run.summary.gain_vs_hd_mesh, ff / hd);
+}
+
+TEST(City, FastForwardCityBeatsHalfDuplexMesh) {
+  // The paper's headline at deployment scale: even paying full-duty
+  // inter-site interference, the FD relay city outperforms the perfectly
+  // scheduled half-duplex mesh — per session (median) and city-wide.
+  const city::CityRun run = city::run_city(city::CityConfig::grid(3, 3).with_seed(1));
+  EXPECT_GT(run.summary.gain_vs_hd_mesh, 1.0);
+  EXPECT_GT(run.summary.median_gain_vs_hd_mesh, 1.0);
+  EXPECT_GT(run.summary.hd_mesh_total_mbps, run.summary.direct_total_mbps);
+}
+
+TEST(City, TelemetryRecordsCityMetricsDeterministically) {
+  MetricsRegistry a, b;
+  city::run_city(test_city().with_threads(1).with_metrics(&a));
+  city::run_city(test_city().with_threads(4).with_metrics(&b));
+  // Timers are nondeterministic by nature; everything else must match.
+  EXPECT_EQ(a.snapshot().to_json(/*include_timer_values=*/false),
+            b.snapshot().to_json(/*include_timer_values=*/false));
+  EXPECT_FALSE(a.histogram_samples("city.session_mbps.ff").empty());
+  const auto cdf = a.histogram_cdf("city.session_mbps.ff", 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  EXPECT_EQ(cdf.back().prob, 1.0);
+  EXPECT_EQ(cdf.back().value, a.histogram_quantile("city.session_mbps.ff", 1.0));
+}
+
+}  // namespace
+}  // namespace ff

@@ -3,6 +3,8 @@
 // recording work was sharded across threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -144,6 +146,78 @@ TEST(Telemetry, MergedOutputIsThreadCountInvariant) {
   // And the canonical form still carries the timer's observation count.
   EXPECT_NE(one.find("\"work.wall_us\""), std::string::npos);
   EXPECT_NE(one.find("\"count\":64"), std::string::npos);
+}
+
+
+// ------------------------------------------------------- quantiles / CDF
+
+TEST(Telemetry, QuantileSortedFollowsTheNearestRankRule) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(quantile_sorted(sorted, 0.0), 1.0);    // clamped to first sample
+  EXPECT_EQ(quantile_sorted(sorted, 0.25), 1.0);   // ceil(0.25*4) = 1st
+  EXPECT_EQ(quantile_sorted(sorted, 0.26), 2.0);
+  EXPECT_EQ(quantile_sorted(sorted, 0.5), 2.0);
+  EXPECT_EQ(quantile_sorted(sorted, 0.75), 3.0);
+  EXPECT_EQ(quantile_sorted(sorted, 1.0), 4.0);
+  EXPECT_EQ(quantile_sorted({}, 0.5), 0.0);        // empty set
+}
+
+TEST(Telemetry, QuantileSortedMatchesSnapshotPercentiles) {
+  // The helper IS the percentile rule: p50/p90/p99 of a snapshot must be
+  // quantile_sorted at 0.5/0.9/0.99 of the merged sample set.
+  MetricsRegistry reg;
+  for (int i = 100; i >= 1; --i) reg.observe("h", static_cast<double>(i));
+  const auto samples = reg.histogram_samples("h");
+  ASSERT_EQ(samples.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end()));
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].p50, quantile_sorted(samples, 0.5));
+  EXPECT_EQ(snap.histograms[0].p90, quantile_sorted(samples, 0.9));
+  EXPECT_EQ(snap.histograms[0].p99, quantile_sorted(samples, 0.99));
+  EXPECT_EQ(reg.histogram_quantile("h", 0.5), 50.0);
+}
+
+TEST(Telemetry, HistogramCdfPairsProbabilitiesWithQuantiles) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 10; ++i) reg.observe("h", static_cast<double>(i));
+  const auto cdf = reg.histogram_cdf("h", 5);
+  ASSERT_EQ(cdf.size(), 5u);
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cdf[i].prob, static_cast<double>(i + 1) / 5.0);
+    EXPECT_EQ(cdf[i].value, static_cast<double>(2 * (i + 1)));  // 2,4,6,8,10
+  }
+  EXPECT_TRUE(reg.histogram_cdf("never.observed").empty());
+  EXPECT_TRUE(reg.histogram_cdf("h", 0).empty());
+}
+
+TEST(Telemetry, QuantilesAreThreadCountInvariant) {
+  // Byte-identical merge rule, extended to the quantile surface: however
+  // the observations were sharded (1, 2 or 4 threads), the merged samples,
+  // any quantile, and the CDF are identical.
+  const auto run = [](std::size_t threads) {
+    auto reg = std::make_unique<MetricsRegistry>();
+    parallel_for(
+        64, [&](std::size_t i) { reg->observe("q", static_cast<double>((i * 37) % 64)); },
+        threads);
+    return reg;
+  };
+  const auto one_reg = run(1);
+  const MetricsRegistry& one = *one_reg;
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto many_reg = run(threads);
+    const MetricsRegistry& many = *many_reg;
+    EXPECT_EQ(many.histogram_samples("q"), one.histogram_samples("q"));
+    for (const double q : {0.1, 0.5, 0.9, 0.99})
+      EXPECT_EQ(many.histogram_quantile("q", q), one.histogram_quantile("q", q));
+    const auto a = one.histogram_cdf("q");
+    const auto b = many.histogram_cdf("q");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].prob, b[i].prob);
+      EXPECT_EQ(a[i].value, b[i].value);
+    }
+  }
 }
 
 TEST(Telemetry, SnapshotMergesAcrossShards) {

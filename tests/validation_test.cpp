@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "city/city.hpp"
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/noise.hpp"
@@ -177,6 +178,98 @@ TEST(StreamValidation, FaultRejectsBadRatesThroughInjectorValidation) {
   EXPECT_THROW(configure("estimate_sigma", "-0.5"), std::logic_error);
   EXPECT_THROW(configure("sounding_failure", "1.01"), std::logic_error);
   EXPECT_NO_THROW(configure("drop", "0.25"));
+}
+
+
+// ------------------------------------------------------------------ city
+
+TEST(CityValidation, RejectsZeroRelaySites) {
+  city::CityConfig cfg;  // no sites
+  EXPECT_THROW(city::run_city(cfg), std::logic_error);
+}
+
+TEST(CityValidation, RejectsNonFiniteCoordinates) {
+  auto cfg = city::CityConfig::grid(2, 1);
+  cfg.sites[0].origin.x = kNan;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(2, 1);
+  cfg.sites[1].ap.y = kInf;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(2, 1);
+  cfg.sites[0].relay.x = -kInf;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+}
+
+TEST(CityValidation, RejectsDevicesOutsideTheBuilding) {
+  auto cfg = city::CityConfig::grid(1, 1);
+  cfg.sites[0].ap = {cfg.site_w_m + 1.0, 1.0};
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.sites[0].relay = {1.0, -0.5};
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+}
+
+TEST(CityValidation, RejectsOverlappingApPlacements) {
+  auto cfg = city::CityConfig::grid(2, 1);
+  cfg.sites[1].origin = cfg.sites[0].origin;  // second building on the first
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  // A relay stacked on its own AP is rejected too.
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.sites[0].relay = cfg.sites[0].ap;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+}
+
+TEST(CityValidation, RejectsDegenerateScalars) {
+  auto cfg = city::CityConfig::grid(1, 1);
+  cfg.clients_per_site = 0;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.site_w_m = 0.5;  // thinner than twice the client wall margin
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.mesh_power_dbm = kNan;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.intersite_path_loss_exponent = 0.0;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.intersite_extra_loss_db = -1.0;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+
+  cfg = city::CityConfig::grid(1, 1);
+  cfg.testbed.cancellation_db = kInf;
+  EXPECT_THROW(city::validate(cfg), std::logic_error);
+}
+
+TEST(CityValidation, MessagesNameTheOffendingField) {
+  auto cfg = city::CityConfig::grid(2, 1);
+  cfg.sites[1].origin = cfg.sites[0].origin;
+  try {
+    city::validate(cfg);
+    FAIL() << "expected FF_CHECK";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("overlapping AP placements"), std::string::npos) << what;
+    EXPECT_NE(what.find("sites[0]"), std::string::npos) << what;
+  }
+  city::CityConfig blank;
+  try {
+    city::validate(blank);
+    FAIL() << "expected FF_CHECK";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CityConfig.sites"), std::string::npos);
+  }
+}
+
+TEST(CityValidation, AcceptsTheDefaultGrid) {
+  EXPECT_NO_THROW(city::validate(city::CityConfig::grid(3, 3)));
 }
 
 // ------------------------------------------------------------------ net
