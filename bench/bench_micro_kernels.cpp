@@ -18,6 +18,7 @@
 #include "relay/pipeline.hpp"
 #include "stream/elements.hpp"
 #include "stream/graph.hpp"
+#include "stream/params.hpp"
 #include "stream/ring.hpp"
 #include "stream/scheduler.hpp"
 
@@ -70,6 +71,44 @@ void BM_CmulSimd(benchmark::State& state) {
                           static_cast<int64_t>(a.size()));
 }
 BENCHMARK(BM_CmulSimd);
+
+// ---- float32 family: the same dispatched kernels with float lanes (double
+// the SIMD width per register, kernels.hpp "float32 family"). Each row pairs
+// with its f64 twin above/below so the width gain is a row-to-row ratio:
+// BM_CmulSimd <-> BM_CmulF32Simd, BM_Fft64 <-> BM_Fft64F32,
+// BM_FirCoreF64 <-> BM_FirCoreF32, BM_CancellerApplyF64 <-> ...F32.
+
+void BM_CmulF32Simd(benchmark::State& state) {
+  Rng rng(11);
+  dsp::kernels::AlignedCVec wide(4096);
+  for (auto& v : wide) v = rng.cgaussian();
+  dsp::kernels::AlignedCVec32 a(4096), b(4096), out(4096);
+  dsp::kernels::narrow(wide, a);
+  for (auto& v : wide) v = rng.cgaussian();
+  dsp::kernels::narrow(wide, b);
+  for (auto _ : state) {
+    dsp::kernels::cmul(a, b, out);  // dispatched: scalar when FF_SIMD=OFF
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_CmulF32Simd);
+
+void BM_Fft64F32(benchmark::State& state) {
+  const dsp::FftPlan32 plan(64);
+  Rng rng(1);
+  CVec wide(64);
+  for (auto& v : wide) v = rng.cgaussian();
+  dsp::kernels::AlignedCVec32 x(64);
+  dsp::kernels::narrow(wide, x);
+  for (auto _ : state) {
+    plan.forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Fft64F32);
 
 void BM_Fft64Radix2(benchmark::State& state) {
   const dsp::FftPlan plan(64);
@@ -157,6 +196,43 @@ void BM_FirProcessIntoBlock(benchmark::State& state) {
                           static_cast<int64_t>(x.size()));
 }
 BENCHMARK(BM_FirProcessIntoBlock);
+
+// The raw dense-FIR cores, f64 vs f32, on the canceller's 120-tap shape: one
+// 256-sample block over a pre-staged extended input, no delay-line
+// bookkeeping — pure kernels::axpy throughput in each precision.
+
+void BM_FirCoreF64(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t taps = 120, n = 256;
+  dsp::kernels::AlignedCVec h(taps), ext(taps - 1 + n), y(n);
+  for (auto& v : h) v = rng.cgaussian(1e-3);
+  for (auto& v : ext) v = rng.cgaussian();
+  for (auto _ : state) {
+    dsp::fir_core(h, ext.data(), y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FirCoreF64);
+
+void BM_FirCoreF32(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t taps = 120, n = 256;
+  dsp::kernels::AlignedCVec hw(taps), extw(taps - 1 + n);
+  for (auto& v : hw) v = rng.cgaussian(1e-3);
+  for (auto& v : extw) v = rng.cgaussian();
+  dsp::kernels::AlignedCVec32 h(taps), ext(taps - 1 + n), y(n);
+  dsp::kernels::narrow(hw, h);
+  dsp::kernels::narrow(extw, ext);
+  for (auto _ : state) {
+    dsp::fir_core32(h, ext.data(), y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FirCoreF32);
 
 void BM_PipelineProcessBlock(benchmark::State& state) {
   relay::PipelineConfig cfg;
@@ -255,6 +331,52 @@ void BM_CancellerApplyWorkspace(benchmark::State& state) {
                           static_cast<int64_t>(s.rx.size()));
 }
 BENCHMARK(BM_CancellerApplyWorkspace);
+
+// The streaming canceller's per-block apply (analog FIR + digital FIR +
+// two subtractions) in each precision — the element the precision=f32 graph
+// key switches. Same taps, same blocks; the delta is float lanes plus the
+// narrow/widen conversions at the block edges.
+
+void BM_CancellerApplyF64(benchmark::State& state) {
+  Rng rng(13);
+  CVec analog(24), digital(120);
+  for (auto& t : analog) t = rng.cgaussian(1e-4);
+  for (auto& t : digital) t = rng.cgaussian(1e-6);
+  stream::CancellerElement canc("c", analog, digital);
+  CVec rx(256), tx(256);
+  for (auto& v : rx) v = rng.cgaussian();
+  for (auto& v : tx) v = rng.cgaussian();
+  for (auto _ : state) {
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+    benchmark::DoNotOptimize(rx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rx.size()));
+}
+BENCHMARK(BM_CancellerApplyF64);
+
+void BM_CancellerApplyF32(benchmark::State& state) {
+  Rng rng(13);
+  CVec analog(24), digital(120);
+  for (auto& t : analog) t = rng.cgaussian(1e-4);
+  for (auto& t : digital) t = rng.cgaussian(1e-6);
+  stream::CancellerElement canc("c", analog, digital);
+  stream::Params p;
+  p.set("analog", stream::format_cvec(analog));
+  p.set("digital", stream::format_cvec(digital));
+  p.set("precision", "f32");
+  canc.configure(p);
+  CVec rx(256), tx(256);
+  for (auto& v : rx) v = rng.cgaussian();
+  for (auto& v : tx) v = rng.cgaussian();
+  for (auto _ : state) {
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+    benchmark::DoNotOptimize(rx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rx.size()));
+}
+BENCHMARK(BM_CancellerApplyF32);
 
 void BM_DigitalCancellerTraining(benchmark::State& state) {
   Rng rng(4);

@@ -109,6 +109,16 @@ std::vector<KernelTiming> time_kernels(int reps) {
                    time_best_ms([&] { for (std::size_t i = 0; i < kBatch; ++i) plan.inverse(x); },
                                 reps),
                    kBatch});
+    // The float32 twin: same transform, double the SIMD lanes per register.
+    // Paired with fft64_forward so the width gain is a row-to-row ratio.
+    const dsp::FftPlan32& plan32 = dsp::FftPlan32::cached(64);
+    dsp::kernels::AlignedCVec32 x32(64);
+    dsp::kernels::narrow(x, x32);
+    out.push_back({"fft64_forward_f32",
+                   time_best_ms(
+                       [&] { for (std::size_t i = 0; i < kBatch; ++i) plan32.forward(x32); },
+                       reps),
+                   kBatch});
   }
   {
     const dsp::FftPlan& plan = dsp::FftPlan::cached(1024);
@@ -172,9 +182,11 @@ struct StreamSetup {
   relay::PipelineConfig pipeline;
   ff::stream::PacketSourceConfig packets;
   double fs_hi = 0.0;
+  ff::Precision precision = ff::Precision::kF64;
 };
 
-StreamSetup make_stream_setup(double duration_s) {
+StreamSetup make_stream_setup(double duration_s,
+                              ff::Precision precision = ff::Precision::kF64) {
   constexpr std::size_t kOversample = 4;  // the evaluator's converter rate
   const TestbedConfig tb;
   const auto plan = channel::FloorPlan::paper_home();
@@ -185,6 +197,8 @@ StreamSetup make_stream_setup(double duration_s) {
   s.link = build_td_link(placement, {6.0, 4.0}, tb, rng);
   s.fs_hi = tb.ofdm.sample_rate_hz * static_cast<double>(kOversample);
   s.pipeline = make_ff_pipeline(s.link, tb.ofdm, /*extra_latency_s=*/0.0);
+  s.precision = precision;
+  s.pipeline.precision = precision;
 
   s.packets.params = tb.ofdm;
   s.packets.mcs_index = 3;
@@ -228,7 +242,8 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
   const std::size_t cap = backpressure;
   st::Graph g;
   auto* src = g.emplace<st::PacketSource>("src", s.packets, block_size);
-  auto* cfo = g.emplace<st::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi);
+  auto* cfo = g.emplace<st::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi,
+                                        s.precision);
   auto* tee = g.emplace<st::Tee>("tee", 2);
 
   st::ChannelElementConfig sd;
@@ -236,6 +251,7 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
   sd.sample_rate_hz = s.fs_hi;
   sd.noise_power = power_from_db(s.link.dest_noise_dbm) * 4.0;
   sd.seed = s.packets.seed ^ 0xD5;
+  sd.precision = s.precision;
   auto* chan_sd = g.emplace<st::ChannelElement>("chan_sd", sd);
   auto* q = g.emplace<st::Queue>("q");
 
@@ -244,6 +260,7 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
   sr.sample_rate_hz = s.fs_hi;
   sr.noise_power = power_from_db(s.link.relay_noise_dbm) * 4.0;
   sr.seed = s.packets.seed ^ 0x5F;
+  sr.precision = s.precision;
   auto* chan_sr = g.emplace<st::ChannelElement>("chan_sr", sr);
   auto* relay = g.emplace<st::PipelineElement>("relay", s.pipeline);
 
@@ -251,6 +268,7 @@ StreamRun run_stream_once(const StreamSetup& s, std::size_t block_size,
   rd.channel = s.link.rd;
   rd.sample_rate_hz = s.fs_hi;
   rd.seed = s.packets.seed ^ 0xFD;
+  rd.precision = s.precision;
   auto* chan_rd = g.emplace<st::ChannelElement>("chan_rd", rd);
 
   auto* add = g.emplace<st::Add2>("add");
@@ -446,6 +464,22 @@ int main(int argc, char** argv) {
   kernels.push_back({"stream_relay_throughput", stream_tp_ms,
                      static_cast<std::size_t>(stream_tp_run.blocks)});
 
+  // ---- stream_relay_f32 (v5): the same session on the float32 kernel
+  // family (precision=f32 on the channels and the relay pipeline). Unlike
+  // the thread-scaling rows, this speedup comes from SIMD width, so it is
+  // meaningful even on a single visible CPU — no skipped_reason branch.
+  const StreamSetup setup_f32 =
+      make_stream_setup(stream_cli.duration_s(), ff::Precision::kF32);
+  StreamRun stream_f32_run;
+  const double stream_f32_ms = time_best_ms(
+      [&] {
+        stream_f32_run = run_stream_once(setup_f32, stream_cli.block_size(),
+                                         stream_cli.backpressure(), stream_cli.threads());
+      },
+      reps);
+  kernels.push_back({"stream_relay_f32", stream_f32_ms,
+                     static_cast<std::size_t>(stream_f32_run.blocks)});
+
   // The runtime's invariance contract: the output stream is bit-identical
   // for any block size and thread count (tests/stream_test.cpp proves it on
   // synthetic graphs; this re-proves it on the full relay session). The
@@ -476,6 +510,29 @@ int main(int argc, char** argv) {
                                         stream_cli.backpressure(), v.chains, e);
     if (r.checksum != stream_run.checksum || r.samples != stream_run.samples)
       stream_deterministic = false;
+  }
+
+  // The f32 family holds the same invariance contract around its OWN
+  // checksum (a different constant from the f64 one — the families never
+  // mix): reference rounds across block sizes and threads, plus the
+  // pipeline scheduler, must all reproduce stream_f32_run bit for bit.
+  bool stream_f32_deterministic = stream_f32_run.samples == stream_run.samples;
+  const struct { std::size_t block_size, threads; } f32_variants[] = {
+      {1, 1}, {7, 2}, {4096, 4}};
+  for (const auto& v : f32_variants) {
+    const StreamRun r = run_stream_once(setup_f32, v.block_size,
+                                        stream_cli.backpressure(), v.threads);
+    if (r.checksum != stream_f32_run.checksum || r.samples != stream_f32_run.samples)
+      stream_f32_deterministic = false;
+  }
+  {
+    StreamExec e;
+    e.throughput = true;
+    e.batch_size = 4;
+    const StreamRun r = run_stream_once(setup_f32, stream_cli.block_size(),
+                                        stream_cli.backpressure(), /*threads=*/2, e);
+    if (r.checksum != stream_f32_run.checksum || r.samples != stream_f32_run.samples)
+      stream_f32_deterministic = false;
   }
 
   // The pipeline speedup claim is only testable when the host actually has
@@ -516,6 +573,16 @@ int main(int argc, char** argv) {
   std::printf("stream output bit-identical across block sizes, threads, "
               "modes and batch sizes: %s\n",
               stream_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+  const double stream_f32_msps =
+      static_cast<double>(stream_f32_run.samples) / (1e3 * stream_f32_ms);
+  const double f32_speedup = stream_f32_ms > 0.0 ? stream_ms / stream_f32_ms : 0.0;
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(stream_f32_run.checksum));
+  std::printf("stream_relay_f32: %.1f Msamples/s (%.2fx vs f64, own checksum %s)\n",
+              stream_f32_msps, f32_speedup, cs);
+  std::printf("f32 stream output bit-identical across block sizes, threads "
+              "and modes: %s\n",
+              stream_f32_deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
 
   // ---- city: the sharded many-relay simulation. Like the pipeline row,
   // the parallel-speedup claim needs real cores; the checksum/JSONL
@@ -547,7 +614,7 @@ int main(int argc, char** argv) {
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value(std::string("ff-bench-runtime-v4"));
+  json.key("schema").value(std::string("ff-bench-runtime-v5"));
   json.key("clients_per_plan").value(clients);
   json.key("hardware_threads").value(hw_threads);
   // v3: the CPUs actually visible to this process — perf rows that depend
@@ -632,6 +699,29 @@ int main(int argc, char** argv) {
   else
     json.key("skipped_reason").value(tp_skipped_reason);
   json.end_object();
+  // v5: the same session on the float32 kernel family. Its checksum is a
+  // different constant from stream.checksum by design (own pinned family,
+  // docs/PERFORMANCE.md); speedup_f32_vs_f64 is a SIMD-width gain and is
+  // therefore reported unconditionally — it does not need spare cores.
+  json.key("stream_f32");
+  json.begin_object();
+  json.key("mode").value(std::string("reference"));
+  json.key("precision").value(std::string("f32"));
+  json.key("block_size").value(stream_cli.block_size());
+  json.key("backpressure_blocks").value(stream_cli.backpressure());
+  json.key("threads").value(stream_cli.threads());
+  json.key("samples").value(static_cast<std::size_t>(stream_f32_run.samples));
+  json.key("blocks").value(static_cast<std::size_t>(stream_f32_run.blocks));
+  json.key("best_of_ms").value(stream_f32_ms);
+  json.key("samples_per_sec").value(1e6 * stream_f32_msps);
+  json.key("us_per_block").value(1e3 * stream_f32_ms /
+                                 static_cast<double>(stream_f32_run.blocks));
+  std::snprintf(cs, sizeof(cs), "%016llx",
+                static_cast<unsigned long long>(stream_f32_run.checksum));
+  json.key("checksum").value(std::string(cs));
+  json.key("deterministic").value(stream_f32_deterministic);
+  json.key("speedup_f32_vs_f64").value(f32_speedup);
+  json.end_object();
   // v4: the sharded many-relay city simulation — deployment-scale
   // throughput under inter-site interference, the whole-city FF session
   // CDF, and an honest parallel-speedup field following the same
@@ -686,7 +776,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", metrics_path.c_str());
   }
   return deterministic && metrics_deterministic && stream_deterministic &&
-                 city.deterministic
+                 stream_f32_deterministic && city.deterministic
              ? 0
              : 1;
 }

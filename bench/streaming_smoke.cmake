@@ -1,17 +1,22 @@
 # streaming-smoke: run bench_runtime with a short stream session and
-# validate the stream_relay entries in the emitted ff-bench-runtime-v4 JSON:
-# the kernels array must carry stream_relay and stream_relay_throughput
-# rows, the top-level "stream" and "stream_throughput" objects must report
-# throughput and per-block latency, the throughput row must carry either a
-# speedup_vs_reference ratio or an explicit skipped_reason (single visible
-# CPU), and the determinism flag (output checksum identical across block
-# sizes, thread counts, scheduler modes and batch sizes) must be true.
-# bench_runtime exits non-zero on a violation, which is also caught.
+# validate the stream_relay entries in the emitted ff-bench-runtime-v5 JSON:
+# the kernels array must carry stream_relay, stream_relay_throughput and
+# stream_relay_f32 rows, the top-level "stream", "stream_throughput" and
+# "stream_f32" objects must report throughput and per-block latency, the
+# throughput row must carry either a speedup_vs_reference ratio or an
+# explicit skipped_reason (single visible CPU), the f32 row must carry a
+# speedup_f32_vs_f64 ratio (SIMD width needs no spare cores) and its own
+# checksum distinct from the f64 one, and the determinism flags (output
+# checksum identical across block sizes, thread counts, scheduler modes and
+# batch sizes — per precision family) must be true. bench_runtime exits
+# non-zero on a violation, which is also caught.
 #
 # When STREAMING_RELAY and RELAY_GRAPH are given, the script also runs the
 # streaming_relay example with the checked-in declarative graph description
 # (examples/relay.ff) and requires the decode to report crc=OK — the
-# text-built session must reproduce the hand-wired physics end to end.
+# text-built session must reproduce the hand-wired physics end to end. The
+# same example is then re-run with --precision f32: the float32 fast path
+# must also decode crc=OK.
 #
 # Invoked by CTest as:
 #   cmake -DBENCH_RUNTIME=<path> -DWORK_DIR=<dir>
@@ -46,8 +51,8 @@ string(JSON schema ERROR_VARIABLE jerr GET "${doc}" schema)
 if(jerr)
   message(FATAL_ERROR "bench JSON does not parse: ${jerr}")
 endif()
-if(NOT schema STREQUAL "ff-bench-runtime-v4")
-  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v4)")
+if(NOT schema STREQUAL "ff-bench-runtime-v5")
+  message(FATAL_ERROR "unexpected schema tag '${schema}' (want ff-bench-runtime-v5)")
 endif()
 
 # v3: the visible-CPU count that perf rows condition their speedup claims on.
@@ -89,14 +94,20 @@ if(jerr)
 endif()
 set(found_row FALSE)
 set(found_tp_row FALSE)
+set(found_f32_row FALSE)
+set(found_fft_f32_row FALSE)
 math(EXPR last "${n} - 1")
 foreach(i RANGE 0 ${last})
   string(JSON name GET "${doc}" kernels ${i} name)
-  if(name STREQUAL "stream_relay" OR name STREQUAL "stream_relay_throughput")
+  if(name MATCHES "^(stream_relay|stream_relay_throughput|stream_relay_f32|fft64_forward_f32)$")
     if(name STREQUAL "stream_relay")
       set(found_row TRUE)
-    else()
+    elseif(name STREQUAL "stream_relay_throughput")
       set(found_tp_row TRUE)
+    elseif(name STREQUAL "stream_relay_f32")
+      set(found_f32_row TRUE)
+    else()
+      set(found_fft_f32_row TRUE)
     endif()
     string(JSON ms GET "${doc}" kernels ${i} best_of_ms)
     if(NOT ms GREATER 0)
@@ -109,6 +120,12 @@ if(NOT found_row)
 endif()
 if(NOT found_tp_row)
   message(FATAL_ERROR "no stream_relay_throughput row in the kernels array of ${bench_json}")
+endif()
+if(NOT found_f32_row)
+  message(FATAL_ERROR "no stream_relay_f32 row in the kernels array of ${bench_json}")
+endif()
+if(NOT found_fft_f32_row)
+  message(FATAL_ERROR "no fft64_forward_f32 row in the kernels array of ${bench_json}")
 endif()
 
 # The top-level stream object: config echoed back, throughput + per-block
@@ -172,7 +189,39 @@ if(NOT sp_err AND NOT sk_err)
                       "skipped_reason; they are mutually exclusive")
 endif()
 
-message(STATUS "streaming smoke OK: stream_relay rows and stream/stream_throughput objects valid in ${bench_json}")
+# v5: the stream_f32 object — the same session on the float32 kernel family.
+# Its checksum is a separate pinned family (must differ from the f64 one),
+# its determinism flag covers the f32 block/thread/mode grid, and the
+# speedup_f32_vs_f64 ratio is present unconditionally: SIMD width, unlike
+# thread count, does not need spare cores to mean something.
+string(JSON f32_prec ERROR_VARIABLE jerr GET "${doc}" stream_f32 precision)
+if(jerr)
+  message(FATAL_ERROR "bench JSON missing v5 'stream_f32' object: ${jerr}")
+endif()
+if(NOT f32_prec STREQUAL "f32")
+  message(FATAL_ERROR "stream_f32.precision = '${f32_prec}', want 'f32'")
+endif()
+foreach(field samples blocks samples_per_sec us_per_block speedup_f32_vs_f64)
+  string(JSON v ERROR_VARIABLE jerr GET "${doc}" stream_f32 ${field})
+  if(jerr)
+    message(FATAL_ERROR "stream_f32 object missing '${field}': ${jerr}")
+  endif()
+  if(NOT v GREATER 0)
+    message(FATAL_ERROR "stream_f32.${field} = ${v}, expected > 0")
+  endif()
+endforeach()
+string(JSON f32_det GET "${doc}" stream_f32 deterministic)
+if(NOT f32_det STREQUAL "ON")
+  message(FATAL_ERROR "stream_f32.deterministic = ${f32_det}: the f32 session "
+                      "output was not bit-identical across its block/thread/mode grid")
+endif()
+string(JSON f32_cs GET "${doc}" stream_f32 checksum)
+if(f32_cs STREQUAL "${ref_cs}")
+  message(FATAL_ERROR "stream_f32.checksum equals the f64 stream checksum "
+                      "${ref_cs}: the precision switch did not take effect")
+endif()
+
+message(STATUS "streaming smoke OK: stream_relay rows and stream/stream_throughput/stream_f32 objects valid in ${bench_json}")
 
 # The declarative-graph path: build the session from the checked-in
 # examples/relay.ff description and require a clean end-to-end decode.
@@ -195,4 +244,21 @@ if(STREAMING_RELAY)
                         "cleanly (no 'crc=OK' in output).\n${out}")
   endif()
   message(STATUS "streaming smoke OK: text-built session from ${RELAY_GRAPH} decoded crc=OK")
+
+  # The float32 fast path must decode the same session cleanly too (the
+  # hand-wired topology; --precision f32 switches every sample path).
+  execute_process(
+    COMMAND ${STREAMING_RELAY} --precision f32
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "streaming_relay --precision f32 failed (rc=${rc}).\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "crc=OK")
+    message(FATAL_ERROR "streaming_relay --precision f32 did not decode cleanly "
+                        "(no 'crc=OK' in output).\n${out}")
+  endif()
+  message(STATUS "streaming smoke OK: float32 session decoded crc=OK")
 endif()

@@ -63,6 +63,7 @@ foreach(required
     eval.experiments
     eval.locations
     ff.kernels.isa
+    ff.kernels.precision
     eval.category.low_snr_low_rank
     eval.wins.ff
     eval.median_mbps.ff

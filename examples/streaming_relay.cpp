@@ -35,6 +35,7 @@
 // Usage: streaming_relay [--block-size N] [--duration S] [--backpressure B]
 //                        [--threads T] [--mode reference|throughput]
 //                        [--batch-size N] [--pin-cores]
+//                        [--precision f64|f32]
 //                        [--graph session.ff] [--set elem.handler=value]...
 //                        [--dump-graph out.ff]
 //                        [--seed S] [--metrics out.json]
@@ -106,6 +107,7 @@ stream::Params channel_params(const stream::ChannelElementConfig& cfg,
   p.set("delay_ref", stream::format_double(cfg.delay_ref_s));
   if (cfg.noise_power > 0.0) p.set("noise", stream::format_double(cfg.noise_power));
   p.set("seed", std::to_string(seed));
+  if (cfg.precision == Precision::kF32) p.set("precision", "f32");
   return p;
 }
 
@@ -147,6 +149,7 @@ stream::GraphSpec make_session_spec(const stream::PacketSourceConfig& pc,
   stream::Params cfo;
   cfo.set("hz", stream::format_double(source_cfo_hz));
   cfo.set("rate", stream::format_double(fs_hi));
+  if (pipe.precision == Precision::kF32) cfo.set("precision", "f32");
   decl("src_cfo", "Cfo", std::move(cfo));
 
   decl("tee", "Tee", {});
@@ -165,6 +168,7 @@ stream::GraphSpec make_session_spec(const stream::PacketSourceConfig& pc,
   relay.set("gain_db", stream::format_double(pipe.gain_db));
   if (!pipe.tx_filter.empty())
     relay.set("tx_filter", stream::format_cvec(pipe.tx_filter));
+  if (pipe.precision == Precision::kF32) relay.set("precision", "f32");
   decl("relay", "Pipeline", std::move(relay));
 
   decl("chan_rd", "Channel", channel_params(rd, rd.seed));
@@ -270,6 +274,15 @@ int main(int argc, char** argv) {
   rd.delay_ref_s = -align_s;
   rd.seed = seed ^ 0xFD;
 
+  // --precision f32: the whole sample path (both hops' channels, the relay
+  // forward pipeline) runs on the float32 kernel family; the graph text
+  // carries it as `precision=f32` on each declaration, so a dumped session
+  // round-trips the choice.
+  if (stream_cli.is_f32()) {
+    sd.precision = sr.precision = rd.precision = Precision::kF32;
+    pipeline_cfg.precision = Precision::kF32;
+  }
+
   stream::GraphSpec spec =
       make_session_spec(pc, stream_cli.block_size(), tx_amp, link.source_cfo_hz,
                         fs_hi, sd, sr, rd, pipeline_cfg);
@@ -330,9 +343,9 @@ int main(int argc, char** argv) {
   }
   const CVec rx_hi = sink->take();
   std::printf("streamed %zu samples at %.0f Msps "
-              "(%zu-sample blocks, queue depth %zu, %zu threads, %s mode, %llu %s)\n",
+              "(%zu-sample blocks, queue depth %zu, %zu threads, %s mode, %s, %llu %s)\n",
               rx_hi.size(), fs_hi / 1e6, stream_cli.block_size(),
-              cap, sc.threads, stream_cli.mode().c_str(),
+              cap, sc.threads, stream_cli.mode().c_str(), stream_cli.precision().c_str(),
               static_cast<unsigned long long>(progress),
               stream_cli.is_throughput() ? "ring transfers" : "rounds");
   if (stream::Element* relay = g.find("relay"))

@@ -51,6 +51,28 @@ class Rng {
     return {s * gaussian(), s * gaussian()};
   }
 
+  /// Float32 twin of cgaussian(): the float32 kernel family's noise draw.
+  /// Marsaglia polar method entirely in float arithmetic, one 64-bit engine
+  /// draw per trial (the top two 24-bit fields feed the two uniforms) —
+  /// several times cheaper than the two normal_distribution<double> draws
+  /// behind cgaussian(), which is what keeps noise injection off the
+  /// critical path of a float32 stream session. Deliberately a DIFFERENT
+  /// draw sequence from cgaussian() with the same statistics; the f32
+  /// checksum family pins it separately (docs/PERFORMANCE.md, "The float32
+  /// family").
+  Complex32 cgaussian32(float variance = 1.0f) {
+    float u, v, q;
+    do {
+      const std::uint64_t bits = engine_();
+      u = static_cast<float>(bits >> 40) * 0x1p-23f - 1.0f;
+      v = static_cast<float>((bits >> 16) & 0xFFFFFFu) * 0x1p-23f - 1.0f;
+      q = u * u + v * v;
+    } while (q >= 1.0f || q == 0.0f);
+    const float m =
+        std::sqrt(variance * 0.5f) * std::sqrt(-2.0f * std::log(q) / q);
+    return {u * m, v * m};
+  }
+
   /// Random phase point on the unit circle.
   Complex unit_phasor() {
     const double phi = uniform(0.0, 6.283185307179586);

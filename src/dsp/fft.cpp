@@ -23,6 +23,14 @@ Complex* tl_scratch(std::size_t n) {
   return buf.data();
 }
 
+// Float32 twin of the scratch; separate thread_local so mixed-precision
+// callers on one thread don't evict each other's steady-state size.
+Complex32* tl_scratch32(std::size_t n) {
+  thread_local kernels::AlignedCVec32 buf;
+  if (buf.size() < 2 * n) buf.resize(2 * n);
+  return buf.data();
+}
+
 }  // namespace
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
@@ -179,6 +187,99 @@ void FftPlan::inverse_radix2(CMutSpan data) const {
   transform_radix2<true>(data);
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& x : data) x *= scale;
+}
+
+FftPlan32::FftPlan32(std::size_t n) : n_(n) {
+  FF_CHECK_MSG(is_power_of_two(n) && n >= 2, "FFT size must be a power of two >= 2, got " << n);
+  // Same schedule as FftPlan; twiddle angles evaluated in double and
+  // narrowed once, so the f32 tables never depend on float libm variants.
+  std::size_t len = n_;
+  std::size_t m = 1;
+  while (len > 1) {
+    const std::size_t radix = (len % 4 == 0) ? 4 : 2;
+    const std::size_t bf = len / radix;
+    stages_.push_back({radix, bf, m, stage_tw_.size()});
+    for (std::size_t j = 0; j < bf; ++j) {
+      const double base = -kTwoPi * static_cast<double>(j) / static_cast<double>(len);
+      stage_tw_.push_back({static_cast<float>(std::cos(base)),
+                           static_cast<float>(std::sin(base))});
+      if (radix == 4) {
+        stage_tw_.push_back({static_cast<float>(std::cos(2.0 * base)),
+                             static_cast<float>(std::sin(2.0 * base))});
+        stage_tw_.push_back({static_cast<float>(std::cos(3.0 * base)),
+                             static_cast<float>(std::sin(3.0 * base))});
+      }
+    }
+    m *= radix;
+    len = bf;
+  }
+  stage_tw_inv_.resize(stage_tw_.size());
+  for (std::size_t i = 0; i < stage_tw_.size(); ++i)
+    stage_tw_inv_[i] = std::conj(stage_tw_[i]);
+}
+
+const FftPlan32& FftPlan32::cached(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<FftPlan32>>* cache =
+      new std::map<std::size_t, std::unique_ptr<FftPlan32>>();
+  const std::lock_guard<std::mutex> lk(mutex);
+  auto& slot = (*cache)[n];
+  if (!slot) slot = std::make_unique<FftPlan32>(n);
+  return *slot;
+}
+
+void FftPlan32::run_stages(const Complex32* src, Complex32* dst,
+                           Complex32* scratch, bool invert) const {
+  const std::size_t last_parity = (stages_.size() - 1) % 2;
+  const Complex32* tw_base = invert ? stage_tw_inv_.data() : stage_tw_.data();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    Complex32* out = (s % 2 == last_parity) ? dst : scratch;
+    const Complex32* tw = tw_base + st.tw_offset;
+    if (st.radix == 4)
+      kernels::radix4_stage(src, out, tw, st.butterflies, st.m, invert);
+    else
+      kernels::radix2_stage(src, out, tw, st.butterflies, st.m);
+    src = out;
+  }
+}
+
+void FftPlan32::transform_stockham(CMutSpan32 data, bool invert) const {
+  FF_CHECK(data.size() == n_);
+  Complex32* scratch = tl_scratch32(n_);
+  if (stages_.size() % 2 == 1) {
+    Complex32* staging = scratch + n_;
+    std::memcpy(staging, data.data(), n_ * sizeof(Complex32));
+    run_stages(staging, data.data(), scratch, invert);
+  } else {
+    run_stages(data.data(), data.data(), scratch, invert);
+  }
+}
+
+void FftPlan32::forward(CMutSpan32 data) const { transform_stockham(data, false); }
+
+void FftPlan32::inverse(CMutSpan32 data) const {
+  transform_stockham(data, true);
+  kernels::scale_real(1.0f / static_cast<float>(n_), data, data);
+}
+
+void FftPlan32::execute_many(CSpan32 in, CMutSpan32 out, std::size_t count,
+                             bool invert) const {
+  FF_CHECK_MSG(in.size() == count * n_ && out.size() == count * n_,
+               "execute_many: spans must hold count*n samples");
+  const bool in_place = in.data() == out.data();
+  Complex32* scratch = tl_scratch32(n_);
+  const float inv_scale = 1.0f / static_cast<float>(n_);
+  for (std::size_t t = 0; t < count; ++t) {
+    const Complex32* src = in.data() + t * n_;
+    CMutSpan32 dst{out.data() + t * n_, n_};
+    if (in_place) {
+      transform_stockham(dst, invert);
+    } else {
+      run_stages(src, dst.data(), scratch, invert);
+    }
+    if (invert) kernels::scale_real(inv_scale, dst, dst);
+  }
 }
 
 CVec fft(CSpan x) {

@@ -87,6 +87,52 @@ class FftPlan {
   kernels::AlignedCVec stage_tw_inv_;        // conjugate table
 };
 
+/// Float32 twin of FftPlan: the same mixed-radix Stockham schedule running
+/// on the f32 kernel family (4 complex lanes per AVX2 register instead of
+/// 2). Twiddles are computed in double and narrowed once, so the tables are
+/// a pure function of n on every platform — f32 transform output depends on
+/// the input alone, never on libm's float variants. No radix-2 reference
+/// twin: the f64 plan remains the accuracy baseline
+/// (docs/PERFORMANCE.md, "The float32 family").
+class FftPlan32 {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit FftPlan32(std::size_t n);
+
+  /// Shared process-wide plan for size `n` (same lifetime/concurrency
+  /// contract as FftPlan::cached; a separate cache).
+  static const FftPlan32& cached(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT.
+  void forward(CMutSpan32 data) const;
+
+  /// In-place inverse DFT including the 1/N normalization.
+  void inverse(CMutSpan32 data) const;
+
+  /// Batched transform, mirror of FftPlan::execute_many.
+  void execute_many(CSpan32 in, CMutSpan32 out, std::size_t count,
+                    bool invert = false) const;
+
+ private:
+  struct Stage {
+    std::size_t radix;
+    std::size_t butterflies;
+    std::size_t m;
+    std::size_t tw_offset;
+  };
+
+  void run_stages(const Complex32* src, Complex32* dst, Complex32* scratch,
+                  bool invert) const;
+  void transform_stockham(CMutSpan32 data, bool invert) const;
+
+  std::size_t n_;
+  std::vector<Stage> stages_;
+  kernels::AlignedCVec32 stage_tw_;
+  kernels::AlignedCVec32 stage_tw_inv_;
+};
+
 /// One-shot convenience transforms (shared cached plan).
 CVec fft(CSpan x);
 CVec ifft(CSpan x);

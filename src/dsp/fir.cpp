@@ -88,6 +88,67 @@ void FirFilter::set_taps(CVec taps) {
   taps_ = std::move(taps);
 }
 
+// ------------------------------------------------------------ float32 family
+
+void fir_core32(CSpan32 taps, const Complex32* ext, CMutSpan32 y) {
+  const std::size_t h = taps.size() - 1;
+  std::fill(y.begin(), y.end(), Complex32{});
+  for (std::size_t k = 0; k <= h; ++k)
+    kernels::axpy(taps[k], CSpan32{ext + (h - k), y.size()}, y);
+}
+
+FirFilter32::FirFilter32(CVec32 taps) : taps_(std::move(taps)), delay_(taps_.size()) {
+  FF_CHECK_MSG(!taps_.empty(), "FIR filter needs at least one tap");
+}
+
+Complex32 FirFilter32::push(Complex32 x) {
+  head_ = (head_ + delay_.size() - 1) % delay_.size();
+  delay_[head_] = x;
+  Complex32 acc{0.0f, 0.0f};
+  std::size_t idx = head_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * delay_[idx];
+    ++idx;
+    if (idx == delay_.size()) idx = 0;
+  }
+  return acc;
+}
+
+void FirFilter32::process_into(CSpan32 x, CMutSpan32 out, kernels::Workspace& ws) {
+  FF_CHECK_MSG(out.size() == x.size(),
+               "FirFilter32::process_into needs out.size() == x.size(), got "
+                   << out.size() << " vs " << x.size());
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  const std::size_t taps = taps_.size();
+  const std::size_t hist = taps - 1;
+  CMutSpan32 ext = ws.get_f32(0, hist + n);
+  for (std::size_t k = 0; k < hist; ++k)
+    ext[hist - 1 - k] = delay_[(head_ + k) % taps];
+  std::copy(x.begin(), x.end(), ext.begin() + static_cast<std::ptrdiff_t>(hist));
+  fir_core32(taps_, ext.data(), out);
+  for (std::size_t k = 0; k < taps; ++k) delay_[k] = ext[hist + n - 1 - k];
+  head_ = 0;
+}
+
+void FirFilter32::reset() {
+  std::fill(delay_.begin(), delay_.end(), Complex32{});
+  head_ = 0;
+}
+
+void FirFilter32::set_taps(CVec32 taps) {
+  FF_CHECK(!taps.empty());
+  if (taps.size() != taps_.size()) {
+    CVec32 resized(taps.size(), Complex32{});
+    const std::size_t keep = std::min(taps.size(), delay_.size());
+    for (std::size_t k = 0; k < keep; ++k)
+      resized[k] = delay_[(head_ + k) % delay_.size()];
+    delay_ = std::move(resized);
+    head_ = 0;
+  }
+  taps_ = std::move(taps);
+}
+
 CVec convolve(CSpan x, CSpan h) {
   if (x.empty() || h.empty()) return {};
   CVec y(x.size() + h.size() - 1, Complex{});

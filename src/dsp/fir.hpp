@@ -87,6 +87,44 @@ void filter_into(CSpan h, CSpan x, CMutSpan y, kernels::Workspace& ws);
 /// `ext` contents).
 void fir_core(CSpan h, const Complex* ext, CMutSpan y);
 
+// ------------------------------------------------------------ float32 family
+// Twins of the FIR hot paths for the mixed-precision relay stream path
+// (docs/PERFORMANCE.md, "The float32 family"). Same accumulation order as
+// the double versions — one f32 kernels::axpy per tap, taps ascending — so
+// f32 block filtering is block-size invariant for the same reason the f64
+// path is. Design helpers (design_lowpass, taps from a channel model) stay
+// double; narrow the taps once with kernels::narrowed at configure time.
+
+/// Float32 fir_core: y[i] = sum_k h[k] * ext[(h.size()-1) + i - k].
+void fir_core32(CSpan32 h, const Complex32* ext, CMutSpan32 y);
+
+/// Streaming causal FIR filter on float32 samples — FirFilter restated with
+/// an f32 delay line and taps. State layout and semantics (history carry-over
+/// on set_taps, the allocation-free process_into path) mirror FirFilter.
+class FirFilter32 {
+ public:
+  explicit FirFilter32(CVec32 taps);
+
+  Complex32 push(Complex32 x);
+
+  /// Block path: `out` must be exactly x.size() samples and may alias `x`.
+  /// Scratch comes from the Workspace's f32 slot 0.
+  void process_into(CSpan32 x, CMutSpan32 out, kernels::Workspace& ws);
+
+  void reset();
+
+  /// History-preserving live retune (see FirFilter::set_taps).
+  void set_taps(CVec32 taps);
+
+  const CVec32& taps() const { return taps_; }
+  std::size_t order() const { return taps_.size(); }
+
+ private:
+  CVec32 taps_;
+  CVec32 delay_;
+  std::size_t head_ = 0;
+};
+
 /// Frequency response of a sample-spaced FIR at normalized frequency
 /// `f_norm` in cycles/sample (i.e. H(e^{j 2 pi f_norm})).
 Complex freq_response(CSpan taps, double f_norm);

@@ -137,12 +137,142 @@ void radix4_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
   }
 }
 
+// ------------------------------------------------------ float32 scalar cores
+// Same structure as the double cores above; every operation is a
+// single-precision IEEE multiply/add (no double-precision intermediates), so
+// the f32 SIMD lanes reproduce them bit for bit.
+
+void cmul_scalar32(const Complex32* a, const Complex32* b, Complex32* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cmul_one32(a[i], b[i]);
+}
+
+void cmac_scalar32(const Complex32* a, const Complex32* b, Complex32* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex32 p = cmul_one32(a[i], b[i]);
+    acc[i] = {acc[i].real() + p.real(), acc[i].imag() + p.imag()};
+  }
+}
+
+void axpy_scalar32(Complex32 alpha, const Complex32* x, Complex32* y, std::size_t n) {
+  const float ar = alpha.real(), ai = alpha.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xr = x[i].real(), xi = x[i].imag();
+    y[i] = {y[i].real() + (xr * ar - xi * ai), y[i].imag() + (xr * ai + xi * ar)};
+  }
+}
+
+void scale_scalar32(Complex32 alpha, const Complex32* x, Complex32* out, std::size_t n) {
+  const float ar = alpha.real(), ai = alpha.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xr = x[i].real(), xi = x[i].imag();
+    out[i] = {xr * ar - xi * ai, xr * ai + xi * ar};
+  }
+}
+
+void scale_real_scalar32(float alpha, const Complex32* x, Complex32* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = {x[i].real() * alpha, x[i].imag() * alpha};
+}
+
+void cdot_conj_tail32(const Complex32* a, const Complex32* b, std::size_t start,
+                      std::size_t n, Complex32 lanes[4]) {
+  for (std::size_t k = start; k < n; ++k) {
+    const Complex32 p = cmul_conj_one32(a[k], b[k]);
+    Complex32& acc = lanes[k % 4];
+    acc = {acc.real() + p.real(), acc.imag() + p.imag()};
+  }
+}
+
+Complex32 cdot_conj_scalar32(const Complex32* a, const Complex32* b, std::size_t n) {
+  Complex32 lanes[4] = {};
+  cdot_conj_tail32(a, b, 0, n, lanes);
+  const Complex32 s01{lanes[0].real() + lanes[1].real(), lanes[0].imag() + lanes[1].imag()};
+  const Complex32 s23{lanes[2].real() + lanes[3].real(), lanes[2].imag() + lanes[3].imag()};
+  return {s01.real() + s23.real(), s01.imag() + s23.imag()};
+}
+
+void magsq_accum_tail32(const Complex32* x, std::size_t start, std::size_t n,
+                        float lanes[4]) {
+  for (std::size_t k = start; k < n; ++k) {
+    const float re = x[k].real(), im = x[k].imag();
+    lanes[k % 4] += re * re + im * im;
+  }
+}
+
+float magsq_accum_scalar32(const Complex32* x, std::size_t n) {
+  float lanes[4] = {};
+  magsq_accum_tail32(x, 0, n, lanes);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void split_scalar32(const Complex32* x, float* re, float* im, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = x[i].real();
+    im[i] = x[i].imag();
+  }
+}
+
+void interleave_scalar32(const float* re, const float* im, Complex32* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = {re[i], im[i]};
+}
+
+void radix2_stage_scalar32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                           std::size_t half, std::size_t m) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const Complex32 w = tw[j];
+    const Complex32* s0 = src + m * j;
+    const Complex32* s1 = src + m * (j + half);
+    Complex32* d0 = dst + m * (2 * j);
+    Complex32* d1 = d0 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const Complex32 c0 = s0[k];
+      const Complex32 c1 = s1[k];
+      d0[k] = {c0.real() + c1.real(), c0.imag() + c1.imag()};
+      d1[k] = cmul_one32(w, {c0.real() - c1.real(), c0.imag() - c1.imag()});
+    }
+  }
+}
+
+void radix4_stage_scalar32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                           std::size_t quarter, std::size_t m, bool invert) {
+  for (std::size_t j = 0; j < quarter; ++j) {
+    const Complex32 w1 = tw[3 * j];
+    const Complex32 w2 = tw[3 * j + 1];
+    const Complex32 w3 = tw[3 * j + 2];
+    const Complex32* s0 = src + m * j;
+    const Complex32* s1 = src + m * (j + quarter);
+    const Complex32* s2 = src + m * (j + 2 * quarter);
+    const Complex32* s3 = src + m * (j + 3 * quarter);
+    Complex32* d0 = dst + m * (4 * j);
+    Complex32* d1 = d0 + m;
+    Complex32* d2 = d1 + m;
+    Complex32* d3 = d2 + m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const Complex32 c0 = s0[k], c1 = s1[k], c2 = s2[k], c3 = s3[k];
+      const Complex32 e0{c0.real() + c2.real(), c0.imag() + c2.imag()};
+      const Complex32 e1{c0.real() - c2.real(), c0.imag() - c2.imag()};
+      const Complex32 e2{c1.real() + c3.real(), c1.imag() + c3.imag()};
+      const Complex32 t{c1.real() - c3.real(), c1.imag() - c3.imag()};
+      const Complex32 e3 = invert ? Complex32{-t.imag(), t.real()}
+                                  : Complex32{t.imag(), -t.real()};
+      d0[k] = {e0.real() + e2.real(), e0.imag() + e2.imag()};
+      d1[k] = cmul_one32(w1, {e1.real() + e3.real(), e1.imag() + e3.imag()});
+      d2[k] = cmul_one32(w2, {e0.real() - e2.real(), e0.imag() - e2.imag()});
+      d3[k] = cmul_one32(w3, {e1.real() - e3.real(), e1.imag() - e3.imag()});
+    }
+  }
+}
+
 const KernelOps& scalar_ops() {
   static const KernelOps ops = {
       &cmul_scalar,     &cmac_scalar,        &axpy_scalar,
       &scale_scalar,    &scale_real_scalar,  &cdot_conj_scalar,
       &magsq_accum_scalar, &split_scalar,    &interleave_scalar,
       &radix2_stage_scalar, &radix4_stage_scalar,
+      &cmul_scalar32,   &cmac_scalar32,      &axpy_scalar32,
+      &scale_scalar32,  &scale_real_scalar32, &cdot_conj_scalar32,
+      &magsq_accum_scalar32, &split_scalar32, &interleave_scalar32,
+      &radix2_stage_scalar32, &radix4_stage_scalar32,
   };
   return ops;
 }
@@ -276,6 +406,93 @@ void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
   detail::dispatch().ops->radix4_stage(src, dst, tw, quarter, m, invert);
 }
 
+// --------------------------------------------- dispatched span API (float32)
+
+void cmul(CSpan32 a, CSpan32 b, CMutSpan32 out) {
+  FF_CHECK(a.size() == b.size() && a.size() == out.size());
+  detail::dispatch().ops->cmul32(a.data(), b.data(), out.data(), a.size());
+}
+
+void cmac(CSpan32 a, CSpan32 b, CMutSpan32 acc) {
+  FF_CHECK(a.size() == b.size() && a.size() == acc.size());
+  detail::dispatch().ops->cmac32(a.data(), b.data(), acc.data(), a.size());
+}
+
+void axpy(Complex32 alpha, CSpan32 x, CMutSpan32 y) {
+  FF_CHECK(x.size() == y.size());
+  detail::dispatch().ops->axpy32(alpha, x.data(), y.data(), x.size());
+}
+
+void scale(Complex32 alpha, CSpan32 x, CMutSpan32 out) {
+  FF_CHECK(x.size() == out.size());
+  detail::dispatch().ops->scale32(alpha, x.data(), out.data(), x.size());
+}
+
+void scale_real(float alpha, CSpan32 x, CMutSpan32 out) {
+  FF_CHECK(x.size() == out.size());
+  detail::dispatch().ops->scale_real32(alpha, x.data(), out.data(), x.size());
+}
+
+void rotate_phasor(CSpan32 x, CSpan32 phasors, CMutSpan32 out) {
+  FF_CHECK(x.size() == phasors.size() && x.size() == out.size());
+  detail::dispatch().ops->cmul32(x.data(), phasors.data(), out.data(), x.size());
+}
+
+Complex32 cdot_conj(CSpan32 a, CSpan32 b) {
+  FF_CHECK(a.size() == b.size());
+  return detail::dispatch().ops->cdot_conj32(a.data(), b.data(), a.size());
+}
+
+float magsq_accum(CSpan32 x) {
+  return detail::dispatch().ops->magsq_accum32(x.data(), x.size());
+}
+
+void split(CSpan32 x, std::span<float> re, std::span<float> im) {
+  FF_CHECK(x.size() == re.size() && x.size() == im.size());
+  detail::dispatch().ops->split32(x.data(), re.data(), im.data(), x.size());
+}
+
+void interleave(std::span<const float> re, std::span<const float> im, CMutSpan32 out) {
+  FF_CHECK(re.size() == im.size() && re.size() == out.size());
+  detail::dispatch().ops->interleave32(re.data(), im.data(), out.data(), out.size());
+}
+
+void radix2_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t half, std::size_t m) {
+  detail::dispatch().ops->radix2_stage32(src, dst, tw, half, m);
+}
+
+void radix4_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t quarter, std::size_t m, bool invert) {
+  detail::dispatch().ops->radix4_stage32(src, dst, tw, quarter, m, invert);
+}
+
+// ------------------------------------------------ precision edge conversion
+
+void widen(CSpan32 x, CMutSpan out) {
+  FF_CHECK(x.size() == out.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = {static_cast<double>(x[i].real()), static_cast<double>(x[i].imag())};
+}
+
+void narrow(CSpan x, CMutSpan32 out) {
+  FF_CHECK(x.size() == out.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = {static_cast<float>(x[i].real()), static_cast<float>(x[i].imag())};
+}
+
+CVec32 narrowed(CSpan x) {
+  CVec32 out(x.size());
+  narrow(x, out);
+  return out;
+}
+
+CVec widened(CSpan32 x) {
+  CVec out(x.size());
+  widen(x, out);
+  return out;
+}
+
 // ------------------------------------------------------------ scalar wrappers
 
 namespace scalar {
@@ -335,6 +552,65 @@ void radix2_stage(const Complex* src, Complex* dst, const Complex* tw,
 void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
                   std::size_t quarter, std::size_t m, bool invert) {
   detail::radix4_stage_scalar(src, dst, tw, quarter, m, invert);
+}
+
+// float32 reference wrappers
+
+void cmul(CSpan32 a, CSpan32 b, CMutSpan32 out) {
+  FF_CHECK(a.size() == b.size() && a.size() == out.size());
+  detail::cmul_scalar32(a.data(), b.data(), out.data(), a.size());
+}
+
+void cmac(CSpan32 a, CSpan32 b, CMutSpan32 acc) {
+  FF_CHECK(a.size() == b.size() && a.size() == acc.size());
+  detail::cmac_scalar32(a.data(), b.data(), acc.data(), a.size());
+}
+
+void axpy(Complex32 alpha, CSpan32 x, CMutSpan32 y) {
+  FF_CHECK(x.size() == y.size());
+  detail::axpy_scalar32(alpha, x.data(), y.data(), x.size());
+}
+
+void scale(Complex32 alpha, CSpan32 x, CMutSpan32 out) {
+  FF_CHECK(x.size() == out.size());
+  detail::scale_scalar32(alpha, x.data(), out.data(), x.size());
+}
+
+void scale_real(float alpha, CSpan32 x, CMutSpan32 out) {
+  FF_CHECK(x.size() == out.size());
+  detail::scale_real_scalar32(alpha, x.data(), out.data(), x.size());
+}
+
+void rotate_phasor(CSpan32 x, CSpan32 phasors, CMutSpan32 out) {
+  FF_CHECK(x.size() == phasors.size() && x.size() == out.size());
+  detail::cmul_scalar32(x.data(), phasors.data(), out.data(), x.size());
+}
+
+Complex32 cdot_conj(CSpan32 a, CSpan32 b) {
+  FF_CHECK(a.size() == b.size());
+  return detail::cdot_conj_scalar32(a.data(), b.data(), a.size());
+}
+
+float magsq_accum(CSpan32 x) { return detail::magsq_accum_scalar32(x.data(), x.size()); }
+
+void split(CSpan32 x, std::span<float> re, std::span<float> im) {
+  FF_CHECK(x.size() == re.size() && x.size() == im.size());
+  detail::split_scalar32(x.data(), re.data(), im.data(), x.size());
+}
+
+void interleave(std::span<const float> re, std::span<const float> im, CMutSpan32 out) {
+  FF_CHECK(re.size() == im.size() && re.size() == out.size());
+  detail::interleave_scalar32(re.data(), im.data(), out.data(), out.size());
+}
+
+void radix2_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t half, std::size_t m) {
+  detail::radix2_stage_scalar32(src, dst, tw, half, m);
+}
+
+void radix4_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t quarter, std::size_t m, bool invert) {
+  detail::radix4_stage_scalar32(src, dst, tw, quarter, m, invert);
 }
 
 }  // namespace scalar

@@ -105,6 +105,41 @@ void radix2_stage(const Complex* src, Complex* dst, const Complex* tw,
 void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
                   std::size_t quarter, std::size_t m, bool invert);
 
+// ------------------------------------------------------------ float32 family
+// Overloads on the CSpan32/CMutSpan32 types (common/types.hpp): the same
+// kernels with float lanes, doubling SIMD width per register. Same bitwise
+// scalar==SIMD contract, same four-lane reduction schedule — but the f32
+// family is its OWN checksum family: f32 results are deterministic across
+// ISAs/blocks/threads yet numerically distinct from the double kernels
+// (docs/PERFORMANCE.md, "The float32 family").
+
+void cmul(CSpan32 a, CSpan32 b, CMutSpan32 out);
+void cmac(CSpan32 a, CSpan32 b, CMutSpan32 acc);
+void axpy(Complex32 alpha, CSpan32 x, CMutSpan32 y);
+void scale(Complex32 alpha, CSpan32 x, CMutSpan32 out);
+void scale_real(float alpha, CSpan32 x, CMutSpan32 out);
+void rotate_phasor(CSpan32 x, CSpan32 phasors, CMutSpan32 out);
+Complex32 cdot_conj(CSpan32 a, CSpan32 b);
+float magsq_accum(CSpan32 x);
+void split(CSpan32 x, std::span<float> re, std::span<float> im);
+void interleave(std::span<const float> re, std::span<const float> im, CMutSpan32 out);
+void radix2_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t half, std::size_t m);
+void radix4_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t quarter, std::size_t m, bool invert);
+
+// Precision edge conversion (scalar by design: one rounding per sample, the
+// only place a value changes width). narrow() rounds-to-nearest into f32;
+// widen() is exact, so narrow-then-widen of any f32-representable value is
+// the identity (tests/kernels_test.cpp pins that).
+void widen(CSpan32 x, CMutSpan out);
+void narrow(CSpan x, CMutSpan32 out);
+
+/// Allocating conveniences for configuration-time conversion (tap sets,
+/// twiddle constants). Hot paths use narrow()/widen() into workspace slots.
+CVec32 narrowed(CSpan x);
+CVec widened(CSpan32 x);
+
 // ------------------------------------------------------------ scalar reference
 // Always compiled; what the dispatched functions fall back to, and what
 // tests/bench compare the SIMD paths against.
@@ -122,6 +157,20 @@ void interleave(std::span<const double> re, std::span<const double> im, CMutSpan
 void radix2_stage(const Complex* src, Complex* dst, const Complex* tw,
                   std::size_t half, std::size_t m);
 void radix4_stage(const Complex* src, Complex* dst, const Complex* tw,
+                  std::size_t quarter, std::size_t m, bool invert);
+void cmul(CSpan32 a, CSpan32 b, CMutSpan32 out);
+void cmac(CSpan32 a, CSpan32 b, CMutSpan32 acc);
+void axpy(Complex32 alpha, CSpan32 x, CMutSpan32 y);
+void scale(Complex32 alpha, CSpan32 x, CMutSpan32 out);
+void scale_real(float alpha, CSpan32 x, CMutSpan32 out);
+void rotate_phasor(CSpan32 x, CSpan32 phasors, CMutSpan32 out);
+Complex32 cdot_conj(CSpan32 a, CSpan32 b);
+float magsq_accum(CSpan32 x);
+void split(CSpan32 x, std::span<float> re, std::span<float> im);
+void interleave(std::span<const float> re, std::span<const float> im, CMutSpan32 out);
+void radix2_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
+                  std::size_t half, std::size_t m);
+void radix4_stage(const Complex32* src, Complex32* dst, const Complex32* tw,
                   std::size_t quarter, std::size_t m, bool invert);
 }  // namespace scalar
 

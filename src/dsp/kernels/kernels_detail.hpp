@@ -29,6 +29,22 @@ struct KernelOps {
                        std::size_t);
   void (*radix4_stage)(const Complex*, Complex*, const Complex*, std::size_t,
                        std::size_t, bool);
+
+  // Float32 twins (same contract, float lanes — an AVX2 register holds 4
+  // complex<float> instead of 2 complex<double>).
+  void (*cmul32)(const Complex32*, const Complex32*, Complex32*, std::size_t);
+  void (*cmac32)(const Complex32*, const Complex32*, Complex32*, std::size_t);
+  void (*axpy32)(Complex32, const Complex32*, Complex32*, std::size_t);
+  void (*scale32)(Complex32, const Complex32*, Complex32*, std::size_t);
+  void (*scale_real32)(float, const Complex32*, Complex32*, std::size_t);
+  Complex32 (*cdot_conj32)(const Complex32*, const Complex32*, std::size_t);
+  float (*magsq_accum32)(const Complex32*, std::size_t);
+  void (*split32)(const Complex32*, float*, float*, std::size_t);
+  void (*interleave32)(const float*, const float*, Complex32*, std::size_t);
+  void (*radix2_stage32)(const Complex32*, Complex32*, const Complex32*,
+                         std::size_t, std::size_t);
+  void (*radix4_stage32)(const Complex32*, Complex32*, const Complex32*,
+                         std::size_t, std::size_t, bool);
 };
 
 // The textbook complex product, spelled out on raw doubles so no operator
@@ -45,6 +61,21 @@ inline Complex cmul_one(Complex a, Complex b) {
 inline Complex cmul_conj_one(Complex a, Complex b) {
   const double ar = a.real(), ai = a.imag();
   const double br = b.real(), bi = b.imag();
+  return {ar * br + ai * bi, ar * bi - ai * br};
+}
+
+// Float32 twins of the one-element products. Spelled out on raw floats for
+// the same reason as above; every multiply/add is a single-precision IEEE
+// operation (no double-rounded intermediates), matching the f32 SIMD lanes.
+inline Complex32 cmul_one32(Complex32 a, Complex32 b) {
+  const float ar = a.real(), ai = a.imag();
+  const float br = b.real(), bi = b.imag();
+  return {ar * br - ai * bi, ar * bi + ai * br};
+}
+
+inline Complex32 cmul_conj_one32(Complex32 a, Complex32 b) {
+  const float ar = a.real(), ai = a.imag();
+  const float br = b.real(), bi = b.imag();
   return {ar * br + ai * bi, ar * bi - ai * br};
 }
 
@@ -66,6 +97,21 @@ void radix2_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
 void radix4_stage_scalar(const Complex* src, Complex* dst, const Complex* tw,
                          std::size_t quarter, std::size_t m, bool invert);
 
+// Float32 scalar cores, same layout as above.
+void cmul_scalar32(const Complex32* a, const Complex32* b, Complex32* out, std::size_t n);
+void cmac_scalar32(const Complex32* a, const Complex32* b, Complex32* acc, std::size_t n);
+void axpy_scalar32(Complex32 alpha, const Complex32* x, Complex32* y, std::size_t n);
+void scale_scalar32(Complex32 alpha, const Complex32* x, Complex32* out, std::size_t n);
+void scale_real_scalar32(float alpha, const Complex32* x, Complex32* out, std::size_t n);
+Complex32 cdot_conj_scalar32(const Complex32* a, const Complex32* b, std::size_t n);
+float magsq_accum_scalar32(const Complex32* x, std::size_t n);
+void split_scalar32(const Complex32* x, float* re, float* im, std::size_t n);
+void interleave_scalar32(const float* re, const float* im, Complex32* out, std::size_t n);
+void radix2_stage_scalar32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                           std::size_t half, std::size_t m);
+void radix4_stage_scalar32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                           std::size_t quarter, std::size_t m, bool invert);
+
 // Tail helpers that continue a reduction started by a SIMD loop: terms keep
 // their round-robin lane assignment (term k -> lane k mod 4) so the final
 // (p0 + p1) + (p2 + p3) combine matches the scalar reference bit for bit.
@@ -73,6 +119,10 @@ void cdot_conj_tail(const Complex* a, const Complex* b, std::size_t start,
                     std::size_t n, Complex lanes[4]);
 void magsq_accum_tail(const Complex* x, std::size_t start, std::size_t n,
                       double lanes[4]);
+void cdot_conj_tail32(const Complex32* a, const Complex32* b, std::size_t start,
+                      std::size_t n, Complex32 lanes[4]);
+void magsq_accum_tail32(const Complex32* x, std::size_t start, std::size_t n,
+                        float lanes[4]);
 
 const KernelOps& scalar_ops();
 #if defined(FF_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))

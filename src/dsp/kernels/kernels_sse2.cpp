@@ -191,6 +191,229 @@ void radix4_stage_sse2(const Complex* src, Complex* dst, const Complex* tw,
   }
 }
 
+// ------------------------------------------------------------ float32 path
+// Two complex<float> per __m128. SSE2 lacks the SSE3 moveldup/movehdup and
+// addsub instructions, so broadcasts are shuffles and add/sub pairs go
+// through sign-mask XORs (IEEE a + (-b) == a - b, exact).
+
+inline __m128 loadc2f(const Complex32* p) {
+  return _mm_loadu_ps(reinterpret_cast<const float*>(p));
+}
+
+inline void storec2f(Complex32* p, __m128 v) {
+  _mm_storeu_ps(reinterpret_cast<float*>(p), v);
+}
+
+// Duplicate one Complex32 into both register halves (pure data movement).
+inline __m128 bcastc1f(Complex32 c) {
+  const __m128 v = _mm_castpd_ps(_mm_load_sd(reinterpret_cast<const double*>(&c)));
+  return _mm_shuffle_ps(v, v, _MM_SHUFFLE(1, 0, 1, 0));
+}
+
+// Real lanes subtract, imag lanes add: a + (b ^ [-0,+0,-0,+0]).
+inline __m128 addsubf(__m128 a, __m128 b) {
+  const __m128 mask = _mm_set_ps(0.0f, -0.0f, 0.0f, -0.0f);
+  return _mm_add_ps(a, _mm_xor_ps(b, mask));
+}
+
+// Real lanes add, imag lanes subtract.
+inline __m128 subaddf(__m128 a, __m128 b) {
+  const __m128 mask = _mm_set_ps(-0.0f, 0.0f, -0.0f, 0.0f);
+  return _mm_add_ps(a, _mm_xor_ps(b, mask));
+}
+
+// Two independent complex products, same per-element formula as the scalar
+// reference (addition commuted in the imag lane, bitwise equal).
+inline __m128 cmul2f(__m128 a, __m128 b) {
+  const __m128 br = _mm_shuffle_ps(b, b, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128 bi = _mm_shuffle_ps(b, b, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128 asw = _mm_shuffle_ps(a, a, _MM_SHUFFLE(2, 3, 0, 1));
+  return addsubf(_mm_mul_ps(a, br), _mm_mul_ps(asw, bi));
+}
+
+// conj(a) * b on both halves: re = br*ar + bi*ai, im = bi*ar - br*ai.
+inline __m128 cmul_conj2f(__m128 a, __m128 b) {
+  const __m128 ar = _mm_shuffle_ps(a, a, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128 ai = _mm_shuffle_ps(a, a, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128 bsw = _mm_shuffle_ps(b, b, _MM_SHUFFLE(2, 3, 0, 1));
+  return subaddf(_mm_mul_ps(b, ar), _mm_mul_ps(bsw, ai));
+}
+
+void cmul_sse2_32(const Complex32* a, const Complex32* b, Complex32* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) storec2f(out + i, cmul2f(loadc2f(a + i), loadc2f(b + i)));
+  cmul_scalar32(a + i, b + i, out + i, n - i);
+}
+
+void cmac_sse2_32(const Complex32* a, const Complex32* b, Complex32* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 p = cmul2f(loadc2f(a + i), loadc2f(b + i));
+    storec2f(acc + i, _mm_add_ps(loadc2f(acc + i), p));
+  }
+  cmac_scalar32(a + i, b + i, acc + i, n - i);
+}
+
+void axpy_sse2_32(Complex32 alpha, const Complex32* x, Complex32* y, std::size_t n) {
+  const __m128 av = bcastc1f(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 p = cmul2f(loadc2f(x + i), av);
+    storec2f(y + i, _mm_add_ps(loadc2f(y + i), p));
+  }
+  axpy_scalar32(alpha, x + i, y + i, n - i);
+}
+
+void scale_sse2_32(Complex32 alpha, const Complex32* x, Complex32* out, std::size_t n) {
+  const __m128 av = bcastc1f(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) storec2f(out + i, cmul2f(loadc2f(x + i), av));
+  scale_scalar32(alpha, x + i, out + i, n - i);
+}
+
+void scale_real_sse2_32(float alpha, const Complex32* x, Complex32* out, std::size_t n) {
+  const __m128 av = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) storec2f(out + i, _mm_mul_ps(loadc2f(x + i), av));
+  scale_real_scalar32(alpha, x + i, out + i, n - i);
+}
+
+Complex32 cdot_conj_sse2_32(const Complex32* a, const Complex32* b, std::size_t n) {
+  // v01 holds reduction lanes {0,1}, v23 lanes {2,3}: term k lands in lane
+  // k mod 4 exactly like the scalar core.
+  __m128 v01 = _mm_setzero_ps(), v23 = v01;
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t k = 0; k < n4; k += 4) {
+    v01 = _mm_add_ps(v01, cmul_conj2f(loadc2f(a + k), loadc2f(b + k)));
+    v23 = _mm_add_ps(v23, cmul_conj2f(loadc2f(a + k + 2), loadc2f(b + k + 2)));
+  }
+  Complex32 lanes[4];
+  storec2f(&lanes[0], v01);
+  storec2f(&lanes[2], v23);
+  cdot_conj_tail32(a, b, n4, n, lanes);
+  const float re = (lanes[0].real() + lanes[1].real()) + (lanes[2].real() + lanes[3].real());
+  const float im = (lanes[0].imag() + lanes[1].imag()) + (lanes[2].imag() + lanes[3].imag());
+  return {re, im};
+}
+
+float magsq_accum_sse2_32(const Complex32* x, std::size_t n) {
+  // Vector accumulator holds the four scalar reduction lanes in order.
+  __m128 vacc = _mm_setzero_ps();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t k = 0; k < n4; k += 4) {
+    const __m128 v01 = loadc2f(x + k);
+    const __m128 v23 = loadc2f(x + k + 2);
+    const __m128 sq01 = _mm_mul_ps(v01, v01);
+    const __m128 sq23 = _mm_mul_ps(v23, v23);
+    // term = re^2 + im^2, one add per term like the scalar core.
+    const __m128 s01 = _mm_add_ps(sq01, _mm_shuffle_ps(sq01, sq01, _MM_SHUFFLE(3, 3, 1, 1)));
+    const __m128 s23 = _mm_add_ps(sq23, _mm_shuffle_ps(sq23, sq23, _MM_SHUFFLE(3, 3, 1, 1)));
+    // Gather the even lanes [t0,t1,t2,t3] and accumulate lane-wise.
+    vacc = _mm_add_ps(vacc, _mm_shuffle_ps(s01, s23, _MM_SHUFFLE(2, 0, 2, 0)));
+  }
+  float lanes[4];
+  _mm_storeu_ps(lanes, vacc);
+  magsq_accum_tail32(x, n4, n, lanes);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void split_sse2_32(const Complex32* x, float* re, float* im, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v01 = loadc2f(x + i);
+    const __m128 v23 = loadc2f(x + i + 2);
+    _mm_storeu_ps(re + i, _mm_shuffle_ps(v01, v23, _MM_SHUFFLE(2, 0, 2, 0)));
+    _mm_storeu_ps(im + i, _mm_shuffle_ps(v01, v23, _MM_SHUFFLE(3, 1, 3, 1)));
+  }
+  split_scalar32(x + i, re + i, im + i, n - i);
+}
+
+void interleave_sse2_32(const float* re, const float* im, Complex32* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vr = _mm_loadu_ps(re + i);
+    const __m128 vi = _mm_loadu_ps(im + i);
+    storec2f(out + i, _mm_unpacklo_ps(vr, vi));
+    storec2f(out + i + 2, _mm_unpackhi_ps(vr, vi));
+  }
+  interleave_scalar32(re + i, im + i, out + i, n - i);
+}
+
+void radix2_stage_sse2_32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                          std::size_t half, std::size_t m) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const Complex32 w = tw[j];
+    const __m128 wv = bcastc1f(w);
+    const Complex32* s0 = src + m * j;
+    const Complex32* s1 = src + m * (j + half);
+    Complex32* d0 = dst + m * (2 * j);
+    Complex32* d1 = d0 + m;
+    std::size_t k = 0;
+    for (; k + 2 <= m; k += 2) {
+      const __m128 c0 = loadc2f(s0 + k);
+      const __m128 c1 = loadc2f(s1 + k);
+      storec2f(d0 + k, _mm_add_ps(c0, c1));
+      storec2f(d1 + k, cmul2f(wv, _mm_sub_ps(c0, c1)));
+    }
+    for (; k < m; ++k) {
+      const Complex32 c0 = s0[k];
+      const Complex32 c1 = s1[k];
+      d0[k] = {c0.real() + c1.real(), c0.imag() + c1.imag()};
+      d1[k] = cmul_one32(w, {c0.real() - c1.real(), c0.imag() - c1.imag()});
+    }
+  }
+}
+
+void radix4_stage_sse2_32(const Complex32* src, Complex32* dst, const Complex32* tw,
+                          std::size_t quarter, std::size_t m, bool invert) {
+  // +/-i rotation: swap components then flip one sign per complex, exact.
+  const __m128 fwd_mask = _mm_set_ps(-0.0f, 0.0f, -0.0f, 0.0f);
+  const __m128 inv_mask = _mm_set_ps(0.0f, -0.0f, 0.0f, -0.0f);
+  const __m128 rot = invert ? inv_mask : fwd_mask;
+  for (std::size_t j = 0; j < quarter; ++j) {
+    const Complex32 w1 = tw[3 * j];
+    const Complex32 w2 = tw[3 * j + 1];
+    const Complex32 w3 = tw[3 * j + 2];
+    const __m128 w1v = bcastc1f(w1), w2v = bcastc1f(w2), w3v = bcastc1f(w3);
+    const Complex32* s0 = src + m * j;
+    const Complex32* s1 = src + m * (j + quarter);
+    const Complex32* s2 = src + m * (j + 2 * quarter);
+    const Complex32* s3 = src + m * (j + 3 * quarter);
+    Complex32* d0 = dst + m * (4 * j);
+    Complex32* d1 = d0 + m;
+    Complex32* d2 = d1 + m;
+    Complex32* d3 = d2 + m;
+    std::size_t k = 0;
+    for (; k + 2 <= m; k += 2) {
+      const __m128 c0 = loadc2f(s0 + k), c1 = loadc2f(s1 + k);
+      const __m128 c2 = loadc2f(s2 + k), c3 = loadc2f(s3 + k);
+      const __m128 e0 = _mm_add_ps(c0, c2);
+      const __m128 e1 = _mm_sub_ps(c0, c2);
+      const __m128 e2 = _mm_add_ps(c1, c3);
+      const __m128 t = _mm_sub_ps(c1, c3);
+      const __m128 e3 =
+          _mm_xor_ps(_mm_shuffle_ps(t, t, _MM_SHUFFLE(2, 3, 0, 1)), rot);
+      storec2f(d0 + k, _mm_add_ps(e0, e2));
+      storec2f(d1 + k, cmul2f(w1v, _mm_add_ps(e1, e3)));
+      storec2f(d2 + k, cmul2f(w2v, _mm_sub_ps(e0, e2)));
+      storec2f(d3 + k, cmul2f(w3v, _mm_sub_ps(e1, e3)));
+    }
+    for (; k < m; ++k) {
+      const Complex32 c0 = s0[k], c1 = s1[k], c2 = s2[k], c3 = s3[k];
+      const Complex32 e0{c0.real() + c2.real(), c0.imag() + c2.imag()};
+      const Complex32 e1{c0.real() - c2.real(), c0.imag() - c2.imag()};
+      const Complex32 e2{c1.real() + c3.real(), c1.imag() + c3.imag()};
+      const Complex32 t{c1.real() - c3.real(), c1.imag() - c3.imag()};
+      const Complex32 e3 = invert ? Complex32{-t.imag(), t.real()}
+                                  : Complex32{t.imag(), -t.real()};
+      d0[k] = {e0.real() + e2.real(), e0.imag() + e2.imag()};
+      d1[k] = cmul_one32(w1, {e1.real() + e3.real(), e1.imag() + e3.imag()});
+      d2[k] = cmul_one32(w2, {e0.real() - e2.real(), e0.imag() - e2.imag()});
+      d3[k] = cmul_one32(w3, {e1.real() - e3.real(), e1.imag() - e3.imag()});
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps& sse2_ops() {
@@ -199,6 +422,10 @@ const KernelOps& sse2_ops() {
       &scale_sse2,    &scale_real_sse2,  &cdot_conj_sse2,
       &magsq_accum_sse2, &split_sse2,    &interleave_sse2,
       &radix2_stage_sse2, &radix4_stage_sse2,
+      &cmul_sse2_32,  &cmac_sse2_32,     &axpy_sse2_32,
+      &scale_sse2_32, &scale_real_sse2_32, &cdot_conj_sse2_32,
+      &magsq_accum_sse2_32, &split_sse2_32, &interleave_sse2_32,
+      &radix2_stage_sse2_32, &radix4_stage_sse2_32,
   };
   return ops;
 }

@@ -18,15 +18,36 @@ CMutSpan Workspace::get(std::size_t slot, std::size_t n) {
   return CMutSpan{buf.data(), n};
 }
 
+CMutSpan32 Workspace::get_f32(std::size_t slot, std::size_t n) {
+  if (slot >= slots_f32_.size()) {
+    slots_f32_.resize(slot + 1);
+    ++grows_f32_;
+  }
+  AlignedCVec32& buf = slots_f32_[slot];
+  if (buf.size() < n) {
+    buf.resize(n);
+    ++grows_f32_;
+  }
+  return CMutSpan32{buf.data(), n};
+}
+
 std::size_t Workspace::bytes() const {
-  std::size_t total = 0;
+  std::size_t total = bytes_f32();
   for (const auto& s : slots_) total += s.capacity() * sizeof(Complex);
+  return total;
+}
+
+std::size_t Workspace::bytes_f32() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_f32_) total += s.capacity() * sizeof(Complex32);
   return total;
 }
 
 void Workspace::release() {
   slots_.clear();
   slots_.shrink_to_fit();
+  slots_f32_.clear();
+  slots_f32_.shrink_to_fit();
 }
 
 }  // namespace ff::dsp::kernels

@@ -58,6 +58,9 @@ struct AlignedAllocator {
 /// 64-byte-aligned complex vector: twiddle tables, FFT scratch, workspaces.
 using AlignedCVec = std::vector<Complex, AlignedAllocator<Complex>>;
 
+/// Float32 twin, for the f32 kernel family's tables and scratch.
+using AlignedCVec32 = std::vector<Complex32, AlignedAllocator<Complex32>>;
+
 class Workspace {
  public:
   /// Aligned scratch span of `n` complexes for `slot`; contents are
@@ -65,18 +68,30 @@ class Workspace {
   /// state performs no allocation.
   CMutSpan get(std::size_t slot, std::size_t n);
 
+  /// Float32 twin of get(): a separate slot namespace (f32 slot 0 and f64
+  /// slot 0 are distinct buffers), so mixed-precision stages can hold spans
+  /// of both without aliasing. Growth is tracked separately — the
+  /// `ff.alloc.workspace_f32_*` telemetry.
+  CMutSpan32 get_f32(std::size_t slot, std::size_t n);
+
   /// Number of allocations performed so far (slot growth events).
   std::uint64_t grows() const { return grows_; }
+  /// Growth events of the float32 slots alone.
+  std::uint64_t grows_f32() const { return grows_f32_; }
 
-  /// Total bytes currently held across slots.
+  /// Total bytes currently held across slots (both precisions).
   std::size_t bytes() const;
+  /// Bytes held by the float32 slots alone.
+  std::size_t bytes_f32() const;
 
   /// Drop all slots (allocation counters are preserved).
   void release();
 
  private:
   std::vector<AlignedCVec> slots_;
+  std::vector<AlignedCVec32> slots_f32_;
   std::uint64_t grows_ = 0;
+  std::uint64_t grows_f32_ = 0;
 };
 
 }  // namespace ff::dsp::kernels

@@ -231,6 +231,10 @@ void StreamCli::register_options(Cli& cli, bool with_metrics_option) {
   cli.add_option("--batch-size", &batch_size_,
                  "throughput mode: blocks moved per element pass and per "
                  "ring transfer (amortizes per-block overhead)");
+  cli.add_option("--precision", &precision_,
+                 "sample-path arithmetic: 'f64' (the accuracy reference) or "
+                 "'f32' (the mixed-precision fast path — double the SIMD "
+                 "lanes, ~-120 dB conversion noise, own checksum family)");
   cli.add_flag("--pin-cores", &pin_cores_,
                "throughput mode: pin each chain's worker to a core "
                "(graceful no-op where unsupported)");
@@ -286,6 +290,11 @@ bool StreamCli::validate() const {
   }
   if (batch_size_ == 0) {
     std::fprintf(stderr, "--batch-size must be >= 1 block\n");
+    ok = false;
+  }
+  if (precision_ != "f64" && precision_ != "f32") {
+    std::fprintf(stderr, "--precision must be 'f64' or 'f32' (got '%s')\n",
+                 precision_.c_str());
     ok = false;
   }
   for (const std::string& s : sets_) {

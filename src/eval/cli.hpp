@@ -221,6 +221,13 @@ class StreamCli {
   /// Scheduler selection ("reference" | "throughput", validated).
   const std::string& mode() const { return mode_; }
   bool is_throughput() const { return mode_ == "throughput"; }
+
+  /// Arithmetic precision of the session's sample paths ("f64" | "f32",
+  /// validated). Hosts map it onto the `precision=` config of the elements
+  /// they build (pipeline, channels, canceller) — same rule as --mode:
+  /// StreamCli validates the name, the host applies it.
+  const std::string& precision() const { return precision_; }
+  bool is_f32() const { return precision_ == "f32"; }
   /// Throughput mode: blocks per work_batch pass and per ring transfer.
   std::size_t batch_size() const { return batch_size_; }
   /// Throughput mode: pin chain workers to cores (no-op where unsupported).
@@ -245,6 +252,7 @@ class StreamCli {
   std::size_t backpressure_ = 8;
   std::size_t threads_ = 1;
   std::string mode_ = "reference";
+  std::string precision_ = "f64";
   std::size_t batch_size_ = 8;
   bool pin_cores_ = false;
   std::string graph_;

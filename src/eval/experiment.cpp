@@ -145,6 +145,11 @@ void record_experiment_metrics(const ExperimentConfig& cfg,
   // layer") — the tag that lets a telemetry snapshot explain a perf delta.
   metrics::set(m, "ff.kernels.isa",
                static_cast<double>(static_cast<int>(dsp::kernels::active_isa())));
+  // Which arithmetic width the experiment ran at. The eval path is float64
+  // end to end (the float32 family is a stream-runtime fast path, see
+  // docs/PERFORMANCE.md "The float32 family"), so this is a constant tag —
+  // recorded anyway so snapshots from mixed deployments stay comparable.
+  metrics::set(m, "ff.kernels.precision", 64.0);
   const ExperimentSummary s = results.summary();
   for (std::size_t c = 0; c < s.category_counts.size(); ++c)
     metrics::add(m, "eval.category." + category_slug(static_cast<LinkCategory>(c)),

@@ -15,9 +15,14 @@ ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
       cfo_restore_(cfg_.restore_cfo ? cfg_.cfo_hz : 0.0, cfg_.sample_rate_hz),
       prefilter_(cfg_.prefilter),
       tx_filter_(cfg_.tx_filter.empty() ? CVec{Complex{1.0, 0.0}} : cfg_.tx_filter),
+      prefilter32_(dsp::kernels::narrowed(cfg_.prefilter)),
+      tx_filter32_(dsp::kernels::narrowed(
+          cfg_.tx_filter.empty() ? CVec{Complex{1.0, 0.0}} : cfg_.tx_filter)),
       delay_line_(std::max<std::size_t>(delay_fifo_len(), 1), Complex{}),
       gain_linear_(amplitude_from_db(cfg_.gain_db)),
-      gain_rotation_(gain_linear_ * cfg_.analog_rotation) {
+      gain_rotation_(gain_linear_ * cfg_.analog_rotation),
+      gain_rotation32_(static_cast<float>(gain_rotation_.real()),
+                       static_cast<float>(gain_rotation_.imag())) {
   FF_CHECK(!cfg_.prefilter.empty());
   FF_CHECK_MSG(std::isfinite(cfg_.sample_rate_hz) && cfg_.sample_rate_hz > 0.0,
                "PipelineConfig.sample_rate_hz must be positive and finite, got "
@@ -32,6 +37,10 @@ ForwardPipeline::ForwardPipeline(PipelineConfig cfg)
     metrics::observe(cfg_.metrics, "relay.pipeline.max_delay_s", max_delay_s());
     metrics::set(cfg_.metrics, "relay.pipeline.prefilter_taps",
                  static_cast<double>(cfg_.prefilter.size()));
+    // Which arithmetic width the forward path runs at (64 or 32) — like
+    // ff.kernels.isa, the tag that lets a snapshot explain a perf delta.
+    metrics::set(cfg_.metrics, "ff.kernels.precision",
+                 cfg_.precision == Precision::kF32 ? 32.0 : 64.0);
   }
 }
 
@@ -43,6 +52,8 @@ void ForwardPipeline::set_metrics(MetricsRegistry* metrics) {
     metrics::observe(cfg_.metrics, "relay.pipeline.max_delay_s", max_delay_s());
     metrics::set(cfg_.metrics, "relay.pipeline.prefilter_taps",
                  static_cast<double>(cfg_.prefilter.size()));
+    metrics::set(cfg_.metrics, "ff.kernels.precision",
+                 cfg_.precision == Precision::kF32 ? 32.0 : 64.0);
   }
 }
 
@@ -60,6 +71,14 @@ double ForwardPipeline::max_delay_s() const {
 }
 
 Complex ForwardPipeline::push(Complex rx) {
+  if (cfg_.precision == Precision::kF32) {
+    // The f32 path is block-formulated (convert once, run the f32 stages,
+    // convert back); a push is a 1-sample block. Identical bits to any other
+    // blocking of the stream — the block-size invariance contract.
+    Complex out;
+    process_into(CSpan{&rx, 1}, CMutSpan{&out, 1});
+    return out;
+  }
   if (cfg_.scrub_nonfinite &&
       (!std::isfinite(rx.real()) || !std::isfinite(rx.imag()))) {
     rx = Complex{};
@@ -94,7 +113,9 @@ void ForwardPipeline::process_into(CSpan rx, CMutSpan out) {
                    << out.size() << " vs " << rx.size());
   const std::uint64_t scrubbed_before = scrubbed_;
   const std::size_t n = rx.size();
-  if (n > 0) {
+  if (n > 0 && cfg_.precision == Precision::kF32) {
+    process_into_f32(rx, out);
+  } else if (n > 0) {
     // Stage-wise over the block. Every stage is causal (sample i of a
     // stage's output depends only on samples <= i of its input), so running
     // the stages block-at-a-time instead of interleaved per sample moves no
@@ -140,6 +161,51 @@ void ForwardPipeline::process_into(CSpan rx, CMutSpan out) {
     metrics::set(cfg_.metrics, "ff.alloc.workspace_bytes",
                  static_cast<double>(ws_.bytes()));
   }
+  if (cfg_.metrics && ws_.grows_f32() > ws_f32_grows_reported_) {
+    // Same proof for the float32 slots (non-zero only in kF32 mode).
+    metrics::add(cfg_.metrics, "ff.alloc.workspace_f32_grows",
+                 ws_.grows_f32() - ws_f32_grows_reported_);
+    ws_f32_grows_reported_ = ws_.grows_f32();
+    metrics::set(cfg_.metrics, "ff.alloc.workspace_f32_bytes",
+                 static_cast<double>(ws_.bytes_f32()));
+  }
+}
+
+void ForwardPipeline::process_into_f32(CSpan rx, CMutSpan out) {
+  // Convert once at the edges, stay f32 inside. The stage sequence, the
+  // scrub rule and the delay FIFO are those of the f64 path; scrubbing and
+  // the FIFO run on the double-width values (the scrub test must see the
+  // original sample; the FIFO is a pure shuffle and widen() is exact, so
+  // running it after the widening edge moves no arithmetic into f32).
+  const std::size_t n = rx.size();
+  CMutSpan32 buf = ws_.get_f32(1, n);  // slot 0 is per-stage scratch
+  if (cfg_.scrub_nonfinite) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex v = rx[i];
+      if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        v = Complex{};
+        ++scrubbed_;
+      }
+      buf[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+    }
+  } else {
+    dsp::kernels::narrow(rx, buf);
+  }
+  cfo_remove_.process_into(buf, buf, ws_);
+  prefilter32_.process_into(buf, buf, ws_);
+  cfo_restore_.process_into(buf, buf, ws_);
+  dsp::kernels::scale(gain_rotation32_, buf, buf);
+  if (!cfg_.tx_filter.empty()) tx_filter32_.process_into(buf, buf, ws_);
+  dsp::kernels::widen(buf, out);
+  if (delay_fifo_len() > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex s = out[i];
+      out[i] = delay_line_[delay_pos_];
+      delay_line_[delay_pos_] = s;
+      ++delay_pos_;
+      if (delay_pos_ == delay_line_.size()) delay_pos_ = 0;
+    }
+  }
 }
 
 void ForwardPipeline::reset() {
@@ -147,6 +213,8 @@ void ForwardPipeline::reset() {
   cfo_restore_.reset();
   prefilter_.reset();
   tx_filter_.reset();
+  prefilter32_.reset();
+  tx_filter32_.reset();
   std::fill(delay_line_.begin(), delay_line_.end(), Complex{});
   delay_pos_ = 0;
   // A reset pipeline should report like a fresh one; leaving the scrub count

@@ -54,6 +54,14 @@ struct PipelineConfig {
   /// forward delay (`relay.pipeline.max_delay_s`) and prefilter tap count;
   /// process() counts forwarded samples. Default nullptr records nothing.
   MetricsRegistry* metrics = nullptr;
+  /// Arithmetic precision of the forward path. kF32 converts each block to
+  /// float32 once on entry, runs the CFO/prefilter/gain/TX-filter stages on
+  /// the f32 kernel family (double the SIMD lanes), and widens once on exit
+  /// — the mixed-precision fast path (docs/PERFORMANCE.md, "The float32
+  /// family"). Taps and CFO phase recurrences stay double; only the sample
+  /// stream narrows. f32 output is deterministic (its own pinned checksum
+  /// family) but numerically distinct from kF64, the accuracy reference.
+  Precision precision = Precision::kF64;
 };
 
 /// Streaming forward-path processor. Push received (already SI-cancelled)
@@ -108,18 +116,27 @@ class ForwardPipeline {
  private:
   std::size_t delay_fifo_len() const;
 
+  void process_into_f32(CSpan rx, CMutSpan out);
+
   PipelineConfig cfg_;
   channel::CfoRotator cfo_remove_;
   channel::CfoRotator cfo_restore_;
   dsp::FirFilter prefilter_;
   dsp::FirFilter tx_filter_;
+  // Float32 twins of the FIR stages (used only when precision == kF32;
+  // construction is a one-time tap narrow, so both precisions always exist
+  // and precision never changes filter state layout).
+  dsp::FirFilter32 prefilter32_;
+  dsp::FirFilter32 tx_filter32_;
   CVec delay_line_;      // bulk delay FIFO
   std::size_t delay_pos_ = 0;
   double gain_linear_;
   Complex gain_rotation_;  // gain_linear_ * analog_rotation, precomputed
+  Complex32 gain_rotation32_;
   std::uint64_t scrubbed_ = 0;
   dsp::kernels::Workspace ws_;  // shared scratch for all block stages
   std::uint64_t ws_grows_reported_ = 0;  // ff.alloc.* telemetry watermark
+  std::uint64_t ws_f32_grows_reported_ = 0;
 };
 
 }  // namespace ff::relay

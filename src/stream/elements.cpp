@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/seeding.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/resample.hpp"
 
 namespace ff::stream {
@@ -20,6 +21,18 @@ std::pair<std::string, std::string> split_pair(const std::string& context,
   FF_CHECK_MSG(colon != std::string::npos,
                context << ": expected 'a:b', got '" << entry << "'");
   return {entry.substr(0, colon), entry.substr(colon + 1)};
+}
+
+/// The `precision=` key shared by every element with a float32 fast path
+/// (Pipeline, Channel, Canceller). Absent = f64; anything other than the
+/// two canonical names is a configuration error naming the field.
+Precision parse_precision(const Params& p) {
+  const std::string v = p.get_string_or("precision", "f64");
+  if (v == "f64") return Precision::kF64;
+  if (v == "f32") return Precision::kF32;
+  FF_CHECK_MSG(false, p.context() << ": precision: must be 'f64' or 'f32', got '"
+                                  << v << "'");
+  return Precision::kF64;  // unreachable
 }
 
 }  // namespace
@@ -146,15 +159,17 @@ void FirElement::process(Block& block) {
 
 CfoElement::CfoElement(std::string name) : CfoElement(std::move(name), 0.0, 20e6) {}
 
-CfoElement::CfoElement(std::string name, double cfo_hz, double sample_rate_hz)
+CfoElement::CfoElement(std::string name, double cfo_hz, double sample_rate_hz,
+                       Precision precision)
     : Transform(std::move(name)), rot_(cfo_hz, sample_rate_hz),
-      sample_rate_hz_(sample_rate_hz) {}
+      sample_rate_hz_(sample_rate_hz), precision_(precision) {}
 
 void CfoElement::configure(const Params& p) {
   sample_rate_hz_ = p.get_double_or("rate", sample_rate_hz_);
   FF_CHECK_MSG(sample_rate_hz_ > 0.0, p.context() << ": rate: must be positive");
   // set_cfo at phase 0 is state-identical to constructing the rotator.
   rot_.set_cfo(p.get_double("hz"), sample_rate_hz_);
+  precision_ = parse_precision(p);
 }
 
 void CfoElement::add_handlers(HandlerRegistry& h) {
@@ -167,7 +182,17 @@ void CfoElement::add_handlers(HandlerRegistry& h) {
 }
 
 void CfoElement::process(Block& block) {
-  rot_.process_into(block.samples, block.samples);
+  if (precision_ == Precision::kF32) {
+    // Convert once at the edges, rotate in f32 (slot 0 is the rotator's
+    // phasor table, slot 1 the sample buffer).
+    CMutSpan samples{block.samples.data(), block.samples.size()};
+    CMutSpan32 s32 = ws_.get_f32(1, samples.size());
+    dsp::kernels::narrow(samples, s32);
+    rot_.process_into(s32, s32, ws_);
+    dsp::kernels::widen(s32, samples);
+  } else {
+    rot_.process_into(block.samples, block.samples);
+  }
 }
 
 PipelineElement::PipelineElement(std::string name)
@@ -189,6 +214,7 @@ void PipelineElement::configure(const Params& p) {
   cfg.gain_db = p.get_double_or("gain_db", cfg.gain_db);
   cfg.tx_filter = p.get_cvec_or("tx_filter", cfg.tx_filter);
   cfg.scrub_nonfinite = p.get_bool_or("scrub_nonfinite", cfg.scrub_nonfinite);
+  cfg.precision = parse_precision(p);
   pipeline_ = relay::ForwardPipeline(std::move(cfg));
 }
 
@@ -231,6 +257,7 @@ void ChannelElement::configure(const Params& p) {
   cfg.coherence_time_s = p.get_double_or("coherence", cfg.coherence_time_s);
   cfg.retune_interval_samples = p.get_size_or("retune_interval", cfg.retune_interval_samples);
   cfg.seed = p.get_u64_or("seed", cfg.seed);
+  cfg.precision = parse_precision(p);
   FF_CHECK_MSG(cfg.sample_rate_hz > 0.0, p.context() << ": rate: must be positive");
   FF_CHECK_MSG(cfg.noise_power >= 0.0, p.context() << ": noise: must be >= 0");
   FF_CHECK_MSG(cfg.coherence_time_s >= 0.0, p.context() << ": coherence: must be >= 0");
@@ -241,6 +268,7 @@ void ChannelElement::configure(const Params& p) {
                             ? CVec{Complex{}}
                             : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
                                                   cfg_.sinc_half_width));
+  fir32_ = dsp::FirFilter32(dsp::kernels::narrowed(fir_.taps()));
   noise_rng_ = seeding::named_stream(cfg_.seed, "noise");
   drift_rng_ = seeding::named_stream(cfg_.seed, "drift");
   retunes_ = 0;
@@ -259,8 +287,10 @@ void ChannelElement::add_handlers(HandlerRegistry& h) {
     FF_CHECK_MSG(cfg_.coherence_time_s > 0.0,
                  name() << ".retune: needs a drifting channel (coherence > 0)");
     drift_.advance(dt, drift_rng_);
-    fir_.set_taps(drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
-                                      cfg_.sinc_half_width));
+    CVec taps = drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                    cfg_.sinc_half_width);
+    fir32_.set_taps(dsp::kernels::narrowed(taps));
+    fir_.set_taps(std::move(taps));
     ++retunes_;
   });
 }
@@ -273,6 +303,7 @@ ChannelElement::ChannelElement(std::string name, ChannelElementConfig cfg)
                ? CVec{Complex{}}
                : cfg_.channel.to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
                                      cfg_.sinc_half_width)),
+      fir32_(dsp::kernels::narrowed(fir_.taps())),
       noise_rng_(seeding::named_stream(cfg_.seed, "noise")),
       drift_rng_(seeding::named_stream(cfg_.seed, "drift")) {
   FF_CHECK_MSG(cfg_.sample_rate_hz > 0.0, "ChannelElement needs a positive sample rate");
@@ -297,9 +328,13 @@ void ChannelElement::process(Block& block) {
       const double dt = static_cast<double>(interval) / cfg_.sample_rate_hz;
       drift_.advance(dt, drift_rng_);
       // Drift moves amplitudes, not delays: the FIR length is unchanged and
-      // set_taps keeps the delay-line history (no retune transient).
-      fir_.set_taps(drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
-                                        cfg_.sinc_half_width));
+      // set_taps keeps the delay-line history (no retune transient). Both
+      // precision twins retune together so a precision switch mid-design
+      // never sees stale taps.
+      CVec taps = drift_.now().to_fir(cfg_.sample_rate_hz, cfg_.delay_ref_s,
+                                      cfg_.sinc_half_width);
+      fir32_.set_taps(dsp::kernels::narrowed(taps));
+      fir_.set_taps(std::move(taps));
       ++retunes_;
     }
     std::size_t chunk = samples.size() - done;
@@ -307,9 +342,27 @@ void ChannelElement::process(Block& block) {
       chunk = std::min<std::size_t>(
           chunk, static_cast<std::size_t>(interval - pos_ % interval));
     CMutSpan seg = samples.subspan(done, chunk);
-    fir_.process_into(seg, seg, ws_);
-    if (cfg_.noise_power > 0.0)
-      for (auto& s : seg) s += noise_rng_.cgaussian(cfg_.noise_power);
+    if (cfg_.precision == Precision::kF32) {
+      // Narrow once, stay f32 through the FIR and the noise add. The noise
+      // comes from Rng::cgaussian32 — the float32 family's own draw
+      // sequence (same named engine stream, float polar method, several
+      // times cheaper than the double draws): a float32 channel pays
+      // float32 prices for its noise, and the f32 checksum family pins the
+      // result. Draws are still consumed per-sample in stream order, so
+      // the f32 stream is invariant to blocking for the same reason kF64 is.
+      CMutSpan32 seg32 = ws_.get_f32(1, chunk);  // f32 slot 0 = FIR scratch
+      dsp::kernels::narrow(seg, seg32);
+      fir32_.process_into(seg32, seg32, ws_);
+      if (cfg_.noise_power > 0.0) {
+        const float np = static_cast<float>(cfg_.noise_power);
+        for (auto& s : seg32) s += noise_rng_.cgaussian32(np);
+      }
+      dsp::kernels::widen(seg32, seg);
+    } else {
+      fir_.process_into(seg, seg, ws_);
+      if (cfg_.noise_power > 0.0)
+        for (auto& s : seg) s += noise_rng_.cgaussian(cfg_.noise_power);
+    }
     pos_ += chunk;
     done += chunk;
   }
@@ -469,11 +522,24 @@ CancellerElement::CancellerElement(std::string name)
 CancellerElement::CancellerElement(std::string name, CVec analog_fir, CVec digital_taps)
     : Combine2(std::move(name)),
       analog_(or_zero_tap(std::move(analog_fir))),
-      digital_(or_zero_tap(std::move(digital_taps))) {}
+      digital_(or_zero_tap(std::move(digital_taps))),
+      analog32_(dsp::kernels::narrowed(analog_.taps())),
+      digital32_(dsp::kernels::narrowed(digital_.taps())) {}
+
+void CancellerElement::set_analog(CVec taps) {
+  analog32_.set_taps(dsp::kernels::narrowed(taps));
+  analog_.set_taps(std::move(taps));
+}
+
+void CancellerElement::set_digital(CVec taps) {
+  digital32_.set_taps(dsp::kernels::narrowed(taps));
+  digital_.set_taps(std::move(taps));
+}
 
 void CancellerElement::configure(const Params& p) {
-  analog_.set_taps(or_zero_tap(p.get_cvec_or("analog", CVec{})));
-  digital_.set_taps(or_zero_tap(p.get_cvec_or("digital", CVec{})));
+  set_analog(or_zero_tap(p.get_cvec_or("analog", CVec{})));
+  set_digital(or_zero_tap(p.get_cvec_or("digital", CVec{})));
+  precision_ = parse_precision(p);
 }
 
 void CancellerElement::add_handlers(HandlerRegistry& h) {
@@ -481,10 +547,10 @@ void CancellerElement::add_handlers(HandlerRegistry& h) {
   h.add_read("analog_taps", [this] { return format_cvec(analog_.taps()); });
   h.add_read("digital_taps", [this] { return format_cvec(digital_.taps()); });
   h.add_write("set_analog_taps", [this](const std::string& v) {
-    analog_.set_taps(or_zero_tap(parse_cvec_value(name() + ".set_analog_taps", v)));
+    set_analog(or_zero_tap(parse_cvec_value(name() + ".set_analog_taps", v)));
   });
   h.add_write("set_digital_taps", [this](const std::string& v) {
-    digital_.set_taps(or_zero_tap(parse_cvec_value(name() + ".set_digital_taps", v)));
+    set_digital(or_zero_tap(parse_cvec_value(name() + ".set_digital_taps", v)));
   });
 }
 
@@ -502,6 +568,24 @@ void CancellerElement::cancel_into(CMutSpan rx, CSpan tx) {
                    << tx.size() << " vs " << rx.size());
   const std::size_t n = rx.size();
   if (n == 0) return;
+  if (precision_ == Precision::kF32) {
+    // Same association as below, restated in f32: narrow both streams once,
+    // run both stages and the two subtractions on the float32 kernels, widen
+    // the residual once. f32 slot 0 is FirFilter32 scratch; 1..4 hold the
+    // block-lifetime buffers.
+    CMutSpan32 rx32 = ws_.get_f32(1, n);
+    CMutSpan32 tx32 = ws_.get_f32(2, n);
+    CMutSpan32 analog = ws_.get_f32(3, n);
+    CMutSpan32 digital = ws_.get_f32(4, n);
+    dsp::kernels::narrow(rx, rx32);
+    dsp::kernels::narrow(tx, tx32);
+    analog32_.process_into(tx32, analog, ws_);
+    digital32_.process_into(tx32, digital, ws_);
+    for (std::size_t i = 0; i < n; ++i)
+      rx32[i] = (rx32[i] - analog[i]) - digital[i];
+    dsp::kernels::widen(rx32, rx);
+    return;
+  }
   // Two explicit subtractions, analog first: the batch reference
   // (stack.apply_into) computes (rx - analog) - digital, and matching that
   // association is what makes streaming == batch BIT-identical, not merely

@@ -136,12 +136,14 @@ class FirElement : public Transform {
 
 /// Phase-continuous CFO rotation (channel::CfoRotator).
 ///
-/// Params: hz (required), rate (default 20e6).
+/// Params: hz (required), rate (default 20e6), precision (f64 | f32 — the
+/// float32 fast path: narrow once, rotate in f32, widen once).
 /// Handlers: cfo_hz, phase (read), set_cfo (write, phase-continuous retune).
 class CfoElement : public Transform {
  public:
   explicit CfoElement(std::string name);
-  CfoElement(std::string name, double cfo_hz, double sample_rate_hz);
+  CfoElement(std::string name, double cfo_hz, double sample_rate_hz,
+             Precision precision = Precision::kF64);
 
   const char* class_name() const override { return "Cfo"; }
   void configure(const Params& params) override;
@@ -155,6 +157,8 @@ class CfoElement : public Transform {
  private:
   channel::CfoRotator rot_;
   double sample_rate_hz_;
+  Precision precision_ = Precision::kF64;
+  dsp::kernels::Workspace ws_;  // f32 narrow/widen + phasor scratch
 };
 
 /// The relay's forward path (relay::ForwardPipeline) as a stream stage:
@@ -162,7 +166,8 @@ class CfoElement : public Transform {
 /// TX filter / bulk delay, all stateful across blocks.
 /// Params: rate, adc_dac_delay, extra_buffer, cfo_hz, restore_cfo,
 /// prefilter (complex list), analog_rotation, gain_db, tx_filter
-/// (complex list), scrub_nonfinite.
+/// (complex list), scrub_nonfinite, precision (f64 | f32 — the
+/// mixed-precision forward fast path, relay::PipelineConfig::precision).
 /// Handlers: scrubbed, max_delay_s (read).
 class PipelineElement : public Transform {
  public:
@@ -201,6 +206,11 @@ struct ChannelElementConfig {
   /// so drift is block-size invariant. 0 = never retune (static FIR).
   std::size_t retune_interval_samples = 0;
   std::uint64_t seed = 0x5EED;
+  /// kF32 runs the channel FIR on the float32 kernel family (narrow on
+  /// segment entry, widen before the noise add). Discretization, drift and
+  /// the noise RNG stay double — the same draws in the same order as kF64,
+  /// so the f32 stream keeps its own block-size/thread-invariant checksum.
+  Precision precision = Precision::kF64;
 };
 
 /// Multipath propagation as a stream stage: the channel discretized to a
@@ -210,7 +220,7 @@ struct ChannelElementConfig {
 /// across retunes (no re-discretization transient).
 /// Params: paths (list of `delay:amp` entries, amp complex), fc (carrier,
 /// default 2.45e9), rate, delay_ref, sinc_half_width, noise, coherence,
-/// retune_interval, seed.
+/// retune_interval, seed, precision (f64 | f32).
 /// Handlers: retunes (read), retune (write: advance drift by the given dt
 /// seconds and re-discretize — a manual retune step).
 class ChannelElement : public Transform {
@@ -237,6 +247,7 @@ class ChannelElement : public Transform {
   ChannelElementConfig cfg_;
   net::DriftingChannel drift_;
   dsp::FirFilter fir_;
+  dsp::FirFilter32 fir32_;  // float32 twin, active when precision == kF32
   Rng noise_rng_;
   Rng drift_rng_;
   std::uint64_t pos_ = 0;
@@ -357,9 +368,12 @@ class Add2 : public Combine2 {
 /// i.e. fd::CancellationStack::apply() restated with stateful FIRs so it
 /// runs online. Requires a causal digital stage (lookahead 0) — the paper's
 /// whole point (Sec. 3.3) is that the causal canceller needs no future tx.
-/// Params: analog, digital (complex lists, either may be omitted).
+/// Params: analog, digital (complex lists, either may be omitted),
+/// precision (f64 | f32: run both FIR stages and the subtractions on the
+/// float32 kernel family, converting at the block edges).
 /// Handlers: analog_taps, digital_taps (read), set_analog_taps,
-/// set_digital_taps (write, history-preserving live retunes).
+/// set_digital_taps (write, history-preserving live retunes of BOTH
+/// precision twins).
 class CancellerElement : public Combine2 {
  public:
   explicit CancellerElement(std::string name);
@@ -387,9 +401,14 @@ class CancellerElement : public Combine2 {
 
  private:
   static CVec or_zero_tap(CVec taps);
+  void set_analog(CVec taps);
+  void set_digital(CVec taps);
 
   dsp::FirFilter analog_;
   dsp::FirFilter digital_;
+  dsp::FirFilter32 analog32_;  // float32 twins, active when precision == kF32
+  dsp::FirFilter32 digital32_;
+  Precision precision_ = Precision::kF64;
   dsp::kernels::Workspace ws_;
 };
 

@@ -219,10 +219,160 @@ TEST(KernelsBitwise, SplitInterleaveMatchesScalarAndRoundTrips) {
   });
 }
 
+// --------------------------------------------- float32 family, same contract
+// The f32 kernels carry the identical bitwise scalar/SIMD promise: whatever
+// ISA dispatch resolved must memcmp-match the scalar float reference on
+// aligned, unaligned and odd-tail spans. (f32 and f64 are separate checksum
+// families — nothing here compares f32 against f64; accuracy of the family
+// as a whole is covered by the FftMixedRadixF32 and stream tests.)
+
+k::AlignedCVec32 random_vec32(Rng& rng, std::size_t n) {
+  k::AlignedCVec32 v(n);
+  for (auto& x : v) {
+    const Complex d = rng.cgaussian();
+    x = {static_cast<float>(d.real()), static_cast<float>(d.imag())};
+  }
+  return v;
+}
+
+bool bitwise_equal32(CSpan32 a, CSpan32 b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex32)) == 0;
+}
+
+template <typename Fn>
+void for_each_shape32(Fn&& check) {
+  Rng rng(20140818);
+  for (const std::size_t n : kSizes) {
+    k::AlignedCVec32 a = random_vec32(rng, n + 1);
+    k::AlignedCVec32 b = random_vec32(rng, n + 1);
+    check(CSpan32{a.data(), n}, CSpan32{b.data(), n}, n);          // aligned
+    check(CSpan32{a.data() + 1, n}, CSpan32{b.data() + 1, n}, n);  // unaligned
+  }
+}
+
+TEST(KernelsBitwiseF32, CmulMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32 b, std::size_t n) {
+    k::AlignedCVec32 got(n), want(n);
+    k::cmul(a, b, got);
+    k::scalar::cmul(a, b, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, CmacMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32 b, std::size_t n) {
+    Rng rng(n);
+    k::AlignedCVec32 got = random_vec32(rng, n);
+    k::AlignedCVec32 want = got;
+    k::cmac(a, b, got);
+    k::scalar::cmac(a, b, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, AxpyMatchesScalar) {
+  const Complex32 alpha{0.7f, -1.3f};
+  for_each_shape32([&](CSpan32 a, CSpan32, std::size_t n) {
+    Rng rng(n);
+    k::AlignedCVec32 got = random_vec32(rng, n);
+    k::AlignedCVec32 want = got;
+    k::axpy(alpha, a, got);
+    k::scalar::axpy(alpha, a, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, ScaleMatchesScalar) {
+  const Complex32 alpha{-0.2f, 2.5f};
+  for_each_shape32([&](CSpan32 a, CSpan32, std::size_t n) {
+    k::AlignedCVec32 got(n), want(n);
+    k::scale(alpha, a, got);
+    k::scalar::scale(alpha, a, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, ScaleRealMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32, std::size_t n) {
+    k::AlignedCVec32 got(n), want(n);
+    k::scale_real(1.0f / 64.0f, a, got);
+    k::scalar::scale_real(1.0f / 64.0f, a, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, RotatePhasorMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32 b, std::size_t n) {
+    k::AlignedCVec32 got(n), want(n);
+    k::rotate_phasor(a, b, got);
+    k::scalar::rotate_phasor(a, b, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, CdotConjMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32 b, std::size_t n) {
+    const Complex32 got = k::cdot_conj(a, b);
+    const Complex32 want = k::scalar::cdot_conj(a, b);
+    EXPECT_TRUE(std::memcmp(&got, &want, sizeof(Complex32)) == 0) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, MagsqAccumMatchesScalar) {
+  for_each_shape32([](CSpan32 a, CSpan32, std::size_t n) {
+    const float got = k::magsq_accum(a);
+    const float want = k::scalar::magsq_accum(a);
+    EXPECT_TRUE(std::memcmp(&got, &want, sizeof(float)) == 0) << "n=" << n;
+  });
+}
+
+TEST(KernelsBitwiseF32, SplitInterleaveMatchesScalarAndRoundTrips) {
+  for_each_shape32([](CSpan32 a, CSpan32, std::size_t n) {
+    std::vector<float> re(n), im(n), re2(n), im2(n);
+    k::split(a, re, im);
+    k::scalar::split(a, re2, im2);
+    EXPECT_EQ(std::memcmp(re.data(), re2.data(), n * sizeof(float)), 0) << "n=" << n;
+    EXPECT_EQ(std::memcmp(im.data(), im2.data(), n * sizeof(float)), 0) << "n=" << n;
+    k::AlignedCVec32 got(n), want(n);
+    k::interleave(re, im, got);
+    k::scalar::interleave(re, im, want);
+    EXPECT_TRUE(bitwise_equal32(got, want)) << "n=" << n;
+    EXPECT_TRUE(bitwise_equal32(got, a)) << "n=" << n;  // round trip
+  });
+}
+
+// Convert-at-the-edges exactness: widen is exact (every float is a double),
+// and narrow of a widened f32 vector restores the original bit pattern. This
+// is what lets the f32 stream path convert once on entry and once on exit
+// without perturbing values the pipeline never touched.
+TEST(KernelsF32, WidenNarrowRoundTripIsExact) {
+  Rng rng(42);
+  for (const std::size_t n : kSizes) {
+    k::AlignedCVec32 x = random_vec32(rng, n);
+    k::AlignedCVec wide(n);
+    k::widen(CSpan32{x.data(), n}, wide);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(wide[i].real(), static_cast<double>(x[i].real()));
+      EXPECT_EQ(wide[i].imag(), static_cast<double>(x[i].imag()));
+    }
+    k::AlignedCVec32 back(n);
+    k::narrow(wide, back);
+    EXPECT_TRUE(bitwise_equal32(back, CSpan32{x.data(), n})) << "n=" << n;
+    // The allocating conveniences agree with the span forms.
+    const CVec wide2 = k::widened(CSpan32{x.data(), n});
+    EXPECT_TRUE(bitwise_equal(wide, wide2)) << "n=" << n;
+    const CVec32 back2 = k::narrowed(wide);
+    EXPECT_TRUE(bitwise_equal32(back, back2)) << "n=" << n;
+  }
+}
+
 TEST(Kernels, IsaReportingIsConsistent) {
   const k::Isa isa = k::active_isa();
   EXPECT_STREQ(k::isa_name(), k::isa_name(isa));
-  if (!k::simd_compiled()) EXPECT_EQ(isa, k::Isa::kScalar);
+  if (!k::simd_compiled()) {
+    EXPECT_EQ(isa, k::Isa::kScalar);
+  }
   // The name is one of the documented tokens bench JSON carries.
   const std::string name = k::isa_name();
   EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2") << name;
@@ -286,6 +436,75 @@ TEST(FftMixedRadix, ExecuteManyMatchesSingleTransforms) {
   }
 }
 
+// ------------------------------------------------------- float32 FFT accuracy
+// FftPlan32 has no radix-2 twin; its accuracy reference is the f64 plan. The
+// bound is the float analogue of the mixed-radix one: eps_f32 scales it up by
+// ~2^29, which still pins the plan to "rounding noise only".
+
+TEST(FftMixedRadixF32, MatchesFloat64PlanWithinUlpBound) {
+  Rng rng(12);
+  for (std::size_t n = 8; n <= 4096; n *= 2) {
+    const dsp::FftPlan32 plan32(n);
+    const dsp::FftPlan plan64(n);
+    k::AlignedCVec ref(n);
+    for (auto& v : ref) v = rng.cgaussian();
+    k::AlignedCVec32 x(n);
+    k::narrow(ref, x);  // the f32 input is the rounded f64 input
+    k::widen(x, ref);   // ...and the f64 reference runs on those exact values
+    plan32.forward(x);
+    plan64.forward(ref);
+    double scale = 0.0;
+    for (const Complex& v : ref)
+      scale = std::max({scale, std::abs(v.real()), std::abs(v.imag())});
+    const double stages = std::log2(static_cast<double>(n));
+    const double tol =
+        16.0 * static_cast<double>(std::numeric_limits<float>::epsilon()) * scale * stages;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(static_cast<double>(x[i].real()), ref[i].real(), tol)
+          << "n=" << n << " i=" << i;
+      EXPECT_NEAR(static_cast<double>(x[i].imag()), ref[i].imag(), tol)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftMixedRadixF32, InverseRoundTrip) {
+  Rng rng(13);
+  for (std::size_t n = 8; n <= 1024; n *= 4) {
+    const dsp::FftPlan32 plan(n);
+    k::AlignedCVec32 x(n);
+    {
+      Rng draw(n);
+      for (auto& v : x) {
+        const Complex d = draw.cgaussian();
+        v = {static_cast<float>(d.real()), static_cast<float>(d.imag())};
+      }
+    }
+    k::AlignedCVec32 y = x;
+    plan.forward(y);
+    plan.inverse(y);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i].real(), x[i].real(), 1e-4f) << "n=" << n;
+      EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-4f) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftMixedRadixF32, ExecuteManyMatchesSingleTransforms) {
+  Rng rng(14);
+  const std::size_t n = 64, count = 5;
+  const dsp::FftPlan32 plan(n);
+  k::AlignedCVec32 in = random_vec32(rng, n * count);
+  k::AlignedCVec32 out(n * count);
+  plan.execute_many(in, out, count);
+  for (std::size_t c = 0; c < count; ++c) {
+    k::AlignedCVec32 one(in.begin() + static_cast<std::ptrdiff_t>(c * n),
+                         in.begin() + static_cast<std::ptrdiff_t>((c + 1) * n));
+    plan.forward(one);
+    EXPECT_TRUE(bitwise_equal32(CSpan32{out.data() + c * n, n}, one)) << "block " << c;
+  }
+}
+
 // ----------------------------------------------------- zero-allocation hold
 
 TEST(ZeroAllocation, HookIsLive) {
@@ -332,6 +551,50 @@ TEST(ZeroAllocation, CancellerElementSteadyState) {
       << "CancellerElement::cancel_into allocated in steady state";
 }
 
+// The f32 path has its own Workspace slots and FIR scratch; prove the fast
+// path is as allocation-free in steady state as the reference path.
+TEST(ZeroAllocation, ForwardPipelineF32SteadyState) {
+  relay::PipelineConfig cfg;
+  cfg.cfo_hz = 30e3;
+  cfg.prefilter = CVec(12, Complex{0.25, 0.05});
+  cfg.tx_filter = dsp::design_lowpass(9, 0.25);
+  cfg.adc_dac_delay_samples = 4;
+  cfg.gain_db = 40.0;
+  cfg.precision = Precision::kF32;
+  relay::ForwardPipeline pipe(cfg);
+  Rng rng(15);
+  CVec x(512), out(512);
+  for (auto& v : x) v = rng.cgaussian();
+  for (int i = 0; i < 3; ++i) pipe.process_into(x, out);
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 32; ++i) pipe.process_into(x, out);
+  EXPECT_EQ(alloc_count(), before)
+      << "ForwardPipeline f32 process_into allocated in steady state";
+}
+
+TEST(ZeroAllocation, CancellerElementF32SteadyState) {
+  Rng rng(16);
+  CVec analog(24), digital(120);
+  for (auto& t : analog) t = rng.cgaussian(1e-4);
+  for (auto& t : digital) t = rng.cgaussian(1e-6);
+  stream::CancellerElement canc("c", analog, digital);
+  stream::Params p;
+  p.set("analog", stream::format_cvec(analog));
+  p.set("digital", stream::format_cvec(digital));
+  p.set("precision", "f32");
+  canc.configure(p);
+  CVec rx(512), tx(512);
+  for (auto& v : rx) v = rng.cgaussian();
+  for (auto& v : tx) v = rng.cgaussian();
+  for (int i = 0; i < 3; ++i)
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 32; ++i)
+    canc.cancel_into(CMutSpan{rx.data(), rx.size()}, CSpan{tx.data(), tx.size()});
+  EXPECT_EQ(alloc_count(), before)
+      << "CancellerElement f32 cancel_into allocated in steady state";
+}
+
 TEST(Workspace, GrowsAreCountedAndStopInSteadyState) {
   k::Workspace ws;
   EXPECT_EQ(ws.grows(), 0u);
@@ -346,6 +609,23 @@ TEST(Workspace, GrowsAreCountedAndStopInSteadyState) {
   EXPECT_GT(ws.bytes(), 0u);
   ws.release();
   EXPECT_EQ(ws.bytes(), 0u);
+}
+
+TEST(Workspace, F32SlotsAreASeparateNamespace) {
+  k::Workspace ws;
+  (void)ws.get(0, 100);  // f64 slot 0
+  EXPECT_EQ(ws.grows_f32(), 0u) << "f64 gets must not touch the f32 counters";
+  (void)ws.get_f32(0, 100);
+  const std::uint64_t after_first = ws.grows_f32();
+  EXPECT_GT(after_first, 0u);
+  EXPECT_GT(ws.bytes_f32(), 0u);
+  (void)ws.get_f32(0, 64);   // smaller: reuse
+  (void)ws.get_f32(0, 100);  // equal: reuse
+  EXPECT_EQ(ws.grows_f32(), after_first);
+  (void)ws.get_f32(0, 200);  // larger: must grow
+  EXPECT_GT(ws.grows_f32(), after_first);
+  ws.release();
+  EXPECT_EQ(ws.bytes_f32(), 0u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "common/units.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/noise.hpp"
+#include "dsp/resample.hpp"
 #include "dsp/sequence.hpp"
 #include "eval/faults.hpp"
 #include "eval/testbed.hpp"
@@ -621,9 +623,11 @@ struct RelaySession {
   relay::PipelineConfig pipeline;
   stream::PacketSourceConfig packets;
   double fs_hi = 0.0;
+  Precision precision = Precision::kF64;
+  bool with_noise = true;  // false: noise-free twin for accuracy tracking
 };
 
-RelaySession make_relay_session() {
+RelaySession make_relay_session(Precision precision = Precision::kF64) {
   constexpr std::size_t kOversample = 4;  // the evaluator's converter rate
   const eval::TestbedConfig tb;
   const auto plan = channel::FloorPlan::paper_home();
@@ -634,6 +638,8 @@ RelaySession make_relay_session() {
   s.link = eval::build_td_link(placement, {6.0, 4.0}, tb, rng);
   s.fs_hi = tb.ofdm.sample_rate_hz * static_cast<double>(kOversample);
   s.pipeline = eval::make_ff_pipeline(s.link, tb.ofdm, /*extra_latency_s=*/0.0);
+  s.precision = precision;
+  s.pipeline.precision = precision;
 
   s.packets.params = tb.ofdm;
   s.packets.mcs_index = 3;
@@ -653,27 +659,30 @@ RelaySession make_relay_session() {
   return s;
 }
 
-std::uint64_t run_relay_session(const RelaySession& s, const SchedulerConfig& sc_in) {
+CVec run_relay_session_samples(const RelaySession& s, const SchedulerConfig& sc_in,
+                               std::size_t block_size = 256) {
   constexpr std::size_t kCap = 8;
-  constexpr std::size_t kBlockSize = 256;
   Graph g;
-  auto* src = g.emplace<stream::PacketSource>("src", s.packets, kBlockSize);
-  auto* cfo = g.emplace<stream::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi);
+  auto* src = g.emplace<stream::PacketSource>("src", s.packets, block_size);
+  auto* cfo = g.emplace<stream::CfoElement>("src_cfo", s.link.source_cfo_hz, s.fs_hi,
+                                            s.precision);
   auto* tee = g.emplace<stream::Tee>("tee", 2);
 
   stream::ChannelElementConfig sd;
   sd.channel = s.link.sd;
   sd.sample_rate_hz = s.fs_hi;
-  sd.noise_power = power_from_db(s.link.dest_noise_dbm) * 4.0;
+  if (s.with_noise) sd.noise_power = power_from_db(s.link.dest_noise_dbm) * 4.0;
   sd.seed = s.packets.seed ^ 0xD5;
+  sd.precision = s.precision;
   auto* chan_sd = g.emplace<stream::ChannelElement>("chan_sd", sd);
   auto* q = g.emplace<stream::Queue>("q");
 
   stream::ChannelElementConfig sr;
   sr.channel = s.link.sr;
   sr.sample_rate_hz = s.fs_hi;
-  sr.noise_power = power_from_db(s.link.relay_noise_dbm) * 4.0;
+  if (s.with_noise) sr.noise_power = power_from_db(s.link.relay_noise_dbm) * 4.0;
   sr.seed = s.packets.seed ^ 0x5F;
+  sr.precision = s.precision;
   auto* chan_sr = g.emplace<stream::ChannelElement>("chan_sr", sr);
   auto* relay = g.emplace<stream::PipelineElement>("relay", s.pipeline);
 
@@ -681,6 +690,7 @@ std::uint64_t run_relay_session(const RelaySession& s, const SchedulerConfig& sc
   rd.channel = s.link.rd;
   rd.sample_rate_hz = s.fs_hi;
   rd.seed = s.packets.seed ^ 0xFD;
+  rd.precision = s.precision;
   auto* chan_rd = g.emplace<stream::ChannelElement>("chan_rd", rd);
 
   auto* add = g.emplace<stream::Add2>("add");
@@ -698,8 +708,14 @@ std::uint64_t run_relay_session(const RelaySession& s, const SchedulerConfig& sc
   g.connect(*add, 0, *sink, 0, kCap);
 
   Scheduler(g, sc_in).run();
-  const CVec out = sink->take();
+  CVec out = sink->take();
   EXPECT_EQ(out.size(), 399360u);  // 1560 blocks of 256 (BENCH_runtime.json)
+  return out;
+}
+
+std::uint64_t run_relay_session(const RelaySession& s, const SchedulerConfig& sc_in,
+                                std::size_t block_size = 256) {
+  const CVec out = run_relay_session_samples(s, sc_in, block_size);
   return fnv1a_bytes(out.data(), out.size() * sizeof(Complex));
 }
 
@@ -723,6 +739,148 @@ TEST(StreamThroughput, RelaySessionChecksumPinnedAcrossModes) {
           << "chains=" << chains << " batch=" << batch;
     }
   }
+}
+
+// ------------------------------------------- float32 relay-session family
+
+// The f32 relay session has its OWN pinned checksum (docs/PERFORMANCE.md,
+// "The float32 family"): a different constant from the f64 session's
+// c4363e27acceb195, but held to the same invariance contract — one value no
+// matter how the stream is blocked, how many workers run it, which
+// scheduler executes it, or (via the release-nosimd preset re-running this
+// binary) which ISA the kernels dispatched to.
+TEST(StreamF32, RelaySessionChecksumPinnedAcrossBlocksThreadsAndModes) {
+  constexpr std::uint64_t kChecksumF32 = 0x44C2EE7A47C3CA7DULL;
+  const RelaySession session = make_relay_session(Precision::kF32);
+
+  // Every block size runs in both modes; the worker count cycles through
+  // {1,2,4} so each appears in each mode across the sweep.
+  std::size_t rotate = 0;
+  for (const std::size_t block : kBlockSizes) {
+    for (const bool throughput : {false, true}) {
+      SchedulerConfig sc;
+      sc.threads = kThreadCounts[rotate++ % 3];
+      if (throughput) {
+        sc.mode = stream::SchedulerMode::kThroughput;
+        sc.batch_size = 4;
+      }
+      EXPECT_EQ(run_relay_session(session, sc, block), kChecksumF32)
+          << "block=" << block << " threads=" << sc.threads
+          << " mode=" << (throughput ? "throughput" : "reference");
+    }
+  }
+  // Full thread sweep at the bench block size, both modes.
+  for (const std::size_t threads : kThreadCounts) {
+    SchedulerConfig ref;
+    ref.threads = threads;
+    EXPECT_EQ(run_relay_session(session, ref), kChecksumF32) << "ref t=" << threads;
+    SchedulerConfig tp;
+    tp.mode = stream::SchedulerMode::kThroughput;
+    tp.threads = threads;
+    EXPECT_EQ(run_relay_session(session, tp), kChecksumF32) << "tp t=" << threads;
+  }
+}
+
+// Accuracy of the fast path, proven against the f64 reference session with
+// the channel noise DISABLED: a float32 session draws its noise from
+// Rng::cgaussian32 (the float32 family's own, cheaper sequence — same
+// statistics, different realization), so the noisy twins are different
+// simulations by design and only the noise-free pair isolates the
+// arithmetic: the same link and packets, with float rounding inside the
+// CFO rotators, channel FIRs and the relay pipeline as the only
+// difference. The bound is generous against the observed error but still
+// pins the path to "conversion noise only" — any algorithmic divergence
+// between the twins would blow through it by orders of magnitude.
+TEST(StreamF32, RelaySessionTracksF64ReferenceAndDecodes) {
+  const SchedulerConfig sc;
+  RelaySession ref_session = make_relay_session();
+  ref_session.with_noise = false;
+  RelaySession f32_session = make_relay_session(Precision::kF32);
+  f32_session.with_noise = false;
+  const CVec ref = run_relay_session_samples(ref_session, sc);
+  const CVec got = run_relay_session_samples(f32_session, sc);
+  ASSERT_EQ(ref.size(), got.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    num += std::norm(got[i] - ref[i]);
+    den += std::norm(ref[i]);
+  }
+  ASSERT_GT(den, 0.0);
+  const double rel_mse = num / den;
+  EXPECT_LT(rel_mse, 1e-10) << "rel MSE " << rel_mse;
+  // As an EVM: at least 100 dB below the signal, far under the session's
+  // own channel noise floor.
+  EXPECT_LT(10.0 * std::log10(rel_mse), -100.0);
+
+  // The receiver sees the same session: detection, CRC verdict and SNR must
+  // match the f64 reference. (This bench-shaped session superposes the
+  // direct and relay paths unaligned, so neither precision decodes cleanly
+  // here — the aligned example session's crc=OK, in both precisions, is
+  // enforced by the streaming-smoke CTest script.)
+  const phy::Receiver rx(make_relay_session().packets.params);
+  const auto got_rx = rx.receive(dsp::downsample(got, /*factor=*/4));
+  const auto ref_rx = rx.receive(dsp::downsample(ref, /*factor=*/4));
+  ASSERT_EQ(got_rx.has_value(), ref_rx.has_value());
+  if (ref_rx) {
+    EXPECT_EQ(got_rx->crc_ok, ref_rx->crc_ok);
+    EXPECT_EQ(got_rx->mcs_index, ref_rx->mcs_index);
+    EXPECT_NEAR(got_rx->snr_db, ref_rx->snr_db, 0.05);
+  }
+}
+
+// The number the paper cares about is residual self-interference after
+// cancellation. Build a leak channel, hand the canceller estimates that are
+// 0.1% detuned (so the residual floor is set by the estimation error at
+// ~-60 dB, like a real tuner, not by arithmetic), and require the f32 path
+// to land within 0.01 dB of the f64 residual: switching precision must not
+// cost measurable cancellation depth.
+TEST(StreamF32, CancellationResidualDbMatchesF64) {
+  Rng rng(23);
+  CVec analog_true(8), digital_true(48);
+  for (auto& t : analog_true) t = rng.cgaussian(1e-2);
+  for (auto& t : digital_true) t = rng.cgaussian(1e-4);
+  CVec analog_est = analog_true, digital_est = digital_true;
+  for (auto& t : analog_est) t *= 1.001;
+  for (auto& t : digital_est) t *= 1.001;
+
+  const std::size_t n = 4096;
+  CVec tx(n);
+  for (auto& v : tx) v = rng.cgaussian();
+  CVec rx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{};
+    for (std::size_t k = 0; k < analog_true.size() && k <= i; ++k)
+      acc += analog_true[k] * tx[i - k];
+    for (std::size_t k = 0; k < digital_true.size() && k <= i; ++k)
+      acc += digital_true[k] * tx[i - k];
+    rx[i] = acc;
+  }
+  double in_power = 0.0;
+  for (const auto& v : rx) in_power += std::norm(v);
+  ASSERT_GT(in_power, 0.0);
+
+  const auto residual_db = [&](Precision precision) {
+    stream::CancellerElement canc("c", analog_est, digital_est);
+    if (precision == Precision::kF32) {
+      stream::Params p;
+      p.set("analog", stream::format_cvec(analog_est));
+      p.set("digital", stream::format_cvec(digital_est));
+      p.set("precision", "f32");
+      canc.configure(p);
+    }
+    CVec out = rx;
+    canc.cancel_into(CMutSpan{out.data(), out.size()},
+                     CSpan{tx.data(), tx.size()});
+    double res = 0.0;
+    for (const auto& v : out) res += std::norm(v);
+    return 10.0 * std::log10(res / in_power);
+  };
+
+  const double f64_db = residual_db(Precision::kF64);
+  const double f32_db = residual_db(Precision::kF32);
+  EXPECT_LT(f64_db, -55.0) << "canceller did not cancel";
+  EXPECT_NEAR(f32_db, f64_db, 0.01)
+      << "f32 residual " << f32_db << " dB vs f64 " << f64_db << " dB";
 }
 
 // ------------------------------------------------------------ backpressure

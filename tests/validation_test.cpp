@@ -162,6 +162,40 @@ TEST(StreamValidation, ParamsGetIntTrimsSurroundingWhitespace) {
   EXPECT_THROW(blank.get_int("x"), std::logic_error);
 }
 
+TEST(StreamValidation, PrecisionRejectsUnknownNamesAndNamesTheField) {
+  const auto configure = [](const char* value) {
+    stream::CancellerElement canc("c", CVec{Complex{1.0, 0.0}},
+                                  CVec{Complex{1.0, 0.0}});
+    stream::Params p;
+    p.set_context("Canceller 'c'");
+    p.set("precision", value);
+    canc.configure(p);
+  };
+  EXPECT_THROW(configure("f16"), std::logic_error);
+  EXPECT_THROW(configure("float"), std::logic_error);
+  EXPECT_THROW(configure(""), std::logic_error);
+  EXPECT_NO_THROW(configure("f64"));
+  EXPECT_NO_THROW(configure("f32"));
+  // The diagnostic names the owner and the field, like every Params error.
+  try {
+    configure("f16");
+    FAIL() << "expected FF_CHECK";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("Canceller 'c'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("precision"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'f16'"), std::string::npos) << msg;
+  }
+}
+
+TEST(StreamValidation, PipelineElementRejectsBadPrecision) {
+  stream::PipelineElement relay("relay");
+  stream::Params p;
+  p.set_context("Pipeline 'relay'");
+  p.set("precision", "double");
+  EXPECT_THROW(relay.configure(p), std::logic_error);
+}
+
 TEST(StreamValidation, FaultRejectsBadRatesThroughInjectorValidation) {
   const auto configure = [](const char* key, const char* value) {
     stream::FaultElement fault("fault");
